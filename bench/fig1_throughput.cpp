@@ -1,0 +1,95 @@
+// Figure 1b / 1c: per-job bottleneck throughput for two VGG19(1200) jobs
+// under (b) fair DCQCN — both T = 125 us, ~21 Gbps each — and (c) unfair
+// DCQCN — J1 more aggressive, ~30 vs ~15 Gbps during contention.
+//
+// Prints the time series of each job's achieved throughput during the first
+// iterations plus an ASCII plot per scenario.
+#include <cstdio>
+
+#include "cluster/scenario.h"
+#include "telemetry/plot.h"
+#include "telemetry/recorders.h"
+#include "telemetry/table.h"
+
+using namespace ccml;
+
+namespace {
+
+struct Observed {
+  ScenarioResult result;
+  std::vector<LinkThroughputRecorder::Sample> samples;
+};
+
+Observed run(bool unfair) {
+  // Fig. 1 does not pin a batch size; this profile's comm/compute ratio is
+  // calibrated so ideal sliding yields the paper's 1.23x median speed-up:
+  // fair = C + 2M, unfair = C + M, (C+2M)/(C+M) = 1.23 at M = 0.3 C.
+  const JobProfile vgg = ModelZoo::synthetic(
+      "VGG19", Duration::millis(180),
+      Rate::gbps(42.5) * Duration::millis(54));
+  std::vector<ScenarioJob> jobs = {{"J1", vgg}, {"J2", vgg}};
+  if (unfair) {
+    jobs[0].cc_timer = aggressive_knobs().timer;
+    jobs[0].cc_rai = aggressive_knobs().rai;
+    jobs[1].cc_timer = meek_knobs().timer;
+    jobs[1].cc_rai = meek_knobs().rai;
+  }
+  ScenarioConfig cfg;
+  cfg.policy = PolicyKind::kDcqcn;
+  cfg.duration = Duration::millis(1200);  // ~4 iterations
+  cfg.warmup_iterations = 0;
+  auto recorder = std::make_shared<LinkThroughputRecorder>(
+      LinkId{0}, Duration::millis(5));
+  cfg.instrument = [recorder](Network& net) { recorder->attach(net); };
+  Observed out;
+  out.result = run_dumbbell_scenario(jobs, cfg);
+  out.samples = recorder->samples();
+  return out;
+}
+
+void report(const char* title, const Observed& obs, double expect_j1,
+            double expect_j2) {
+  std::printf("---- %s ----\n", title);
+  // Mean throughput while both jobs are actively sending (contention
+  // window), which is what Fig. 1b/1c report for the first iteration.
+  Summary j1, j2;
+  for (const auto& s : obs.samples) {
+    const auto i1 = s.per_job.find(JobId{0});
+    const auto i2 = s.per_job.find(JobId{1});
+    const double r1 = i1 == s.per_job.end() ? 0 : i1->second.to_gbps();
+    const double r2 = i2 == s.per_job.end() ? 0 : i2->second.to_gbps();
+    if (r1 > 1.0 && r2 > 1.0) {  // both communicating
+      j1.add(r1);
+      j2.add(r2);
+    }
+  }
+  std::printf("mean throughput while contending:  J1 %.1f Gbps   J2 %.1f Gbps\n",
+              j1.empty() ? 0.0 : j1.mean(), j2.empty() ? 0.0 : j2.mean());
+  std::printf("paper:                             J1 %.0f Gbps   J2 %.0f Gbps\n",
+              expect_j1, expect_j2);
+
+  Series s1{"J1 (Gbps)", {}}, s2{"J2 (Gbps)", {}};
+  for (const auto& s : obs.samples) {
+    const double t = (s.time - TimePoint::origin()).to_millis();
+    if (t > 700) break;  // first couple of iterations, like the figure
+    const auto i1 = s.per_job.find(JobId{0});
+    const auto i2 = s.per_job.find(JobId{1});
+    s1.points.emplace_back(t, i1 == s.per_job.end() ? 0 : i1->second.to_gbps());
+    s2.points.emplace_back(t, i2 == s.per_job.end() ? 0 : i2->second.to_gbps());
+  }
+  PlotOptions popt;
+  popt.x_label = "time (ms)";
+  std::printf("%s\n", render_plot({s1, s2}, popt).c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 1b/1c: throughput of two VGG19 jobs on a 50 Gbps "
+              "bottleneck\n\n");
+  const Observed fair = run(/*unfair=*/false);
+  report("Fig 1b: fair DCQCN (both T=125us)", fair, 21, 21);
+  const Observed unfair = run(/*unfair=*/true);
+  report("Fig 1c: unfair DCQCN (J1 aggressive)", unfair, 30, 15);
+  return 0;
+}

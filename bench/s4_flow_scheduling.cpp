@@ -1,0 +1,90 @@
+// Section 4, direction (iii): precise flow scheduling.  The solver's
+// rotation angles become time-shifts; a central scheduler admits each job's
+// communication phase only in its slot.  Congestion never happens, even
+// under a plain fair transport — at the cost of requiring tight clock
+// synchronization (we also quantify sensitivity to clock error).
+#include <cstdio>
+
+#include "cluster/scenario.h"
+#include "core/schedule.h"
+#include "core/solver.h"
+#include "telemetry/table.h"
+#include "workload/profiler.h"
+
+using namespace ccml;
+
+namespace {
+
+ScenarioResult run_scheduled(const JobProfile& profile, Duration clock_error,
+                             Duration duration) {
+  const Rate goodput = scenario_goodput();
+  const CommProfile p = analytic_profile(profile, goodput);
+  const std::vector<CommProfile> group = {p, p};
+  CompatibilitySolver solver;
+  const SolverResult sr = solver.solve(group);
+  const FlowSchedule fs =
+      make_flow_schedule(group, sr.rotations, TimePoint::origin());
+
+  std::vector<ScenarioJob> jobs = {{"J1", profile}, {"J2", profile}};
+  for (int i = 0; i < 2; ++i) {
+    // Clock error shifts the *perceived* epoch of job 2's host.
+    const Duration err = i == 1 ? clock_error : Duration::zero();
+    jobs[i].gate = CommGate{fs.epoch + err, fs.slots[i].start_offset,
+                            fs.slots[i].period, fs.slots[i].phase_offsets,
+                            fs.slots[i].window};
+    jobs[i].start_offset = fs.slots[i].job_start_offset + err;
+  }
+  ScenarioConfig cfg;
+  cfg.policy = PolicyKind::kMaxMinFair;  // no unfairness needed at all
+  cfg.duration = duration;
+  cfg.warmup_iterations = 5;
+  return run_dumbbell_scenario(jobs, cfg);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int seconds = argc > 1 ? std::atoi(argv[1]) : 30;
+  const auto dlrm = *ModelZoo::calibrated("DLRM", 2000);
+  const Rate goodput = scenario_goodput();
+  std::printf("Section 4(iii): solver-driven flow scheduling "
+              "(DLRM(2000) x 2, solo %.0f ms)\n\n",
+              dlrm.solo_iteration(goodput).to_millis());
+
+  TextTable table({"scheme", "J1 mean ms", "J2 mean ms"});
+  {
+    ScenarioConfig cfg;
+    cfg.policy = PolicyKind::kMaxMinFair;
+    cfg.duration = Duration::seconds(seconds);
+    const auto r = run_dumbbell_scenario({{"J1", dlrm}, {"J2", dlrm}}, cfg);
+    table.add_row({"fair sharing, no schedule",
+                   TextTable::num(r.jobs[0].mean_ms, 0),
+                   TextTable::num(r.jobs[1].mean_ms, 0)});
+  }
+  const auto scheduled =
+      run_scheduled(dlrm, Duration::zero(), Duration::seconds(seconds));
+  table.add_row({"flow schedule (perfect clocks)",
+                 TextTable::num(scheduled.jobs[0].mean_ms, 0),
+                 TextTable::num(scheduled.jobs[1].mean_ms, 0)});
+  std::printf("%s\n", table.render().c_str());
+
+  // Clock-synchronization sensitivity: the paper flags sub-ms clock sync as
+  // the key practical challenge for this direction.
+  std::printf("clock-error sensitivity (J2's host clock skewed):\n");
+  TextTable sweep({"clock error", "J1 mean ms", "J2 mean ms"});
+  // DLRM's schedule has 400 ms of slack per iteration; the solver spreads
+  // it into two ~200 ms guard bands, so errors up to ~200 ms are absorbed
+  // and larger ones degrade progressively as the windows re-collide.
+  for (const std::int64_t err_ms : {0, 5, 50, 150, 250, 350, 450, 550}) {
+    const auto r = run_scheduled(dlrm, Duration::millis(err_ms),
+                                 Duration::seconds(seconds));
+    sweep.add_row({std::to_string(err_ms) + " ms",
+                   TextTable::num(r.jobs[0].mean_ms, 0),
+                   TextTable::num(r.jobs[1].mean_ms, 0)});
+  }
+  std::printf("%s\n", sweep.render().c_str());
+  std::printf("expected shape: perfect clocks ~ solo (1000 ms); small errors "
+              "tolerated while the slack (compute - partner comm) absorbs "
+              "them; large errors re-introduce contention.\n");
+  return 0;
+}

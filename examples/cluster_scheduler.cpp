@@ -1,0 +1,102 @@
+// Cluster scheduler walkthrough: the full §4 pipeline on a leaf-spine
+// cluster —
+//   1. profile every job in isolation (measured, not assumed),
+//   2. place jobs (locality baseline vs compatibility-aware),
+//   3. derive the cluster-level flow schedule (§5 unified circle per group
+//      of jobs that transitively share links),
+//   4. run the fluid simulation and compare per-job slowdowns.
+//
+// Usage: cluster_scheduler [seconds_simulated]
+#include <cstdio>
+
+#include "cluster/experiment.h"
+#include "telemetry/table.h"
+#include "workload/profiler.h"
+
+using namespace ccml;
+
+namespace {
+
+JobRequest profiled_request(const char* name, const char* model, int batch,
+                            int workers) {
+  JobRequest r;
+  r.name = name;
+  r.workers = workers;
+  const auto calibrated = ModelZoo::calibrated(model, batch);
+  r.profile = calibrated ? *calibrated
+                         : ModelZoo::analytic(model, batch, workers);
+  // Step 1: profile the job in isolation, as §4 prescribes — run it alone
+  // on a dedicated link under DCQCN and extract the periodic abstraction.
+  ProfilerOptions opts;
+  opts.iterations = 12;
+  opts.warmup = 3;
+  const MeasuredProfile measured = measure_profile(r.profile, opts);
+  r.comm_profile = measured.profile;
+  std::printf("  profiled %-10s: period %7.1f ms, comm fraction %.2f, "
+              "comm rate %.1f Gbps\n",
+              name, measured.profile.period.to_millis(),
+              measured.profile.comm_fraction(),
+              measured.mean_comm_rate.to_gbps());
+  return r;
+}
+
+void report(const char* title, const ExperimentResult& result) {
+  std::printf("\n-- %s --\n", title);
+  TextTable table({"job", "spans fabric", "mean ms", "solo ms", "slowdown"});
+  for (const auto& o : result.outcomes) {
+    if (!o.placed) {
+      table.add_row({o.name, "UNPLACED", "-", "-", "-"});
+      continue;
+    }
+    table.add_row({o.name, o.spans_fabric ? "yes" : "",
+                   TextTable::num(o.mean_ms, 0), TextTable::num(o.solo_ms, 0),
+                   TextTable::num(o.slowdown, 2) + "x"});
+  }
+  std::printf("%s", table.render().c_str());
+  for (const auto& sl : result.placement.shared_links) {
+    std::printf("  shared link %d: jobs", sl.link.value);
+    for (const std::size_t j : sl.jobs) std::printf(" %zu", j);
+    std::printf(" -> %s\n", sl.compatible ? "compatible" : "INCOMPATIBLE");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int seconds = argc > 1 ? std::atoi(argv[1]) : 12;
+  std::printf("== Step 1: profile jobs in isolation ==\n");
+  std::vector<JobRequest> requests;
+  // Two DLRMs (mutually compatible), one BERT (incompatible with DLRM), and
+  // a small ResNet.  Locality placement happens to put BERT next to a DLRM
+  // on rack-1 uplinks; the compatibility-aware scheduler pairs the DLRMs
+  // instead and the flow schedule interleaves them.
+  requests.push_back(profiled_request("dlrm-a", "DLRM", 2000, 4));
+  requests.push_back(profiled_request("dlrm-b", "DLRM", 2000, 4));
+  requests.push_back(profiled_request("bert-a", "BERT", 8, 4));
+  requests.push_back(profiled_request("resnet-a", "ResNet50", 1600, 2));
+
+  const Topology topo =
+      Topology::leaf_spine(5, 3, 1, Rate::gbps(50), Rate::gbps(50));
+  std::printf("\n== Step 2-4: place, schedule, simulate (%d s) ==\n", seconds);
+
+  ExperimentConfig cfg;
+  cfg.policy = PolicyKind::kDcqcn;
+  cfg.run_time = Duration::seconds(seconds);
+
+  {
+    LocalityPlacement placement;
+    report("locality placement, default DCQCN",
+           run_cluster_experiment(topo, requests, placement, cfg));
+  }
+  {
+    CompatibilityAwarePlacement placement;
+    ExperimentConfig sched = cfg;
+    sched.flow_schedule = true;
+    report("compatibility-aware placement + flow schedule",
+           run_cluster_experiment(topo, requests, placement, sched));
+  }
+  std::printf("\nThe compatibility-aware run should hold every job at or "
+              "near 1.0x while the baseline lets fabric sharing stretch "
+              "iterations.\n");
+  return 0;
+}

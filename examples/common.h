@@ -1,0 +1,24 @@
+// Shared aliases for the example programs; the heavy lifting lives in the
+// library (cluster/scenario.h).
+#pragma once
+
+#include "cluster/scenario.h"
+
+namespace ccml::examples {
+
+using JobSetup = ::ccml::ScenarioJob;
+
+inline ScenarioResult run_dumbbell_scenario(
+    const std::vector<ScenarioJob>& jobs, PolicyKind policy, Duration duration,
+    std::size_t warmup = 5, DcqcnConfig dcqcn = {},
+    double goodput_factor = 0.85) {
+  ScenarioConfig cfg;
+  cfg.policy = policy;
+  cfg.duration = duration;
+  cfg.warmup_iterations = warmup;
+  cfg.dcqcn = dcqcn;
+  cfg.goodput_factor = goodput_factor;
+  return ::ccml::run_dumbbell_scenario(jobs, cfg);
+}
+
+}  // namespace ccml::examples

@@ -1,0 +1,186 @@
+#include "cc/dcqcn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "net/network.h"
+
+namespace ccml {
+
+DcqcnPolicy::DcqcnPolicy(DcqcnConfig config)
+    : config_(config), rng_(config.seed) {
+  assert(config_.kmax > config_.kmin);
+  assert(config_.pmax > 0.0 && config_.pmax <= 1.0);
+  assert(config_.timer.is_positive());
+  assert(config_.byte_counter.is_positive());
+}
+
+void DcqcnPolicy::on_flow_started(Network& net, Flow& flow) {
+  if (links_.size() < net.topology().link_count()) {
+    links_.resize(net.topology().link_count());
+  }
+  FlowState s;
+  Rate line = Rate::gbps(1e9);  // effectively infinite until min'ed below
+  for (const LinkId lid : flow.spec.route.links) {
+    line = std::min(line, net.effective_capacity(lid));
+  }
+  s.line_rate = line;
+  // RDMA senders start at line rate and back off on marks.
+  s.rc = line;
+  s.rt = line;
+  s.timer = flow.spec.cc_timer.is_positive() ? flow.spec.cc_timer
+                                             : config_.timer;
+  s.rai = flow.spec.cc_rai.is_positive() ? flow.spec.cc_rai : config_.rai;
+  flows_.emplace(flow.id, s);
+  flow.rate = s.rc;
+}
+
+void DcqcnPolicy::on_flow_finished(Network& /*net*/, const Flow& flow) {
+  flows_.erase(flow.id);
+}
+
+double DcqcnPolicy::red_probability(Bytes queue) const {
+  if (queue <= config_.kmin) return 0.0;
+  if (queue >= config_.kmax) return 1.0;
+  const double t = (queue - config_.kmin) / (config_.kmax - config_.kmin);
+  return t * config_.pmax;
+}
+
+void DcqcnPolicy::apply_decrease(FlowState& s) {
+  s.rt = s.rc;
+  s.alpha = (1.0 - config_.g) * s.alpha + config_.g;
+  s.rc = s.rc * (1.0 - s.alpha / 2.0);
+  // DCQCN clamps at a small positive minimum so flows never starve entirely.
+  s.rc = std::max(s.rc, Rate::mbps(10));
+  s.time_since_increase = Duration::zero();
+  s.bytes_since_increase = Bytes::zero();
+  s.timer_rounds = 0;
+  s.byte_rounds = 0;
+  s.since_last_cnp = Duration::zero();
+  s.alpha_clock = Duration::zero();
+}
+
+void DcqcnPolicy::apply_increase(FlowState& s, const Flow& flow) {
+  const int f = config_.fast_recovery_rounds;
+  if (s.timer_rounds >= f && s.byte_rounds >= f) {
+    s.rt += config_.rhai;  // hyper increase
+  } else if (s.timer_rounds >= f || s.byte_rounds >= f) {
+    Rate rai = s.rai;
+    if (config_.adaptive_rai) {
+      // Paper §4: R_AI * (1 + Data_sent / Data_comm_phase).  Each flow
+      // carries exactly one communication phase, so flow progress is the
+      // paper's ratio.
+      rai = rai * (1.0 + flow.progress());
+    }
+    s.rt += rai;  // additive increase
+  }
+  // All stages: current rate glides halfway to target ("fast recovery" when
+  // the target is unchanged).
+  s.rc = (s.rt + s.rc) * 0.5;
+  s.rc = std::min(s.rc, s.line_rate);
+  s.rt = std::min(s.rt, s.line_rate);
+}
+
+void DcqcnPolicy::update_rates(Network& net, TimePoint /*now*/, Duration dt) {
+  if (links_.size() < net.topology().link_count()) {
+    links_.resize(net.topology().link_count());
+  }
+
+  // --- CP: integrate egress queues and refresh marking probabilities. -----
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    const LinkId lid{static_cast<std::int32_t>(l)};
+    const auto& on_link = net.flows_on_link(lid);
+    if (on_link.empty() && links_[l].queue.is_zero()) {
+      links_[l].mark_prob = 0.0;
+      continue;
+    }
+    Rate arrival = Rate::zero();
+    for (const FlowId fid : on_link) arrival += net.flow(fid).rate;
+    const Rate cap = net.effective_capacity(lid);
+    const Bytes delta = (arrival - cap) * dt;
+    Bytes q = links_[l].queue + delta;
+    if (q < Bytes::zero()) q = Bytes::zero();
+    links_[l].queue = q;
+    links_[l].mark_prob = red_probability(q);
+  }
+
+  // --- NP + RP: per-flow CNP arrivals and rate machine updates. -----------
+  for (const FlowId fid : net.active_flows()) {
+    Flow& flow = net.flow(fid);
+    auto it = flows_.find(fid);
+    assert(it != flows_.end());
+    FlowState& s = it->second;
+
+    // Probability that at least one of this step's packets is marked on any
+    // traversed link.
+    double p_clean = 1.0;
+    for (const LinkId lid : flow.spec.route.links) {
+      p_clean *= 1.0 - links_[lid.value].mark_prob;
+    }
+    const double p_mark = 1.0 - p_clean;
+    const double pkts = std::max(1.0, (flow.rate * dt) / config_.mtu);
+    // P(no packet marked in the step) = (1-p)^pkts.
+    const double p_any = 1.0 - std::pow(1.0 - p_mark, pkts);
+
+    if (s.since_last_cnp < Duration::max()) s.since_last_cnp += dt;
+    s.alpha_clock += dt;
+
+    bool cnp = false;
+    const bool cnp_allowed = s.since_last_cnp >= config_.cnp_interval;
+    if (config_.deterministic_marking) {
+      if (p_any > 0.0) {
+        s.expected_marks += p_any;
+        s.clean_streak = Duration::zero();
+      } else {
+        s.clean_streak += dt;
+        if (s.clean_streak >= config_.cnp_interval) s.expected_marks = 0.0;
+      }
+      if (cnp_allowed && s.expected_marks >= 1.0) {
+        cnp = true;
+        s.expected_marks = 0.0;
+      }
+    } else {
+      cnp = cnp_allowed && p_any > 0.0 && rng_.chance(p_any);
+    }
+    if (cnp) {
+      apply_decrease(s);
+    } else {
+      // Alpha decay while uncongested.
+      while (s.alpha_clock >= config_.alpha_update) {
+        s.alpha *= (1.0 - config_.g);
+        s.alpha_clock -= config_.alpha_update;
+      }
+      // Timer- and byte-driven increase events.
+      s.time_since_increase += dt;
+      s.bytes_since_increase += flow.rate * dt;
+      while (s.time_since_increase >= s.timer) {
+        s.time_since_increase -= s.timer;
+        ++s.timer_rounds;
+        apply_increase(s, flow);
+      }
+      while (s.bytes_since_increase >= config_.byte_counter) {
+        s.bytes_since_increase -= config_.byte_counter;
+        ++s.byte_rounds;
+        apply_increase(s, flow);
+      }
+    }
+    flow.rate = s.rc;
+  }
+}
+
+Bytes DcqcnPolicy::link_queue(LinkId link) const {
+  if (!link.valid() || static_cast<std::size_t>(link.value) >= links_.size()) {
+    return Bytes::zero();
+  }
+  return links_[link.value].queue;
+}
+
+DcqcnPolicy::RpState DcqcnPolicy::rp_state(FlowId id) const {
+  const auto it = flows_.find(id);
+  assert(it != flows_.end());
+  const FlowState& s = it->second;
+  return {s.rc, s.rt, s.alpha, s.timer_rounds, s.byte_rounds};
+}
+
+}  // namespace ccml

@@ -1,0 +1,135 @@
+// Fluid-level DCQCN (Zhu et al., SIGCOMM '15; fluid analysis CoNEXT '16).
+//
+// Each flow runs the RP (reaction point) rate machine:
+//   * on congestion notification (CNP):  R_T <- R_C,
+//     alpha <- (1-g)*alpha + g,  R_C <- R_C * (1 - alpha/2)
+//   * rate increase driven by a timer (period T) and a byte counter (B):
+//     fast recovery (first F rounds):  R_C <- (R_T + R_C)/2
+//     additive increase:               R_T <- R_T + R_AI, R_C <- (R_T+R_C)/2
+//     hyper increase:                  R_T <- R_T + R_HAI, R_C <- (R_T+R_C)/2
+//   * alpha decays by (1-g) every alpha-update period without CNPs.
+//
+// Switches (CP) mark in the RED/ECN style: probability rises linearly from 0
+// at Kmin to Pmax at Kmax, then jumps to 1.  The NP generates at most one CNP
+// per flow per cnp_interval.
+//
+// Unfairness knobs (the paper's Figure 1 experiment): FlowSpec::cc_timer
+// overrides T per flow and FlowSpec::cc_rai overrides R_AI per flow — a
+// smaller T / larger R_AI makes a flow more aggressive.
+//
+// Adaptive unfairness (paper §4, direction (i)): with
+// DcqcnConfig::adaptive_rai set, the additive-increase step becomes
+//   R_AI * (1 + Data_sent / Data_comm_phase)
+// so a flow nearing the end of its communication phase out-competes one that
+// just started, interleaving compatible jobs while incompatible jobs keep
+// taking turns and time-average to a fair share.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "net/policy.h"
+#include "util/rng.h"
+#include "util/time.h"
+#include "util/units.h"
+
+namespace ccml {
+
+struct DcqcnConfig {
+  // CP (switch) marking.
+  Bytes kmin = Bytes::kilo(50);
+  Bytes kmax = Bytes::kilo(200);
+  double pmax = 0.01;
+
+  // NP: minimum gap between CNPs for one flow.
+  Duration cnp_interval = Duration::micros(50);
+
+  // RP rate machine defaults (overridable per flow).
+  Duration timer = Duration::micros(125);  ///< T, the paper's testbed default
+  Bytes byte_counter = Bytes::mega(10);    ///< B
+  Rate rai = Rate::mbps(40);               ///< R_AI
+  Rate rhai = Rate::mbps(200);             ///< R_HAI
+  int fast_recovery_rounds = 5;            ///< F
+  double g = 1.0 / 256.0;
+  Duration alpha_update = Duration::micros(55);
+
+  /// Scale R_AI by (1 + comm-phase progress): the paper's adaptively unfair
+  /// congestion control.
+  bool adaptive_rai = false;
+
+  /// Typical packet size used to convert fluid rate into a marking-event
+  /// intensity.
+  Bytes mtu = Bytes::kilo(1);
+
+  /// Marking model.  `true` integrates the *expected* number of marked
+  /// packets and fires a CNP when it reaches one — flows with identical
+  /// parameters then stay perfectly symmetric, matching the paper's
+  /// observation that fair sharing keeps competing jobs overlapped
+  /// indefinitely (Fig. 2a).  `false` draws Bernoulli marks per step, which
+  /// adds realistic jitter but lets even fair sharing drift apart slowly
+  /// (uncorrelated-noise random walk; see bench/ablation_marking_noise).
+  bool deterministic_marking = true;
+
+  /// Seed for the stochastic marking process.
+  std::uint64_t seed = 1;
+};
+
+class DcqcnPolicy : public BandwidthPolicy {
+ public:
+  explicit DcqcnPolicy(DcqcnConfig config = {});
+
+  const char* name() const override {
+    return config_.adaptive_rai ? "dcqcn-adaptive" : "dcqcn";
+  }
+
+  void on_flow_started(Network& net, Flow& flow) override;
+  void on_flow_finished(Network& net, const Flow& flow) override;
+  void update_rates(Network& net, TimePoint now, Duration dt) override;
+  Bytes link_queue(LinkId link) const override;
+
+  const DcqcnConfig& config() const { return config_; }
+
+  /// Per-flow diagnostic snapshot (used by tests and telemetry).
+  struct RpState {
+    Rate current;    ///< R_C
+    Rate target;     ///< R_T
+    double alpha = 1.0;
+    int timer_rounds = 0;
+    int byte_rounds = 0;
+  };
+  RpState rp_state(FlowId id) const;
+
+ private:
+  struct FlowState {
+    Rate rc;          // current rate
+    Rate rt;          // target rate
+    Rate line_rate;   // min effective capacity along the route
+    double alpha = 1.0;
+    Duration timer;   // per-flow T
+    Rate rai;         // per-flow R_AI
+    Duration time_since_increase = Duration::zero();
+    Bytes bytes_since_increase = Bytes::zero();
+    int timer_rounds = 0;
+    int byte_rounds = 0;
+    Duration since_last_cnp = Duration::max();
+    Duration alpha_clock = Duration::zero();
+    double expected_marks = 0.0;    // deterministic-marking accumulator
+    Duration clean_streak = Duration::zero();
+  };
+
+  struct LinkState {
+    Bytes queue = Bytes::zero();
+    double mark_prob = 0.0;
+  };
+
+  void apply_decrease(FlowState& s);
+  void apply_increase(FlowState& s, const Flow& flow);
+  double red_probability(Bytes queue) const;
+
+  DcqcnConfig config_;
+  Rng rng_;
+  std::unordered_map<FlowId, FlowState> flows_;
+  std::vector<LinkState> links_;
+};
+
+}  // namespace ccml

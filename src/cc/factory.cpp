@@ -1,0 +1,55 @@
+#include "cc/factory.h"
+
+#include <stdexcept>
+
+#include "cc/max_min_fair.h"
+#include "cc/priority.h"
+#include "cc/wfq.h"
+
+namespace ccml {
+
+const char* to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kMaxMinFair: return "maxmin";
+    case PolicyKind::kWfq: return "wfq";
+    case PolicyKind::kPriority: return "priority";
+    case PolicyKind::kDcqcn: return "dcqcn";
+    case PolicyKind::kDcqcnAdaptive: return "dcqcn-adaptive";
+    case PolicyKind::kTimely: return "timely";
+  }
+  return "?";
+}
+
+std::unique_ptr<BandwidthPolicy> make_policy(PolicyKind kind,
+                                             DcqcnConfig dcqcn,
+                                             TimelyConfig timely) {
+  switch (kind) {
+    case PolicyKind::kMaxMinFair:
+      return std::make_unique<MaxMinFairPolicy>();
+    case PolicyKind::kWfq:
+      return std::make_unique<WfqPolicy>();
+    case PolicyKind::kPriority:
+      return std::make_unique<PriorityPolicy>();
+    case PolicyKind::kDcqcn:
+      dcqcn.adaptive_rai = false;
+      return std::make_unique<DcqcnPolicy>(dcqcn);
+    case PolicyKind::kDcqcnAdaptive:
+      dcqcn.adaptive_rai = true;
+      return std::make_unique<DcqcnPolicy>(dcqcn);
+    case PolicyKind::kTimely:
+      return std::make_unique<TimelyPolicy>(timely);
+  }
+  throw std::invalid_argument("unknown policy kind");
+}
+
+PolicyKind parse_policy_kind(const std::string& name) {
+  if (name == "maxmin") return PolicyKind::kMaxMinFair;
+  if (name == "wfq") return PolicyKind::kWfq;
+  if (name == "priority") return PolicyKind::kPriority;
+  if (name == "dcqcn") return PolicyKind::kDcqcn;
+  if (name == "dcqcn-adaptive") return PolicyKind::kDcqcnAdaptive;
+  if (name == "timely") return PolicyKind::kTimely;
+  throw std::invalid_argument("unknown policy: " + name);
+}
+
+}  // namespace ccml

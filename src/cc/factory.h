@@ -1,0 +1,36 @@
+// Convenience constructors for the policies used throughout benches and
+// examples.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cc/dcqcn.h"
+#include "cc/timely.h"
+#include "net/policy.h"
+
+namespace ccml {
+
+enum class PolicyKind {
+  kMaxMinFair,
+  kWfq,
+  kPriority,
+  kDcqcn,
+  kDcqcnAdaptive,
+  kTimely,
+};
+
+const char* to_string(PolicyKind kind);
+
+/// Builds a policy; `dcqcn` configures the DCQCN variants, `timely` the
+/// delay-based transport; both are ignored by the ideal policies.
+std::unique_ptr<BandwidthPolicy> make_policy(PolicyKind kind,
+                                             DcqcnConfig dcqcn = {},
+                                             TimelyConfig timely = {});
+
+/// Parses "maxmin" | "wfq" | "priority" | "dcqcn" | "dcqcn-adaptive" |
+/// "timely".
+/// Throws std::invalid_argument on unknown names.
+PolicyKind parse_policy_kind(const std::string& name);
+
+}  // namespace ccml

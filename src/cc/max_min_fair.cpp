@@ -1,0 +1,18 @@
+#include "cc/max_min_fair.h"
+
+#include "cc/water_fill.h"
+
+namespace ccml {
+
+void MaxMinFairPolicy::update_rates(Network& net, TimePoint /*now*/,
+                                    Duration /*dt*/) {
+  const auto flows = net.active_flows();
+  auto residual = full_residual(net);
+  const std::unordered_map<FlowId, double> unit_weights;  // default weight 1
+  auto rates = water_fill(net, flows, residual, unit_weights);
+  for (const FlowId fid : flows) {
+    net.flow(fid).rate = rates[fid];
+  }
+}
+
+}  // namespace ccml

@@ -1,0 +1,18 @@
+// Ideal fair sharing: global max-min fair allocation recomputed each step.
+//
+// This models what a well-tuned fair congestion controller converges to and
+// serves as the paper's "fair sharing" baseline without DCQCN's transient
+// dynamics.
+#pragma once
+
+#include "net/policy.h"
+
+namespace ccml {
+
+class MaxMinFairPolicy final : public BandwidthPolicy {
+ public:
+  const char* name() const override { return "max-min-fair"; }
+  void update_rates(Network& net, TimePoint now, Duration dt) override;
+};
+
+}  // namespace ccml

@@ -1,0 +1,30 @@
+#include "cc/priority.h"
+
+#include <algorithm>
+#include <map>
+
+#include "cc/water_fill.h"
+
+namespace ccml {
+
+void PriorityPolicy::update_rates(Network& net, TimePoint /*now*/,
+                                  Duration /*dt*/) {
+  const auto flows = net.active_flows();
+  std::map<int, std::vector<FlowId>> classes;  // ordered: high priority first
+  for (const FlowId fid : flows) {
+    classes[net.flow(fid).spec.priority].push_back(fid);
+  }
+  auto residual = full_residual(net);
+  for (auto& [prio, members] : classes) {
+    std::unordered_map<FlowId, double> weights;
+    for (const FlowId fid : members) {
+      weights[fid] = net.flow(fid).spec.weight;
+    }
+    auto rates = water_fill(net, members, residual, weights);
+    for (const FlowId fid : members) {
+      net.flow(fid).rate = rates[fid];
+    }
+  }
+}
+
+}  // namespace ccml

@@ -1,0 +1,21 @@
+// Strict-priority link sharing (paper §4, direction (ii)).
+//
+// Flows are grouped by FlowSpec::priority (smaller value = more important).
+// Classes are filled in order: the highest class water-fills the full
+// capacity, the next class fills what remains, and so on.  Jobs sharing a
+// link with unique priorities therefore use the link strictly one-at-a-time
+// whenever the top job can saturate it — mimicking the desirable side effect
+// of unfairness without changing the congestion controller.
+#pragma once
+
+#include "net/policy.h"
+
+namespace ccml {
+
+class PriorityPolicy final : public BandwidthPolicy {
+ public:
+  const char* name() const override { return "strict-priority"; }
+  void update_rates(Network& net, TimePoint now, Duration dt) override;
+};
+
+}  // namespace ccml

@@ -1,0 +1,119 @@
+#include "cc/timely.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "net/network.h"
+
+namespace ccml {
+
+TimelyPolicy::TimelyPolicy(TimelyConfig config) : config_(config) {
+  assert(config_.t_high > config_.t_low);
+  assert(config_.beta > 0.0 && config_.beta <= 1.0);
+  assert(config_.update_interval.is_positive());
+}
+
+void TimelyPolicy::on_flow_started(Network& net, Flow& flow) {
+  if (links_.size() < net.topology().link_count()) {
+    links_.resize(net.topology().link_count());
+  }
+  FlowState s;
+  Rate line = Rate::gbps(1e9);
+  for (const LinkId lid : flow.spec.route.links) {
+    line = std::min(line, net.effective_capacity(lid));
+  }
+  s.line_rate = line;
+  s.rate = line;  // RDMA starts at line rate
+  s.delta = flow.spec.cc_rai.is_positive() ? flow.spec.cc_rai : config_.delta;
+  flows_.emplace(flow.id, s);
+  flow.rate = s.rate;
+}
+
+void TimelyPolicy::on_flow_finished(Network& /*net*/, const Flow& flow) {
+  flows_.erase(flow.id);
+}
+
+void TimelyPolicy::update_rates(Network& net, TimePoint /*now*/, Duration dt) {
+  if (links_.size() < net.topology().link_count()) {
+    links_.resize(net.topology().link_count());
+  }
+
+  // Queue integration per link (same fluid model as the DCQCN CP).
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    const LinkId lid{static_cast<std::int32_t>(l)};
+    const auto& on_link = net.flows_on_link(lid);
+    if (on_link.empty() && links_[l].queue.is_zero()) continue;
+    Rate arrival = Rate::zero();
+    for (const FlowId fid : on_link) arrival += net.flow(fid).rate;
+    const Bytes delta_q = (arrival - net.effective_capacity(lid)) * dt;
+    Bytes q = links_[l].queue + delta_q;
+    if (q < Bytes::zero()) q = Bytes::zero();
+    links_[l].queue = q;
+  }
+
+  for (const FlowId fid : net.active_flows()) {
+    Flow& flow = net.flow(fid);
+    auto it = flows_.find(fid);
+    assert(it != flows_.end());
+    FlowState& s = it->second;
+
+    s.since_update += dt;
+    if (s.since_update < config_.update_interval) {
+      flow.rate = s.rate;
+      continue;
+    }
+    s.since_update = Duration::zero();
+
+    // RTT = base + sum of queueing delays along the route.
+    Duration rtt = config_.base_rtt;
+    for (const LinkId lid : flow.spec.route.links) {
+      const Rate cap = net.effective_capacity(lid);
+      if (cap.is_positive()) {
+        rtt += transfer_time(links_[lid.value].queue, cap);
+      }
+    }
+
+    const double diff_us = rtt.to_micros() - s.prev_rtt.to_micros();
+    s.prev_rtt = rtt;
+    s.rtt_diff_ewma = (1.0 - config_.ewma_alpha) * s.rtt_diff_ewma +
+                      config_.ewma_alpha * diff_us;
+    const double gradient =
+        s.rtt_diff_ewma / config_.base_rtt.to_micros();  // normalized
+    s.last_gradient = gradient;
+
+    if (rtt < config_.t_low) {
+      s.rate += s.delta;
+      ++s.completed_good_rounds;
+    } else if (rtt > config_.t_high) {
+      const double shrink =
+          1.0 - config_.beta * (1.0 - config_.t_high / rtt);
+      s.rate = s.rate * shrink;
+      s.completed_good_rounds = 0;
+    } else if (gradient <= 0.0) {
+      ++s.completed_good_rounds;
+      const int n =
+          s.completed_good_rounds >= config_.hai_threshold ? 5 : 1;
+      s.rate += s.delta * static_cast<double>(n);
+    } else {
+      s.rate = s.rate * (1.0 - config_.beta * std::min(gradient, 1.0));
+      s.completed_good_rounds = 0;
+    }
+    s.rate = std::clamp(s.rate, config_.min_rate, s.line_rate);
+    flow.rate = s.rate;
+  }
+}
+
+Bytes TimelyPolicy::link_queue(LinkId link) const {
+  if (!link.valid() || static_cast<std::size_t>(link.value) >= links_.size()) {
+    return Bytes::zero();
+  }
+  return links_[link.value].queue;
+}
+
+TimelyPolicy::FlowDiag TimelyPolicy::diag(FlowId id) const {
+  const auto it = flows_.find(id);
+  assert(it != flows_.end());
+  return {it->second.rate, it->second.prev_rtt, it->second.last_gradient};
+}
+
+}  // namespace ccml

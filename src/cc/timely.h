@@ -1,0 +1,83 @@
+// Fluid-level TIMELY (Mittal et al., SIGCOMM '15) — a delay-based RDMA
+// congestion controller, included as the second transport family the paper's
+// related work contrasts with DCQCN's ECN-based control.
+//
+// Each flow measures an RTT composed of a fixed propagation base plus the
+// queuing delay of the links it traverses, and adjusts its rate on the RTT
+// *gradient*:
+//   rtt < t_low           -> additive increase  R += delta
+//   rtt > t_high          -> multiplicative decrease R *= 1 - beta*(1 - t_high/rtt)
+//   otherwise, gradient g = d(rtt)/dt normalized by minRTT:
+//     g <= 0              -> additive increase (x5 after N good rounds, HAI)
+//     g > 0               -> R *= 1 - beta * g
+//
+// The per-flow aggressiveness knob here is `delta` (the additive step),
+// overridable via FlowSpec::cc_rai — mirroring how DcqcnPolicy repurposes
+// the same field — so the paper's unfairness experiments can be replayed on
+// a delay-based transport (see bench/ablation_transport_family).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "net/policy.h"
+#include "util/time.h"
+#include "util/units.h"
+
+namespace ccml {
+
+struct TimelyConfig {
+  Duration t_low = Duration::micros(50);
+  Duration t_high = Duration::micros(500);
+  Duration base_rtt = Duration::micros(20);
+  Rate delta = Rate::mbps(10);   ///< additive-increase step per update
+  double beta = 0.8;             ///< multiplicative-decrease factor
+  int hai_threshold = 5;         ///< good rounds before hyper increase
+  Duration update_interval = Duration::micros(25);
+  /// EWMA weight for the RTT-gradient filter.
+  double ewma_alpha = 0.46;
+  Rate min_rate = Rate::mbps(10);
+};
+
+class TimelyPolicy final : public BandwidthPolicy {
+ public:
+  explicit TimelyPolicy(TimelyConfig config = {});
+
+  const char* name() const override { return "timely"; }
+
+  void on_flow_started(Network& net, Flow& flow) override;
+  void on_flow_finished(Network& net, const Flow& flow) override;
+  void update_rates(Network& net, TimePoint now, Duration dt) override;
+  Bytes link_queue(LinkId link) const override;
+
+  const TimelyConfig& config() const { return config_; }
+
+  struct FlowDiag {
+    Rate rate;
+    Duration last_rtt;
+    double gradient = 0.0;
+  };
+  FlowDiag diag(FlowId id) const;
+
+ private:
+  struct FlowState {
+    Rate rate;
+    Rate line_rate;
+    Rate delta;  // per-flow additive step
+    Duration prev_rtt = Duration::zero();
+    double rtt_diff_ewma = 0.0;  // smoothed d(rtt) per update, in us
+    int completed_good_rounds = 0;
+    Duration since_update = Duration::zero();
+    double last_gradient = 0.0;
+  };
+
+  struct LinkState {
+    Bytes queue = Bytes::zero();
+  };
+
+  TimelyConfig config_;
+  std::unordered_map<FlowId, FlowState> flows_;
+  std::vector<LinkState> links_;
+};
+
+}  // namespace ccml

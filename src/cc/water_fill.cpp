@@ -1,0 +1,99 @@
+#include "cc/water_fill.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace ccml {
+
+std::vector<Rate> full_residual(const Network& net) {
+  std::vector<Rate> residual(net.topology().link_count());
+  for (std::size_t i = 0; i < residual.size(); ++i) {
+    residual[i] = net.effective_capacity(LinkId{static_cast<std::int32_t>(i)});
+  }
+  return residual;
+}
+
+std::unordered_map<FlowId, Rate> water_fill(
+    const Network& net, const std::vector<FlowId>& flows,
+    std::vector<Rate>& residual,
+    const std::unordered_map<FlowId, double>& weights) {
+  std::unordered_map<FlowId, Rate> rates;
+  rates.reserve(flows.size());
+
+  std::vector<FlowId> unfrozen;
+  for (const FlowId fid : flows) {
+    const auto wit = weights.find(fid);
+    const double w = wit == weights.end() ? 1.0 : wit->second;
+    if (w <= 0.0) {
+      rates[fid] = Rate::zero();
+    } else {
+      unfrozen.push_back(fid);
+    }
+  }
+
+  // Per-link weight of unfrozen flows crossing it.
+  std::vector<double> link_weight(residual.size(), 0.0);
+  auto weight_of = [&](FlowId fid) {
+    const auto wit = weights.find(fid);
+    return wit == weights.end() ? 1.0 : wit->second;
+  };
+  auto recompute_link_weights = [&] {
+    std::fill(link_weight.begin(), link_weight.end(), 0.0);
+    for (const FlowId fid : unfrozen) {
+      for (const LinkId lid : net.flow(fid).spec.route.links) {
+        link_weight[lid.value] += weight_of(fid);
+      }
+    }
+  };
+
+  while (!unfrozen.empty()) {
+    recompute_link_weights();
+    // Bottleneck link: minimum residual capacity per unit weight.
+    double theta = std::numeric_limits<double>::infinity();
+    for (std::size_t l = 0; l < residual.size(); ++l) {
+      if (link_weight[l] > 0.0) {
+        theta = std::min(theta, residual[l].bits_per_sec() / link_weight[l]);
+      }
+    }
+    if (!std::isfinite(theta)) break;  // no unfrozen flow crosses any link
+    theta = std::max(theta, 0.0);
+
+    // Freeze every flow crossing a bottleneck link at weight * theta.  The
+    // freeze set is decided against the residual as of the start of the
+    // round; capacity is only subtracted afterwards (subtracting mid-pass
+    // would make later flows in the same round look bottlenecked too).
+    std::vector<FlowId> frozen;
+    std::vector<FlowId> still;
+    still.reserve(unfrozen.size());
+    constexpr double kSlack = 1.0 + 1e-12;
+    for (const FlowId fid : unfrozen) {
+      bool bottlenecked = false;
+      for (const LinkId lid : net.flow(fid).spec.route.links) {
+        const double share =
+            residual[lid.value].bits_per_sec() / link_weight[lid.value];
+        if (share <= theta * kSlack) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      (bottlenecked ? frozen : still).push_back(fid);
+    }
+    for (const FlowId fid : frozen) {
+      const Rate r = Rate::bps(weight_of(fid) * theta);
+      rates[fid] = r;
+      for (const LinkId lid : net.flow(fid).spec.route.links) {
+        residual[lid.value] -= r;
+        if (residual[lid.value] < Rate::zero()) {
+          residual[lid.value] = Rate::zero();
+        }
+      }
+    }
+    assert(still.size() < unfrozen.size() && "progress each round");
+    unfrozen = std::move(still);
+  }
+  return rates;
+}
+
+}  // namespace ccml

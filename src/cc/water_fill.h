@@ -1,0 +1,30 @@
+// Weighted max-min fair allocation by progressive filling ("water-filling").
+//
+// Shared by the ideal policies: MaxMinFairPolicy (all weights 1), WfqPolicy
+// (per-flow weights) and PriorityPolicy (per-class residual filling).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.h"
+#include "net/types.h"
+#include "util/units.h"
+
+namespace ccml {
+
+/// Computes the weighted max-min fair rates for `flows` given per-link
+/// residual capacities.  `residual` is indexed by LinkId value and is
+/// *updated in place* (capacity consumed by the returned allocation), which
+/// lets PriorityPolicy fill classes successively.
+///
+/// Flows whose weight is <= 0 receive zero rate.
+std::unordered_map<FlowId, Rate> water_fill(
+    const Network& net, const std::vector<FlowId>& flows,
+    std::vector<Rate>& residual,
+    const std::unordered_map<FlowId, double>& weights);
+
+/// Residual vector initialised to every link's effective capacity.
+std::vector<Rate> full_residual(const Network& net);
+
+}  // namespace ccml

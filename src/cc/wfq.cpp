@@ -1,0 +1,21 @@
+#include "cc/wfq.h"
+
+#include "cc/water_fill.h"
+
+namespace ccml {
+
+void WfqPolicy::update_rates(Network& net, TimePoint /*now*/, Duration /*dt*/) {
+  const auto flows = net.active_flows();
+  auto residual = full_residual(net);
+  std::unordered_map<FlowId, double> weights;
+  weights.reserve(flows.size());
+  for (const FlowId fid : flows) {
+    weights[fid] = net.flow(fid).spec.weight;
+  }
+  auto rates = water_fill(net, flows, residual, weights);
+  for (const FlowId fid : flows) {
+    net.flow(fid).rate = rates[fid];
+  }
+}
+
+}  // namespace ccml

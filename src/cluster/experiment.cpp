@@ -1,0 +1,179 @@
+#include "cluster/experiment.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <numeric>
+
+#include "sim/simulator.h"
+#include "util/stats.h"
+#include "workload/job.h"
+#include "workload/profiler.h"
+
+namespace ccml {
+
+namespace {
+
+/// Union-find over job indices, used to group jobs that (transitively) share
+/// links — the paper's §5 cluster-level compatibility domains.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+double ExperimentResult::mean_slowdown() const {
+  Summary s;
+  for (const auto& o : outcomes) {
+    if (o.placed && o.iterations > 0) s.add(o.slowdown);
+  }
+  return s.empty() ? 0.0 : s.mean();
+}
+
+double ExperimentResult::max_slowdown() const {
+  double worst = 0.0;
+  for (const auto& o : outcomes) {
+    if (o.placed && o.iterations > 0) worst = std::max(worst, o.slowdown);
+  }
+  return worst;
+}
+
+ExperimentResult run_cluster_experiment(const Topology& topo,
+                                        const std::vector<JobRequest>& requests,
+                                        PlacementPolicy& placement,
+                                        const ExperimentConfig& config) {
+  ExperimentResult result;
+  result.placement = placement.place(topo, requests);
+
+  Simulator sim;
+  Network net(topo, make_policy(config.policy, config.dcqcn), config.net);
+  net.attach(sim);
+  const Router router(topo);
+
+  // Host NIC effective goodput, for solo baselines.
+  Rate nic_goodput = Rate::zero();
+  for (const NodeId host : topo.hosts()) {
+    nic_goodput = net.effective_capacity(topo.links_from(host).front());
+    break;
+  }
+
+  // Optional flow schedule: group jobs transitively by shared links, solve
+  // each group on one unified circle, convert rotations to comm gates.
+  std::vector<std::optional<CommGate>> gates(requests.size());
+  std::vector<Duration> start_offsets(requests.size(), Duration::zero());
+  if (config.flow_schedule) {
+    UnionFind uf(requests.size());
+    for (const auto& sl : result.placement.shared_links) {
+      for (std::size_t i = 1; i < sl.jobs.size(); ++i) {
+        uf.unite(sl.jobs[0], sl.jobs[i]);
+      }
+    }
+    std::map<std::size_t, std::vector<std::size_t>> groups;
+    for (std::size_t j = 0; j < requests.size(); ++j) {
+      if (!result.placement.placements[j].hosts.empty()) {
+        groups[uf.find(j)].push_back(j);
+      }
+    }
+    CompatibilitySolver solver(config.solver);
+    for (const auto& [root, members] : groups) {
+      if (members.size() < 2) continue;
+      std::vector<CommProfile> profiles;
+      for (const std::size_t j : members) {
+        profiles.push_back(requests[j].comm_profile);
+      }
+      const SolverResult sr = solver.solve(profiles);
+      // Gating an incompatible group is actively harmful: contention
+      // stretches a communication phase past its slot, the job waits a full
+      // period for the next one, and iteration times balloon.  Precise flow
+      // scheduling is only applied where the solver proves compatibility;
+      // incompatible groups fall back to ungated transport.
+      if (!sr.compatible) continue;
+      const FlowSchedule fs =
+          make_flow_schedule(profiles, sr.rotations, TimePoint::origin());
+      for (std::size_t k = 0; k < members.size(); ++k) {
+        const std::size_t j = members[k];
+        gates[j] = CommGate{fs.epoch, fs.slots[k].start_offset,
+                            fs.slots[k].period, fs.slots[k].phase_offsets,
+                            fs.slots[k].window};
+        start_offsets[j] = fs.slots[k].job_start_offset;
+      }
+    }
+  }
+
+  std::vector<std::unique_ptr<TrainingJob>> jobs;
+  for (std::size_t j = 0; j < requests.size(); ++j) {
+    const Placement& p = result.placement.placements[j];
+    if (p.hosts.empty()) continue;
+    JobSpec spec;
+    spec.id = JobId{static_cast<std::int32_t>(j)};
+    spec.name = requests[j].name;
+    spec.profile = requests[j].profile;
+    spec.paths = ring_paths(topo, router, p.hosts, j);
+    spec.split_bytes = false;  // ring: full wire bytes per worker path
+    spec.start = TimePoint::origin() + start_offsets[j];
+    if (config.unique_priorities) {
+      spec.priority = static_cast<int>(j);
+      // WFQ-style fallback weighting for policies that use weights.
+      spec.weight = 1.0;
+    }
+    spec.gate = gates[j];
+    if (spec.paths.empty()) {
+      // Single-worker job: no network phase; synthesize a loop-back-free
+      // profile with zero communication so it still reports iterations.
+      spec.profile.comm_bytes = Bytes::zero();
+      spec.paths = {JobPath{p.hosts[0], p.hosts[0], Route{}}};
+    }
+    jobs.push_back(std::make_unique<TrainingJob>(sim, net, std::move(spec)));
+  }
+
+  // Single-worker jobs have an empty route, which Network::start_flow
+  // rejects; they were given zero comm bytes above, and TrainingJob skips
+  // flow creation entirely when comm_bytes is zero.
+  for (auto& job : jobs) job->start();
+  sim.run_for(config.run_time);
+
+  for (std::size_t j = 0, placed_idx = 0; j < requests.size(); ++j) {
+    JobOutcome out;
+    out.name = requests[j].name;
+    const Placement& p = result.placement.placements[j];
+    out.placed = !p.hosts.empty();
+    out.spans_fabric = p.spans_fabric;
+    out.solo_ms =
+        requests[j].profile.solo_iteration(nic_goodput).to_millis();
+    if (out.placed) {
+      const TrainingJob& job = *jobs[placed_idx++];
+      const auto& iters = job.iteration_times();
+      // Drop warmup iterations (phase sliding converges within a few).
+      const std::size_t skip = std::min<std::size_t>(iters.size() / 5, 10);
+      Cdf cdf;
+      for (std::size_t i = skip; i < iters.size(); ++i) {
+        cdf.add(iters[i].to_millis());
+      }
+      out.iterations = iters.size();
+      if (!cdf.empty()) {
+        out.mean_ms = cdf.mean();
+        out.median_ms = cdf.median();
+        out.p99_ms = cdf.percentile(99);
+        out.slowdown = out.solo_ms > 0 ? out.mean_ms / out.solo_ms : 0.0;
+      }
+    }
+    result.outcomes.push_back(std::move(out));
+  }
+  return result;
+}
+
+}  // namespace ccml

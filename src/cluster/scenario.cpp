@@ -1,0 +1,96 @@
+#include "cluster/scenario.h"
+
+#include <memory>
+
+#include "net/routing.h"
+#include "sim/simulator.h"
+
+namespace ccml {
+
+Aggressiveness aggressive_knobs() {
+  return {Duration::micros(55), Rate::mbps(80)};
+}
+
+Aggressiveness meek_knobs() { return {Duration::micros(300), Rate::mbps(40)}; }
+
+Aggressiveness ranked_knobs(int rank) {
+  switch (rank) {
+    case 0: return {Duration::micros(55), Rate::mbps(80)};
+    case 1: return {Duration::micros(150), Rate::mbps(55)};
+    default: return {Duration::micros(300), Rate::mbps(40)};
+  }
+}
+
+Rate scenario_goodput(const ScenarioConfig& config) {
+  return config.nic * config.goodput_factor;
+}
+
+std::size_t ScenarioJobStats::converged_after(double target_ms,
+                                              double tolerance) const {
+  std::size_t first = iteration_ms.size();
+  for (std::size_t i = iteration_ms.size(); i-- > 0;) {
+    if (std::abs(iteration_ms[i] - target_ms) <= target_ms * tolerance) {
+      first = i;
+    } else {
+      break;
+    }
+  }
+  return first;
+}
+
+ScenarioResult run_dumbbell_scenario(const std::vector<ScenarioJob>& setups,
+                                     const ScenarioConfig& config) {
+  Simulator sim;
+  const Topology topo = Topology::dumbbell(static_cast<int>(setups.size()),
+                                           config.nic, config.bottleneck);
+  NetworkConfig ncfg;
+  ncfg.goodput_factor = config.goodput_factor;
+  Network net(topo, make_policy(config.policy, config.dcqcn), ncfg);
+  net.attach(sim);
+  if (config.instrument) config.instrument(net);
+  const Router router(topo);
+  const auto hosts = topo.hosts();
+
+  std::vector<std::unique_ptr<TrainingJob>> jobs;
+  for (std::size_t i = 0; i < setups.size(); ++i) {
+    JobSpec spec;
+    spec.id = JobId{static_cast<std::int32_t>(i)};
+    spec.name = setups[i].name;
+    spec.profile = setups[i].profile;
+    spec.paths = {JobPath{hosts[2 * i], hosts[2 * i + 1],
+                          router.pick(hosts[2 * i], hosts[2 * i + 1], 0)}};
+    spec.cc_timer = setups[i].cc_timer;
+    spec.cc_rai = setups[i].cc_rai;
+    spec.priority = setups[i].priority;
+    spec.weight = setups[i].weight;
+    spec.gate = setups[i].gate;
+    spec.compute_jitter = setups[i].compute_jitter;
+    spec.jitter_seed = 0x9E37u * (i + 1);
+    spec.start = TimePoint::origin() + setups[i].start_offset;
+    jobs.push_back(std::make_unique<TrainingJob>(sim, net, std::move(spec)));
+  }
+  for (auto& j : jobs) j->start();
+  sim.run_for(config.duration);
+
+  ScenarioResult result;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ScenarioJobStats stats;
+    stats.name = setups[i].name;
+    const auto& iters = jobs[i]->iteration_times();
+    stats.iterations = iters.size();
+    stats.iteration_ms.reserve(iters.size());
+    for (const Duration d : iters) stats.iteration_ms.push_back(d.to_millis());
+    for (std::size_t k = config.warmup_iterations; k < iters.size(); ++k) {
+      stats.cdf.add(iters[k].to_millis());
+    }
+    if (!stats.cdf.empty()) {
+      stats.mean_ms = stats.cdf.mean();
+      stats.median_ms = stats.cdf.median();
+      stats.p95_ms = stats.cdf.percentile(95);
+    }
+    result.jobs.push_back(std::move(stats));
+  }
+  return result;
+}
+
+}  // namespace ccml

@@ -1,0 +1,65 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/unified_circle.h"
+
+namespace ccml {
+
+namespace {
+
+/// Smallest forward gap from any of job j's arc ends to the next arc of any
+/// other job on the unified circle; Duration::max()-like large value when no
+/// other job communicates.
+Duration guard_window(const UnifiedCircle& circle,
+                      std::span<const Duration> rotations, std::size_t j) {
+  const Duration perimeter = circle.perimeter();
+  CircularIntervalSet occupied(perimeter);
+  for (std::size_t k = 0; k < circle.job_count(); ++k) {
+    if (k == j) continue;
+    occupied =
+        CircularIntervalSet::unite(occupied, circle.job_arcs(k, rotations[k]));
+  }
+  const CircularIntervalSet mine = circle.job_arcs(j, rotations[j]);
+  if (occupied.empty() || mine.empty()) return perimeter;
+  Duration guard = perimeter;
+  for (const auto& [mlo, mhi] : mine.segments()) {
+    for (const auto& [olo, ohi] : occupied.segments()) {
+      guard = std::min(guard, wrap_to_circle(olo - mhi, perimeter));
+    }
+  }
+  return guard;
+}
+
+}  // namespace
+
+FlowSchedule make_flow_schedule(std::span<const CommProfile> jobs,
+                                std::span<const Duration> rotations,
+                                TimePoint epoch) {
+  assert(jobs.size() == rotations.size());
+  FlowSchedule schedule;
+  schedule.epoch = epoch;
+  schedule.slots.reserve(jobs.size());
+  const UnifiedCircle circle(jobs);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const CommProfile& job = jobs[j];
+    assert(job.valid());
+    const Duration first_arc =
+        job.arcs.empty() ? Duration::zero() : job.arcs.front().start;
+    CommSlot slot;
+    slot.period = job.period;
+    slot.job_start_offset = wrap_to_circle(rotations[j], job.period);
+    slot.start_offset =
+        wrap_to_circle(slot.job_start_offset + first_arc, job.period);
+    for (const Arc& arc : job.arcs) {
+      slot.phase_offsets.push_back(
+          wrap_to_circle(slot.job_start_offset + arc.start, job.period));
+    }
+    slot.window = guard_window(circle, rotations, j);
+    schedule.slots.push_back(slot);
+  }
+  return schedule;
+}
+
+}  // namespace ccml

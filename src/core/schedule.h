@@ -1,0 +1,43 @@
+// Turning solver rotations into wall-clock flow schedules (paper §4,
+// direction (iii)): "the output of our optimization formulation provides an
+// angle of rotation for each job ... this angle corresponds to a time-shift
+// for the communication phase of a job."
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/profile.h"
+#include "util/time.h"
+
+namespace ccml {
+
+/// When and how often one job may start its communication phase.
+struct CommSlot {
+  Duration start_offset;  ///< vs. the cluster epoch: first admitted comm start
+  Duration period;        ///< slot repeats every period
+  Duration job_start_offset;  ///< recommended iteration-clock start for the job
+  /// Multi-phase jobs: admitted start offset of each communication arc (in
+  /// arc order).  Single-phase jobs carry one entry equal to start_offset.
+  std::vector<Duration> phase_offsets;
+  /// Guard window: how late a communication phase may start and still be
+  /// admitted in the same slot.  Derived from the schedule's minimum gap
+  /// between this job's arcs and the next occupied arc — a start delayed by
+  /// less than this cannot collide with the other jobs' windows.
+  Duration window = Duration::zero();
+};
+
+struct FlowSchedule {
+  TimePoint epoch;
+  std::vector<CommSlot> slots;  ///< one per job, input order
+};
+
+/// Builds the schedule: job j's first communication phase is admitted at
+/// epoch + rotation_j + (first arc start), repeating every period_j.  If the
+/// job also *starts* at epoch + rotation_j, its compute phase ends exactly at
+/// the admitted slot and no time is wasted waiting.
+FlowSchedule make_flow_schedule(std::span<const CommProfile> jobs,
+                                std::span<const Duration> rotations,
+                                TimePoint epoch);
+
+}  // namespace ccml

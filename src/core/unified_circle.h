@@ -1,0 +1,63 @@
+// The unified circle (paper §3, Fig. 5): jobs with different iteration times
+// are compared on one circle whose perimeter is the LCM of their (quantized)
+// periods.  A job with period P appears L/P times around a circle of
+// perimeter L, so its communication pattern is replicated accordingly.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/profile.h"
+#include "util/circular.h"
+#include "util/time.h"
+
+namespace ccml {
+
+struct UnifiedCircleOptions {
+  /// Periods are snapped to this quantum before the LCM (real iteration
+  /// times are never exact integers).
+  Duration quantum = Duration::millis(1);
+  /// Upper bound on the perimeter; if the true LCM exceeds it the circle is
+  /// clamped and `exact` is false (jobs then only approximately repeat).
+  Duration perimeter_cap = Duration::seconds(30);
+};
+
+class UnifiedCircle {
+ public:
+  UnifiedCircle(std::span<const CommProfile> jobs,
+                UnifiedCircleOptions options = {});
+
+  Duration perimeter() const { return perimeter_; }
+  std::size_t job_count() const { return jobs_.size(); }
+  const CommProfile& job(std::size_t j) const { return jobs_.at(j); }
+
+  /// True when the perimeter is the exact LCM (no cap clamping), so every
+  /// job completes an integer number of iterations per revolution.
+  bool exact() const { return exact_; }
+
+  /// Number of times job j's iteration repeats around the circle.
+  std::int64_t repetitions(std::size_t j) const;
+
+  /// Job j's communication coverage on the unified circle when its own
+  /// circle is rotated counter-clockwise by `rotation`.
+  CircularIntervalSet job_arcs(std::size_t j, Duration rotation) const;
+
+  /// Total length of circle where >= 2 of the rotated jobs communicate,
+  /// normalized by the perimeter.
+  double overlap_fraction(std::span<const Duration> rotations) const;
+
+  /// Peak number of jobs communicating simultaneously anywhere on the circle
+  /// under the given rotations.
+  int max_concurrency(std::span<const Duration> rotations) const;
+
+  /// Peak aggregate bandwidth demand anywhere on the circle.
+  Rate peak_demand(std::span<const Duration> rotations) const;
+
+ private:
+  std::vector<CommProfile> jobs_;
+  std::vector<Duration> quantized_periods_;
+  Duration perimeter_;
+  bool exact_ = true;
+};
+
+}  // namespace ccml

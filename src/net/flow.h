@@ -1,0 +1,50 @@
+// Runtime state of a fluid flow.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/routing.h"
+#include "net/types.h"
+#include "util/time.h"
+#include "util/units.h"
+
+namespace ccml {
+
+/// What a caller supplies to start a flow.
+struct FlowSpec {
+  NodeId src;
+  NodeId dst;
+  Route route;          ///< must be non-empty
+  Bytes size;           ///< total bytes to deliver
+  JobId job;            ///< owning training job (invalid for background flows)
+  int priority = 0;     ///< smaller value = higher priority (PriorityPolicy)
+  double weight = 1.0;  ///< WFQ weight
+  std::string label;
+  /// For congestion-control schemes whose aggressiveness is tunable per flow:
+  /// DCQCN rate-increase timer and additive-increase step.  Zero means "use
+  /// the policy default".
+  Duration cc_timer = Duration::zero();
+  Rate cc_rai = Rate::zero();
+};
+
+/// Live flow.  Rates are written by the bandwidth policy each step; byte
+/// progress is integrated by the Network.
+struct Flow {
+  FlowId id;
+  FlowSpec spec;
+  TimePoint start_time;
+  Bytes remaining;
+  Rate rate;  ///< current fluid sending rate
+
+  Bytes delivered() const { return spec.size - remaining; }
+  /// Progress through the transfer in [0, 1].
+  double progress() const {
+    return spec.size.is_zero() ? 1.0 : delivered() / spec.size;
+  }
+};
+
+using FlowCompletionFn = std::function<void(const Flow&, TimePoint)>;
+
+}  // namespace ccml

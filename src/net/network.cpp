@@ -1,0 +1,157 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.h"
+
+namespace ccml {
+
+Network::Network(Topology topology, std::unique_ptr<BandwidthPolicy> policy,
+                 NetworkConfig config)
+    : topo_(std::move(topology)),
+      policy_(std::move(policy)),
+      config_(config),
+      link_flows_(topo_.link_count()) {
+  assert(policy_ != nullptr);
+  assert(config_.goodput_factor > 0.0 && config_.goodput_factor <= 1.0);
+  assert(config_.step.is_positive());
+}
+
+void Network::attach(Simulator& sim) {
+  assert(sim_ == nullptr && "attach() must be called once");
+  sim_ = &sim;
+  sim.add_stepper(*this, config_.step);
+}
+
+Rate Network::effective_capacity(LinkId link) const {
+  return topo_.link(link).capacity * config_.goodput_factor;
+}
+
+FlowId Network::start_flow(FlowSpec spec, FlowCompletionFn on_complete) {
+  assert(sim_ != nullptr && "attach() before starting flows");
+  assert(!spec.route.empty() && "flows need a route");
+  const FlowId id{next_flow_id_++};
+  Flow flow;
+  flow.id = id;
+  flow.remaining = spec.size;
+  flow.spec = std::move(spec);
+  flow.start_time = sim_->now();
+  flow.rate = Rate::zero();
+  for (const LinkId lid : flow.spec.route.links) {
+    link_flows_[lid.value].push_back(id);
+  }
+  auto [it, inserted] = flows_.emplace(id, std::move(flow));
+  assert(inserted);
+  if (on_complete) completions_.emplace(id, std::move(on_complete));
+  policy_->on_flow_started(*this, it->second);
+  return id;
+}
+
+void Network::detach_flow_from_links(const Flow& flow) {
+  for (const LinkId lid : flow.spec.route.links) {
+    auto& v = link_flows_[lid.value];
+    v.erase(std::remove(v.begin(), v.end(), flow.id), v.end());
+  }
+}
+
+void Network::abort_flow(FlowId id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  Flow flow = std::move(it->second);
+  flows_.erase(it);
+  completions_.erase(id);
+  detach_flow_from_links(flow);
+  policy_->on_flow_finished(*this, flow);
+}
+
+const Flow& Network::flow(FlowId id) const {
+  const auto it = flows_.find(id);
+  assert(it != flows_.end());
+  return it->second;
+}
+
+Flow& Network::flow(FlowId id) {
+  const auto it = flows_.find(id);
+  assert(it != flows_.end());
+  return it->second;
+}
+
+std::vector<FlowId> Network::active_flows() const {
+  std::vector<FlowId> ids;
+  ids.reserve(flows_.size());
+  for (const auto& [id, _] : flows_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+const std::vector<FlowId>& Network::flows_on_link(LinkId link) const {
+  assert(link.valid() &&
+         static_cast<std::size_t>(link.value) < link_flows_.size());
+  return link_flows_[link.value];
+}
+
+Rate Network::link_throughput(LinkId link) const {
+  Rate total = Rate::zero();
+  for (const FlowId fid : flows_on_link(link)) {
+    total += flows_.at(fid).rate;
+  }
+  return total;
+}
+
+double Network::link_utilization(LinkId link) const {
+  const Rate cap = effective_capacity(link);
+  return cap.is_positive() ? link_throughput(link) / cap : 0.0;
+}
+
+void Network::step(TimePoint now, Duration dt) {
+  policy_->update_rates(*this, now, dt);
+
+  // Integrate byte progress and collect completions with interpolated
+  // finish times.  Completions are fired after all integration so that
+  // callbacks observe a consistent network state; they are sorted by finish
+  // time for deterministic ordering.
+  struct Done {
+    FlowId id;
+    TimePoint finish;
+  };
+  std::vector<Done> done;
+  for (auto& [id, flow] : flows_) {
+    if (flow.remaining.is_positive() && flow.rate.is_positive()) {
+      const Bytes moved = flow.rate * dt;
+      if (moved >= flow.remaining) {
+        const double frac = flow.remaining / moved;
+        const TimePoint finish = (now - dt) + dt * frac;
+        flow.remaining = Bytes::zero();
+        done.push_back({id, finish});
+      } else {
+        flow.remaining -= moved;
+      }
+    } else if (!flow.remaining.is_positive()) {
+      // Zero-byte (or already drained) flow: completes at this step.
+      done.push_back({id, now});
+    }
+  }
+  std::sort(done.begin(), done.end(), [](const Done& a, const Done& b) {
+    if (a.finish != b.finish) return a.finish < b.finish;
+    return a.id < b.id;
+  });
+  for (const Done& d : done) {
+    const auto it = flows_.find(d.id);
+    if (it == flows_.end()) continue;
+    Flow flow = std::move(it->second);
+    flows_.erase(it);
+    detach_flow_from_links(flow);
+    FlowCompletionFn cb;
+    if (const auto cit = completions_.find(d.id); cit != completions_.end()) {
+      cb = std::move(cit->second);
+      completions_.erase(cit);
+    }
+    policy_->on_flow_finished(*this, flow);
+    if (cb) cb(flow, d.finish);
+  }
+
+  for (const auto& obs : observers_) obs(*this, now);
+}
+
+}  // namespace ccml

@@ -1,0 +1,102 @@
+// The runtime network: active flows over a static topology, driven as a
+// fluid Stepper.  Each step the bandwidth policy assigns rates, then the
+// network integrates byte progress and fires completion callbacks (with
+// sub-step completion-time interpolation so iteration times are not
+// quantized to the step size).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/flow.h"
+#include "net/policy.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace ccml {
+
+struct NetworkConfig {
+  /// Fraction of raw link capacity usable as application goodput (headers,
+  /// RDMA overheads, PFC pauses).  The paper's 50 Gbps NICs delivered
+  /// ~42 Gbps of aggregate goodput, i.e. factor ~0.85.
+  double goodput_factor = 0.85;
+  /// Fluid integration step.
+  Duration step = Duration::micros(20);
+};
+
+class Network : public Stepper {
+ public:
+  Network(Topology topology, std::unique_ptr<BandwidthPolicy> policy,
+          NetworkConfig config = {});
+
+  /// Registers the network's fluid stepper with the simulator.  Must be
+  /// called exactly once before the run.
+  void attach(Simulator& sim);
+
+  const Topology& topology() const { return topo_; }
+  const NetworkConfig& config() const { return config_; }
+  BandwidthPolicy& policy() { return *policy_; }
+  const BandwidthPolicy& policy() const { return *policy_; }
+  Simulator& sim() { return *sim_; }
+
+  /// Capacity available to goodput on `link`.
+  Rate effective_capacity(LinkId link) const;
+
+  /// Starts a flow; `on_complete` fires (at the interpolated completion
+  /// instant) once all bytes are delivered.  Zero-byte flows complete at the
+  /// next step boundary.
+  FlowId start_flow(FlowSpec spec, FlowCompletionFn on_complete = {});
+
+  /// Drops a flow without firing its completion callback.
+  void abort_flow(FlowId id);
+
+  bool is_active(FlowId id) const { return flows_.contains(id); }
+  const Flow& flow(FlowId id) const;
+  Flow& flow(FlowId id);
+  std::size_t active_flow_count() const { return flows_.size(); }
+
+  /// Stable snapshot of active flow ids (sorted, deterministic).
+  std::vector<FlowId> active_flows() const;
+
+  /// Ids of active flows whose route traverses `link`.
+  const std::vector<FlowId>& flows_on_link(LinkId link) const;
+
+  /// Sum of current flow rates crossing `link`.
+  Rate link_throughput(LinkId link) const;
+
+  /// Utilization of `link` relative to effective capacity, in [0, ~1+].
+  double link_utilization(LinkId link) const;
+
+  /// Observer invoked after each fluid step (telemetry hooks).
+  using StepObserver = std::function<void(const Network&, TimePoint)>;
+  void add_step_observer(StepObserver obs) {
+    observers_.push_back(std::move(obs));
+  }
+
+  // Stepper:
+  void step(TimePoint now, Duration dt) override;
+
+ private:
+  struct Pending {
+    FlowId id;
+    TimePoint finish;
+  };
+
+  void detach_flow_from_links(const Flow& flow);
+
+  Topology topo_;
+  std::unique_ptr<BandwidthPolicy> policy_;
+  NetworkConfig config_;
+  Simulator* sim_ = nullptr;
+
+  std::unordered_map<FlowId, Flow> flows_;
+  std::unordered_map<FlowId, FlowCompletionFn> completions_;
+  std::vector<std::vector<FlowId>> link_flows_;  // indexed by LinkId
+  std::vector<StepObserver> observers_;
+  std::int64_t next_flow_id_ = 1;
+};
+
+}  // namespace ccml

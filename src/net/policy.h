@@ -1,0 +1,48 @@
+// Interface between the Network and a bandwidth-allocation / congestion-
+// control scheme.  Implementations live in src/cc.
+#pragma once
+
+#include "net/flow.h"
+#include "net/types.h"
+#include "util/time.h"
+
+namespace ccml {
+
+class Network;
+
+/// Decides, every fluid step, what rate each active flow sends at.
+///
+/// Ideal policies (max-min fair, WFQ, strict priority) compute a global
+/// allocation from scratch each step.  Distributed schemes (DCQCN) keep
+/// per-flow rate machines and per-link queue/marking state and integrate
+/// them over the step.
+class BandwidthPolicy {
+ public:
+  virtual ~BandwidthPolicy() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Called when `flow` is admitted, before its first step.
+  virtual void on_flow_started(Network& net, Flow& flow) {
+    (void)net;
+    (void)flow;
+  }
+
+  /// Called after `flow` finished or was aborted.
+  virtual void on_flow_finished(Network& net, const Flow& flow) {
+    (void)net;
+    (void)flow;
+  }
+
+  /// Writes Flow::rate for every active flow.
+  virtual void update_rates(Network& net, TimePoint now, Duration dt) = 0;
+
+  /// Bytes queued at a link's egress (only meaningful for queue-building
+  /// schemes such as DCQCN).
+  virtual Bytes link_queue(LinkId link) const {
+    (void)link;
+    return Bytes::zero();
+  }
+};
+
+}  // namespace ccml

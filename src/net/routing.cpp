@@ -1,0 +1,85 @@
+#include "net/routing.h"
+
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace ccml {
+
+bool Route::traverses(LinkId id) const {
+  for (const LinkId l : links) {
+    if (l == id) return true;
+  }
+  return false;
+}
+
+std::vector<Route> Router::equal_cost_paths(NodeId src, NodeId dst) const {
+  assert(src.valid() && dst.valid());
+  if (src == dst) return {Route{}};
+
+  const std::size_t n = topo_->node_count();
+  std::vector<int> dist(n, std::numeric_limits<int>::max());
+  std::queue<NodeId> frontier;
+  dist[src.value] = 0;
+  frontier.push(src);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const LinkId lid : topo_->links_from(u)) {
+      const NodeId v = topo_->link(lid).dst;
+      if (dist[v.value] == std::numeric_limits<int>::max()) {
+        dist[v.value] = dist[u.value] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  if (dist[dst.value] == std::numeric_limits<int>::max()) return {};
+
+  // Enumerate all shortest paths by walking forward along edges that make
+  // progress toward dst (dist increases by exactly one per hop).
+  std::vector<Route> done;
+  struct Partial {
+    NodeId at;
+    Route route;
+  };
+  std::vector<Partial> stack{{src, Route{}}};
+  while (!stack.empty()) {
+    Partial p = std::move(stack.back());
+    stack.pop_back();
+    if (p.at == dst) {
+      done.push_back(std::move(p.route));
+      continue;
+    }
+    for (const LinkId lid : topo_->links_from(p.at)) {
+      const NodeId v = topo_->link(lid).dst;
+      if (dist[v.value] == dist[p.at.value] + 1 &&
+          dist[v.value] <= dist[dst.value]) {
+        Partial next = p;
+        next.at = v;
+        next.route.links.push_back(lid);
+        stack.push_back(std::move(next));
+      }
+    }
+  }
+  return done;
+}
+
+Route Router::pick(NodeId src, NodeId dst, std::uint64_t flow_hash) const {
+  auto paths = equal_cost_paths(src, dst);
+  if (paths.empty()) return Route{};
+  return paths[flow_hash % paths.size()];
+}
+
+std::uint64_t Router::flow_hash(NodeId src, NodeId dst, std::uint64_t salt) {
+  // splitmix64 over the packed tuple.
+  std::uint64_t x = (static_cast<std::uint64_t>(
+                         static_cast<std::uint32_t>(src.value))
+                     << 32) |
+                    static_cast<std::uint32_t>(dst.value);
+  x ^= salt + 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace ccml

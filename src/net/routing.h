@@ -1,0 +1,44 @@
+// Shortest-path routing with ECMP.
+//
+// The paper's §4 notes that a compatibility-aware scheduler must know the
+// network routes (e.g. ECMP decisions) for each job; this module provides
+// them.  Routes are computed by BFS (all links are equal-hop) and ECMP picks
+// deterministically by flow hash, so experiments are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.h"
+#include "net/types.h"
+
+namespace ccml {
+
+/// An end-to-end path as an ordered list of directed links.
+struct Route {
+  std::vector<LinkId> links;
+
+  bool empty() const { return links.empty(); }
+  std::size_t hops() const { return links.size(); }
+  bool traverses(LinkId id) const;
+};
+
+class Router {
+ public:
+  explicit Router(const Topology& topo) : topo_(&topo) {}
+
+  /// All minimum-hop paths from src to dst, in a deterministic order.
+  /// Returns an empty vector when dst is unreachable.
+  std::vector<Route> equal_cost_paths(NodeId src, NodeId dst) const;
+
+  /// ECMP selection: picks among equal-cost paths by `flow_hash`.
+  Route pick(NodeId src, NodeId dst, std::uint64_t flow_hash) const;
+
+  /// Deterministic hash for 5-tuple-like inputs.
+  static std::uint64_t flow_hash(NodeId src, NodeId dst, std::uint64_t salt);
+
+ private:
+  const Topology* topo_;
+};
+
+}  // namespace ccml

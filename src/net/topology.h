@@ -1,0 +1,82 @@
+// Static network topology: nodes, directed links, and canned builders for
+// the shapes used in the paper's experiments (dumbbell bottleneck, leaf-spine
+// cluster fabric).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/types.h"
+#include "util/time.h"
+#include "util/units.h"
+
+namespace ccml {
+
+struct NodeInfo {
+  NodeId id;
+  NodeKind kind = NodeKind::kHost;
+  std::string name;
+};
+
+struct LinkInfo {
+  LinkId id;
+  NodeId src;
+  NodeId dst;
+  Rate capacity;
+  Duration propagation = Duration::micros(1);
+  std::string name;
+};
+
+class Topology {
+ public:
+  NodeId add_node(NodeKind kind, std::string name);
+
+  /// Adds a directed link; returns its id.
+  LinkId add_link(NodeId src, NodeId dst, Rate capacity,
+                  Duration propagation = Duration::micros(1));
+
+  /// Adds both directions of a cable; returns {src->dst, dst->src}.
+  std::pair<LinkId, LinkId> add_duplex_link(NodeId a, NodeId b, Rate capacity,
+                                            Duration propagation = Duration::micros(1));
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+
+  const NodeInfo& node(NodeId id) const;
+  const LinkInfo& link(LinkId id) const;
+  const std::vector<NodeInfo>& nodes() const { return nodes_; }
+  const std::vector<LinkInfo>& links() const { return links_; }
+
+  /// Directed links leaving `node`.
+  const std::vector<LinkId>& links_from(NodeId node) const;
+
+  /// The directed link src->dst if one exists, else an invalid id.
+  LinkId find_link(NodeId src, NodeId dst) const;
+
+  std::vector<NodeId> hosts() const;
+
+  // --- Canned shapes -------------------------------------------------------
+
+  /// `n_pairs` senders on the left, `n_pairs` receivers on the right, all
+  /// traffic crossing one bottleneck cable between two switches.  Host links
+  /// run at `host_rate`, the bottleneck at `bottleneck_rate`.
+  static Topology dumbbell(int n_pairs, Rate host_rate, Rate bottleneck_rate);
+
+  /// Classic two-tier Clos: `n_tors` ToR switches with `hosts_per_tor` hosts
+  /// each, fully meshed to `n_spines` spine switches.
+  static Topology leaf_spine(int n_tors, int hosts_per_tor, int n_spines,
+                             Rate host_rate, Rate fabric_rate);
+
+  /// Three-tier k-ary fat-tree (k even): k pods, each with k/2 edge and k/2
+  /// aggregation switches; (k/2)^2 core switches; k/2 hosts per edge switch
+  /// (k^3/4 hosts total).  All links run at `rate` (the classic rearrangeably
+  /// non-blocking construction).
+  static Topology fat_tree(int k, Rate rate);
+
+ private:
+  std::vector<NodeInfo> nodes_;
+  std::vector<LinkInfo> links_;
+  std::vector<std::vector<LinkId>> out_links_;
+};
+
+}  // namespace ccml

@@ -1,0 +1,65 @@
+// Strongly typed identifiers for topology entities and flows.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace ccml {
+
+struct NodeId {
+  std::int32_t value = -1;
+  friend constexpr auto operator<=>(NodeId, NodeId) = default;
+  constexpr bool valid() const { return value >= 0; }
+};
+
+/// Identifies a *directed* link (each duplex cable is two directed links).
+struct LinkId {
+  std::int32_t value = -1;
+  friend constexpr auto operator<=>(LinkId, LinkId) = default;
+  constexpr bool valid() const { return value >= 0; }
+};
+
+struct FlowId {
+  std::int64_t value = -1;
+  friend constexpr auto operator<=>(FlowId, FlowId) = default;
+  constexpr bool valid() const { return value >= 0; }
+};
+
+/// Identifies a training job across workload/scheduler/CC layers.
+struct JobId {
+  std::int32_t value = -1;
+  friend constexpr auto operator<=>(JobId, JobId) = default;
+  constexpr bool valid() const { return value >= 0; }
+};
+
+enum class NodeKind { kHost, kTor, kSpine, kCore };
+
+const char* to_string(NodeKind kind);
+
+}  // namespace ccml
+
+template <>
+struct std::hash<ccml::NodeId> {
+  std::size_t operator()(ccml::NodeId id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value);
+  }
+};
+template <>
+struct std::hash<ccml::LinkId> {
+  std::size_t operator()(ccml::LinkId id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value);
+  }
+};
+template <>
+struct std::hash<ccml::FlowId> {
+  std::size_t operator()(ccml::FlowId id) const noexcept {
+    return std::hash<std::int64_t>{}(id.value);
+  }
+};
+template <>
+struct std::hash<ccml::JobId> {
+  std::size_t operator()(ccml::JobId id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value);
+  }
+};

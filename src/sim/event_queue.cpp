@@ -1,0 +1,54 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+
+namespace ccml {
+
+EventId EventQueue::schedule(TimePoint time, std::function<void()> fn) {
+  auto entry = std::make_shared<Entry>();
+  entry->time = time;
+  entry->id = next_id_++;
+  entry->fn = std::move(fn);
+  index_.emplace(entry->id, entry);
+  heap_.push(std::move(entry));
+  ++live_count_;
+  return next_id_ - 1;
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  const auto entry = it->second.lock();
+  index_.erase(it);
+  if (!entry || entry->cancelled) return false;
+  entry->cancelled = true;
+  entry->fn = nullptr;  // release captured state eagerly
+  --live_count_;
+  return true;
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && heap_.top()->cancelled) {
+    heap_.pop();
+  }
+}
+
+TimePoint EventQueue::next_time() const {
+  drop_cancelled();
+  if (heap_.empty()) return TimePoint::max();
+  return heap_.top()->time;
+}
+
+TimePoint EventQueue::run_next() {
+  drop_cancelled();
+  assert(!heap_.empty());
+  auto entry = heap_.top();
+  heap_.pop();
+  index_.erase(entry->id);
+  --live_count_;
+  const TimePoint t = entry->time;
+  entry->fn();
+  return t;
+}
+
+}  // namespace ccml

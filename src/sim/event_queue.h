@@ -1,0 +1,65 @@
+// Priority queue of timestamped events with stable FIFO ordering for ties
+// and O(1) lazy cancellation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/time.h"
+
+namespace ccml {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  /// Enqueues `fn` to fire at `time`.  Events at the same time fire in
+  /// insertion order.  Returns a handle usable with cancel().
+  EventId schedule(TimePoint time, std::function<void()> fn);
+
+  /// Cancels a pending event; returns false if it already fired, was
+  /// cancelled, or never existed.
+  bool cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest pending event; TimePoint::max() when empty.
+  TimePoint next_time() const;
+
+  /// Pops and runs the earliest pending event; returns its time.
+  /// Precondition: !empty().
+  TimePoint run_next();
+
+ private:
+  struct Entry {
+    TimePoint time;
+    EventId id;
+    std::function<void()> fn;
+    bool cancelled = false;
+  };
+  struct Later {
+    bool operator()(const std::shared_ptr<Entry>& a,
+                    const std::shared_ptr<Entry>& b) const {
+      if (a->time != b->time) return a->time > b->time;
+      return a->id > b->id;  // ids increase monotonically => FIFO ties
+    }
+  };
+
+  /// Removes cancelled entries sitting at the top of the heap.
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<std::shared_ptr<Entry>,
+                              std::vector<std::shared_ptr<Entry>>, Later>
+      heap_;
+  std::unordered_map<EventId, std::weak_ptr<Entry>> index_;
+  std::size_t live_count_ = 0;
+  EventId next_id_ = 1;
+};
+
+}  // namespace ccml

@@ -1,0 +1,75 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ccml {
+
+EventId Simulator::schedule_at(TimePoint t, std::function<void()> fn) {
+  assert(t >= now_);
+  return events_.schedule(t, std::move(fn));
+}
+
+EventId Simulator::schedule_after(Duration d, std::function<void()> fn) {
+  assert(!d.is_negative());
+  return events_.schedule(now_ + d, std::move(fn));
+}
+
+void Simulator::add_stepper(Stepper& stepper, Duration dt) {
+  assert(dt.is_positive());
+  steppers_.push_back({&stepper, dt, now_ + dt});
+}
+
+TimePoint Simulator::next_step_time() const {
+  TimePoint soonest = TimePoint::max();
+  for (const auto& s : steppers_) soonest = std::min(soonest, s.next);
+  return soonest;
+}
+
+void Simulator::run_steps_at(TimePoint t) {
+  for (auto& s : steppers_) {
+    if (s.next == t) {
+      s.stepper->step(t, s.dt);
+      s.next = t + s.dt;
+    }
+  }
+}
+
+void Simulator::run_until(TimePoint deadline) {
+  stopped_ = false;
+  while (!stopped_) {
+    const TimePoint te = events_.next_time();
+    const TimePoint ts = next_step_time();
+    const TimePoint t = std::min(te, ts);
+    if (t > deadline) break;
+    now_ = t;
+    // Steps fire before events at the same instant so that events observe
+    // integrated state up to their own timestamp.
+    if (ts == t) run_steps_at(t);
+    while (!stopped_ && !events_.empty() && events_.next_time() == t) {
+      events_.run_next();
+    }
+  }
+  if (!stopped_) now_ = std::max(now_, deadline);
+}
+
+void Simulator::run_until_idle() {
+  stopped_ = false;
+  while (!stopped_ && !events_.empty()) {
+    const TimePoint te = events_.next_time();
+    TimePoint ts = next_step_time();
+    while (ts < te) {
+      now_ = ts;
+      run_steps_at(ts);
+      ts = next_step_time();
+    }
+    if (stopped_) break;
+    now_ = te;
+    if (ts == te) run_steps_at(te);
+    while (!stopped_ && !events_.empty() && events_.next_time() == te) {
+      events_.run_next();
+    }
+  }
+}
+
+}  // namespace ccml

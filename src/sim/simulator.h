@@ -1,0 +1,78 @@
+// The simulation kernel: a virtual clock, an event queue, and a set of
+// fixed-step "steppers".
+//
+// The library uses a hybrid discrete-event / fluid model.  Job state machines
+// (iteration boundaries, phase transitions, scheduler gates) are discrete
+// events; congestion-control rate dynamics and queue evolution are integrated
+// by steppers at a fixed time step (default 20 us).  The kernel interleaves
+// both: it always advances to the earlier of (next event, next step tick).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "util/time.h"
+
+namespace ccml {
+
+/// A component whose state is integrated at a fixed time step.
+class Stepper {
+ public:
+  virtual ~Stepper() = default;
+
+  /// Advances internal state from `now - dt` to `now`.
+  virtual void step(TimePoint now, Duration dt) = 0;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimePoint now() const { return now_; }
+
+  EventId schedule_at(TimePoint t, std::function<void()> fn);
+  EventId schedule_after(Duration d, std::function<void()> fn);
+  bool cancel(EventId id) { return events_.cancel(id); }
+
+  /// Registers a stepper driven every `dt`.  The simulator does not own the
+  /// stepper; it must outlive the run.
+  void add_stepper(Stepper& stepper, Duration dt);
+
+  /// Runs until the clock reaches `deadline` (inclusive of events at the
+  /// deadline) or stop() is called.
+  void run_until(TimePoint deadline);
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  /// Runs until the event queue drains (steppers do not keep the run alive)
+  /// or stop() is called.
+  void run_until_idle();
+
+  /// Makes the current run_* call return after the in-flight event.
+  void stop() { stopped_ = true; }
+
+  std::size_t pending_events() const { return events_.size(); }
+
+ private:
+  struct SteppedEntry {
+    Stepper* stepper;
+    Duration dt;
+    TimePoint next;
+  };
+
+  /// Time of the soonest stepper tick; TimePoint::max() when none.
+  TimePoint next_step_time() const;
+
+  /// Fires every stepper whose tick is exactly `t`.
+  void run_steps_at(TimePoint t);
+
+  EventQueue events_;
+  std::vector<SteppedEntry> steppers_;
+  TimePoint now_ = TimePoint::origin();
+  bool stopped_ = false;
+};
+
+}  // namespace ccml

@@ -1,0 +1,69 @@
+#include "telemetry/recorders.h"
+
+#include <cassert>
+
+namespace ccml {
+
+LinkThroughputRecorder::LinkThroughputRecorder(LinkId link, Duration interval)
+    : link_(link), interval_(interval) {
+  assert(interval.is_positive());
+}
+
+void LinkThroughputRecorder::attach(Network& net) {
+  assert(!attached_);
+  attached_ = true;
+  window_start_ = net.sim().now();
+  net.add_step_observer(
+      [this](const Network& n, TimePoint now) { on_step(n, now); });
+}
+
+void LinkThroughputRecorder::on_step(const Network& net, TimePoint now) {
+  const Duration dt = net.config().step;
+  // Accumulate bit-time for this step.
+  for (const FlowId fid : net.flows_on_link(link_)) {
+    const Flow& f = net.flow(fid);
+    const double bits = f.rate.bits_per_sec() * dt.to_seconds();
+    total_bits_ += bits;
+    job_bits_[f.spec.job] += bits;
+  }
+  accumulated_ += dt;
+  if (accumulated_ >= interval_) {
+    Sample s;
+    s.time = now;
+    const double secs = accumulated_.to_seconds();
+    s.total = Rate::bps(total_bits_ / secs);
+    for (const auto& [job, bits] : job_bits_) {
+      s.per_job[job] = Rate::bps(bits / secs);
+    }
+    samples_.push_back(std::move(s));
+    accumulated_ = Duration::zero();
+    total_bits_ = 0.0;
+    // Keep keys so every sample reports every job (zeros included).
+    for (auto& [job, bits] : job_bits_) bits = 0.0;
+    window_start_ = now;
+  }
+}
+
+std::vector<JobId> LinkThroughputRecorder::jobs_seen() const {
+  std::vector<JobId> out;
+  for (const auto& [job, _] : job_bits_) out.push_back(job);
+  return out;
+}
+
+void IterationRecorder::record(JobId job, Duration iteration) {
+  cdfs_[job].add(iteration.to_millis());
+}
+
+const Cdf& IterationRecorder::cdf(JobId job) const {
+  const auto it = cdfs_.find(job);
+  assert(it != cdfs_.end());
+  return it->second;
+}
+
+std::vector<JobId> IterationRecorder::jobs() const {
+  std::vector<JobId> out;
+  for (const auto& [job, _] : cdfs_) out.push_back(job);
+  return out;
+}
+
+}  // namespace ccml

@@ -1,0 +1,69 @@
+// Telemetry recorders hooked into the Network's step observer.
+//
+// These produce exactly the series the paper plots: per-job throughput over
+// time (Fig. 1b/1c), per-job link utilization across iterations (Fig. 2) and
+// iteration-time CDFs (Fig. 1d).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "net/types.h"
+#include "util/stats.h"
+#include "util/time.h"
+#include "util/units.h"
+
+namespace ccml {
+
+/// Samples the total and per-job throughput crossing one link at a fixed
+/// interval (time-weighted average over the interval).
+class LinkThroughputRecorder {
+ public:
+  LinkThroughputRecorder(LinkId link, Duration interval);
+
+  /// Registers with the network; call once before the run.
+  void attach(Network& net);
+
+  struct Sample {
+    TimePoint time;                       ///< end of the interval
+    Rate total;                           ///< all traffic on the link
+    std::map<JobId, Rate> per_job;        ///< split by flow job tag
+  };
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  /// All job ids ever seen on the link, sorted.
+  std::vector<JobId> jobs_seen() const;
+
+ private:
+  void on_step(const Network& net, TimePoint now);
+
+  LinkId link_;
+  Duration interval_;
+  TimePoint window_start_;
+  Duration accumulated_ = Duration::zero();
+  double total_bits_ = 0.0;
+  std::map<JobId, double> job_bits_;
+  std::vector<Sample> samples_;
+  bool attached_ = false;
+};
+
+/// Collects iteration durations per job into CDFs.
+class IterationRecorder {
+ public:
+  void record(JobId job, Duration iteration);
+
+  const Cdf& cdf(JobId job) const;
+  bool has(JobId job) const { return cdfs_.contains(job); }
+  std::vector<JobId> jobs() const;
+
+  /// Median iteration time in milliseconds.
+  double median_ms(JobId job) const { return cdf(job).median(); }
+  double mean_ms(JobId job) const { return cdf(job).mean(); }
+
+ private:
+  std::map<JobId, Cdf> cdfs_;
+};
+
+}  // namespace ccml

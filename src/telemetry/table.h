@@ -1,0 +1,32 @@
+// Plain-text table rendering for bench output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ccml {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Adds a horizontal separator row.
+  void add_rule();
+
+  std::string render() const;
+
+  /// Convenience formatter ("%.1f" style) for numeric cells.
+  static std::string num(double v, int decimals = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  struct Row {
+    bool rule = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<Row> rows_;
+};
+
+}  // namespace ccml

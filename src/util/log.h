@@ -1,0 +1,25 @@
+// Minimal leveled logger.  Off by default above WARN so simulations stay
+// quiet; benches flip the level when narrating.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace ccml {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that is emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging to stderr with a level tag.
+void log_message(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define CCML_LOG_DEBUG(...) ::ccml::log_message(::ccml::LogLevel::kDebug, __VA_ARGS__)
+#define CCML_LOG_INFO(...) ::ccml::log_message(::ccml::LogLevel::kInfo, __VA_ARGS__)
+#define CCML_LOG_WARN(...) ::ccml::log_message(::ccml::LogLevel::kWarn, __VA_ARGS__)
+#define CCML_LOG_ERROR(...) ::ccml::log_message(::ccml::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace ccml

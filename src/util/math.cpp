@@ -1,0 +1,61 @@
+#include "util/math.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace ccml {
+
+std::int64_t gcd64(std::int64_t a, std::int64_t b) {
+  assert(a >= 0 && b >= 0);
+  while (b != 0) {
+    const std::int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+std::int64_t lcm64(std::int64_t a, std::int64_t b) {
+  if (a == 0 || b == 0) return 0;
+  const std::int64_t g = gcd64(a, b);
+  const std::int64_t a_red = a / g;
+  // Saturating multiply: a_red * b may overflow for wildly co-prime periods.
+  if (a_red > std::numeric_limits<std::int64_t>::max() / b) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  return a_red * b;
+}
+
+Duration quantize(Duration d, Duration quantum) {
+  assert(quantum.is_positive());
+  const std::int64_t q = quantum.ns();
+  const std::int64_t half = q / 2;
+  std::int64_t n = d.ns();
+  if (n >= 0) {
+    n = ((n + half) / q) * q;
+  } else {
+    n = -(((-n + half) / q) * q);
+  }
+  return Duration::nanos(n);
+}
+
+Duration lcm_durations(std::span<const Duration> periods, Duration quantum,
+                       Duration cap) {
+  std::int64_t acc = quantum.ns();
+  for (const Duration p : periods) {
+    Duration q = quantize(p, quantum);
+    if (!q.is_positive()) q = quantum;  // degenerate tiny period
+    acc = lcm64(acc, q.ns());
+    if (cap.is_positive() && acc >= cap.ns()) return cap;
+  }
+  return Duration::nanos(acc);
+}
+
+bool approx_equal(double a, double b, double tol) {
+  return std::abs(a - b) <= tol;
+}
+
+double lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+}  // namespace ccml

@@ -1,0 +1,38 @@
+// Small numeric helpers: gcd/lcm on durations with quantization, clamping,
+// and approximate floating-point comparison used throughout the library.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/time.h"
+
+namespace ccml {
+
+/// Greatest common divisor of two non-negative 64-bit integers.
+std::int64_t gcd64(std::int64_t a, std::int64_t b);
+
+/// Least common multiple; returns 0 if either input is 0.  Saturates at
+/// INT64_MAX instead of overflowing.
+std::int64_t lcm64(std::int64_t a, std::int64_t b);
+
+/// Rounds `d` to the nearest multiple of `quantum` (quantum must be positive).
+Duration quantize(Duration d, Duration quantum);
+
+/// LCM of a set of durations after quantizing each to `quantum`.
+///
+/// The paper's unified circle has perimeter LCM(iteration times).  Real
+/// iteration times are not exact integers, so we first snap each period to a
+/// quantum (default 1 ms in callers).  If the LCM exceeds `cap`, the result is
+/// clamped to `cap` (callers then fall back to an approximate, non-periodic
+/// analysis window); a zero `cap` disables clamping.
+Duration lcm_durations(std::span<const Duration> periods, Duration quantum,
+                       Duration cap = Duration::zero());
+
+/// True when |a - b| <= tol.
+bool approx_equal(double a, double b, double tol = 1e-9);
+
+/// Linear interpolation between a and b.
+double lerp(double a, double b, double t);
+
+}  // namespace ccml

@@ -1,0 +1,50 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// Every stochastic component takes an explicit Rng so that experiments are
+// reproducible from a single seed; nothing in the library touches global
+// random state.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace ccml {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : eng_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() { return unit_(eng_); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(eng_);
+  }
+
+  /// Gaussian with the given mean and stddev.
+  double gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(eng_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(eng_);
+  }
+
+  std::mt19937_64& engine() { return eng_; }
+
+ private:
+  std::mt19937_64 eng_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+}  // namespace ccml

@@ -1,0 +1,48 @@
+#include "util/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ccml {
+
+Duration Duration::from_seconds_f(double s) {
+  return Duration::nanos(static_cast<std::int64_t>(std::llround(s * 1e9)));
+}
+
+Duration Duration::from_millis_f(double ms) {
+  return Duration::nanos(static_cast<std::int64_t>(std::llround(ms * 1e6)));
+}
+
+Duration Duration::from_micros_f(double us) {
+  return Duration::nanos(static_cast<std::int64_t>(std::llround(us * 1e3)));
+}
+
+Duration operator*(Duration a, double k) {
+  return Duration::nanos(
+      static_cast<std::int64_t>(std::llround(static_cast<double>(a.ns_) * k)));
+}
+
+namespace {
+
+std::string format_ns(std::int64_t ns) {
+  char buf[64];
+  const double abs_ns = std::abs(static_cast<double>(ns));
+  if (abs_ns >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(ns) * 1e-9);
+  } else if (abs_ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(ns) * 1e-6);
+  } else if (abs_ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", static_cast<double>(ns) * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(ns));
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string Duration::to_string() const { return format_ns(ns_); }
+
+std::string TimePoint::to_string() const { return format_ns(ns_); }
+
+}  // namespace ccml

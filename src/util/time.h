@@ -1,0 +1,129 @@
+// Strong time types for the simulator.
+//
+// All simulation time is kept as signed 64-bit nanosecond ticks.  Two distinct
+// types are provided so that "a point on the simulation clock" and "a length
+// of time" cannot be mixed up: TimePoint - TimePoint = Duration,
+// TimePoint + Duration = TimePoint, and Duration supports the usual arithmetic.
+//
+// 64-bit nanoseconds cover ~292 years of simulated time, far beyond any
+// training run we model.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace ccml {
+
+/// A length of simulated time, stored in integer nanoseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration nanos(std::int64_t ns) { return Duration(ns); }
+  static constexpr Duration micros(std::int64_t us) { return Duration(us * 1000); }
+  static constexpr Duration millis(std::int64_t ms) { return Duration(ms * 1'000'000); }
+  static constexpr Duration seconds(std::int64_t s) { return Duration(s * 1'000'000'000); }
+
+  /// Builds a duration from a floating point quantity; rounds to nearest ns.
+  static Duration from_seconds_f(double s);
+  static Duration from_millis_f(double ms);
+  static Duration from_micros_f(double us);
+
+  static constexpr Duration zero() { return Duration(0); }
+  static constexpr Duration max() {
+    return Duration(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) * 1e-6; }
+  constexpr double to_micros() const { return static_cast<double>(ns_) * 1e-3; }
+
+  constexpr bool is_zero() const { return ns_ == 0; }
+  constexpr bool is_negative() const { return ns_ < 0; }
+  constexpr bool is_positive() const { return ns_ > 0; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration(a.ns_ + b.ns_);
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration(a.ns_ - b.ns_);
+  }
+  constexpr Duration operator-() const { return Duration(-ns_); }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) {
+    return Duration(a.ns_ * k);
+  }
+  friend constexpr Duration operator*(std::int64_t k, Duration a) { return a * k; }
+  // `int` overloads keep `d * 3` unambiguous vs. the double overload.
+  friend constexpr Duration operator*(Duration a, int k) {
+    return Duration(a.ns_ * k);
+  }
+  friend constexpr Duration operator*(int k, Duration a) { return a * k; }
+  friend Duration operator*(Duration a, double k);
+  friend constexpr Duration operator/(Duration a, std::int64_t k) {
+    return Duration(a.ns_ / k);
+  }
+  /// Ratio of two durations as a double; b must be nonzero.
+  friend constexpr double operator/(Duration a, Duration b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+  /// Integer remainder, useful for wrapping time onto a circle.
+  friend constexpr Duration operator%(Duration a, Duration b) {
+    return Duration(a.ns_ % b.ns_);
+  }
+
+  Duration& operator+=(Duration d) { ns_ += d.ns_; return *this; }
+  Duration& operator-=(Duration d) { ns_ -= d.ns_; return *this; }
+
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+  /// Human readable rendering, e.g. "12.5ms" or "340us".
+  std::string to_string() const;
+
+ private:
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+/// An instant on the simulation clock (ns since simulation start).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  static constexpr TimePoint origin() { return TimePoint(0); }
+  static constexpr TimePoint from_ns(std::int64_t ns) { return TimePoint(ns); }
+  static constexpr TimePoint max() {
+    return TimePoint(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) * 1e-6; }
+
+  constexpr Duration since_origin() const { return Duration::nanos(ns_); }
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    return TimePoint(t.ns_ + d.ns());
+  }
+  friend constexpr TimePoint operator+(Duration d, TimePoint t) { return t + d; }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) {
+    return TimePoint(t.ns_ - d.ns());
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return Duration::nanos(a.ns_ - b.ns_);
+  }
+
+  TimePoint& operator+=(Duration d) { ns_ += d.ns(); return *this; }
+
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+
+  std::string to_string() const;
+
+ private:
+  constexpr explicit TimePoint(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace ccml

@@ -1,0 +1,42 @@
+#include "util/units.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace ccml {
+
+std::string Bytes::to_string() const {
+  char buf[64];
+  const double a = std::abs(b_);
+  if (a >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3fGB", b_ * 1e-9);
+  } else if (a >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3fMB", b_ * 1e-6);
+  } else if (a >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3fKB", b_ * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fB", b_);
+  }
+  return buf;
+}
+
+std::string Rate::to_string() const {
+  char buf[64];
+  const double a = std::abs(v_);
+  if (a >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3fGbps", v_ * 1e-9);
+  } else if (a >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3fMbps", v_ * 1e-6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fbps", v_);
+  }
+  return buf;
+}
+
+Duration transfer_time(Bytes b, Rate r) {
+  assert(r.is_positive());
+  return Duration::from_seconds_f(b.bits() / r.bits_per_sec());
+}
+
+}  // namespace ccml

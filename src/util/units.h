@@ -1,0 +1,97 @@
+// Strong types for data volume and data rate.
+//
+// Bytes are integer; rates are double bits/second.  Rate * Duration = Bytes
+// and Bytes / Rate = Duration close the unit system so that callers never
+// hand-convert Gbps to bytes-per-nanosecond (a classic off-by-1e3 source).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/time.h"
+
+namespace ccml {
+
+/// A count of bytes (may be fractional internally when integrating a fluid
+/// flow; exposed as double to avoid systematic truncation at small steps).
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+
+  static constexpr Bytes of(double b) { return Bytes(b); }
+  static constexpr Bytes kilo(double kb) { return Bytes(kb * 1e3); }
+  static constexpr Bytes mega(double mb) { return Bytes(mb * 1e6); }
+  static constexpr Bytes giga(double gb) { return Bytes(gb * 1e9); }
+  static constexpr Bytes zero() { return Bytes(0); }
+
+  constexpr double count() const { return b_; }
+  constexpr double to_mb() const { return b_ * 1e-6; }
+  constexpr double to_gb() const { return b_ * 1e-9; }
+  constexpr double bits() const { return b_ * 8.0; }
+
+  constexpr bool is_zero() const { return b_ == 0; }
+  constexpr bool is_positive() const { return b_ > 0; }
+
+  friend constexpr Bytes operator+(Bytes a, Bytes b) { return Bytes(a.b_ + b.b_); }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) { return Bytes(a.b_ - b.b_); }
+  friend constexpr Bytes operator*(Bytes a, double k) { return Bytes(a.b_ * k); }
+  friend constexpr Bytes operator*(double k, Bytes a) { return a * k; }
+  friend constexpr double operator/(Bytes a, Bytes b) { return a.b_ / b.b_; }
+  Bytes& operator+=(Bytes o) { b_ += o.b_; return *this; }
+  Bytes& operator-=(Bytes o) { b_ -= o.b_; return *this; }
+
+  friend constexpr auto operator<=>(Bytes, Bytes) = default;
+
+  std::string to_string() const;
+
+ private:
+  constexpr explicit Bytes(double b) : b_(b) {}
+  double b_ = 0;
+};
+
+/// A data rate in bits per second.
+class Rate {
+ public:
+  constexpr Rate() = default;
+
+  static constexpr Rate bps(double v) { return Rate(v); }
+  static constexpr Rate kbps(double v) { return Rate(v * 1e3); }
+  static constexpr Rate mbps(double v) { return Rate(v * 1e6); }
+  static constexpr Rate gbps(double v) { return Rate(v * 1e9); }
+  static constexpr Rate zero() { return Rate(0); }
+
+  constexpr double bits_per_sec() const { return v_; }
+  constexpr double to_gbps() const { return v_ * 1e-9; }
+  constexpr double to_mbps() const { return v_ * 1e-6; }
+
+  constexpr bool is_zero() const { return v_ == 0; }
+  constexpr bool is_positive() const { return v_ > 0; }
+
+  friend constexpr Rate operator+(Rate a, Rate b) { return Rate(a.v_ + b.v_); }
+  friend constexpr Rate operator-(Rate a, Rate b) { return Rate(a.v_ - b.v_); }
+  friend constexpr Rate operator*(Rate a, double k) { return Rate(a.v_ * k); }
+  friend constexpr Rate operator*(double k, Rate a) { return a * k; }
+  friend constexpr Rate operator/(Rate a, double k) { return Rate(a.v_ / k); }
+  friend constexpr double operator/(Rate a, Rate b) { return a.v_ / b.v_; }
+  Rate& operator+=(Rate o) { v_ += o.v_; return *this; }
+  Rate& operator-=(Rate o) { v_ -= o.v_; return *this; }
+
+  friend constexpr auto operator<=>(Rate, Rate) = default;
+
+  /// Volume transferred at this rate over `d`.
+  friend constexpr Bytes operator*(Rate r, Duration d) {
+    return Bytes::of(r.v_ * d.to_seconds() / 8.0);
+  }
+  friend constexpr Bytes operator*(Duration d, Rate r) { return r * d; }
+
+  std::string to_string() const;
+
+ private:
+  constexpr explicit Rate(double v) : v_(v) {}
+  double v_ = 0;
+};
+
+/// Time needed to move `b` bytes at rate `r`; r must be positive.
+Duration transfer_time(Bytes b, Rate r);
+
+}  // namespace ccml

@@ -1,0 +1,73 @@
+#include "workload/allreduce.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ccml {
+
+const char* to_string(AllreduceAlgo algo) {
+  switch (algo) {
+    case AllreduceAlgo::kRing: return "ring";
+    case AllreduceAlgo::kTree: return "tree";
+    case AllreduceAlgo::kHierarchical: return "hierarchical";
+    case AllreduceAlgo::kParameterServer: return "parameter-server";
+    case AllreduceAlgo::kBroadcast: return "broadcast";
+  }
+  return "?";
+}
+
+AllreduceAlgo parse_allreduce(const std::string& name) {
+  if (name == "ring") return AllreduceAlgo::kRing;
+  if (name == "tree") return AllreduceAlgo::kTree;
+  if (name == "hierarchical") return AllreduceAlgo::kHierarchical;
+  if (name == "parameter-server") return AllreduceAlgo::kParameterServer;
+  if (name == "broadcast") return AllreduceAlgo::kBroadcast;
+  throw std::invalid_argument("unknown allreduce algorithm: " + name);
+}
+
+Bytes wire_bytes_per_worker(AllreduceAlgo algo, Bytes model_bytes, int workers,
+                            int group_size) {
+  assert(workers >= 1);
+  assert(group_size >= 1);
+  const double n = workers;
+  const double m = model_bytes.count();
+  if (workers == 1) return Bytes::zero();
+  switch (algo) {
+    case AllreduceAlgo::kRing:
+      // Reduce-scatter (n-1 chunks of M/n) + all-gather (n-1 chunks of M/n).
+      return Bytes::of(2.0 * (n - 1.0) / n * m);
+    case AllreduceAlgo::kTree: {
+      // Binomial tree reduce + broadcast: an interior worker forwards the
+      // whole gradient once up and once down.
+      return Bytes::of(2.0 * m);
+    }
+    case AllreduceAlgo::kHierarchical: {
+      // Ring within each group of g, then ring across ceil(n/g) group leads,
+      // then intra-group broadcast of the result.
+      const double g = std::min<double>(group_size, n);
+      const double groups = std::ceil(n / g);
+      const double intra = 2.0 * (g - 1.0) / g * m;
+      const double inter = groups > 1 ? 2.0 * (groups - 1.0) / groups * m : 0.0;
+      return Bytes::of(intra + inter);
+    }
+    case AllreduceAlgo::kParameterServer:
+      // Push the gradient, pull the updated model.
+      return Bytes::of(2.0 * m);
+    case AllreduceAlgo::kBroadcast:
+      // Sufficient-factor style: each worker sends its full contribution to
+      // every peer.
+      return Bytes::of((n - 1.0) * m);
+  }
+  return Bytes::zero();
+}
+
+Duration ideal_allreduce_time(AllreduceAlgo algo, Bytes model_bytes,
+                              int workers, Rate nic_rate, int group_size) {
+  const Bytes wire = wire_bytes_per_worker(algo, model_bytes, workers,
+                                           group_size);
+  if (wire.is_zero()) return Duration::zero();
+  return transfer_time(wire, nic_rate);
+}
+
+}  // namespace ccml

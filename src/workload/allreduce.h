@@ -1,0 +1,40 @@
+// Collective-communication cost models.
+//
+// The paper (§2) lists the standard allreduce strategies used to synchronize
+// model weights: broadcasting, parameter servers, ring-allreduce, tree-reduce
+// and hierarchical ring-allreduce.  For a fluid network model, what matters
+// is how many bytes each worker's NIC injects per iteration for a given model
+// size and worker count; this module provides those classic formulas.
+#pragma once
+
+#include <string>
+
+#include "util/units.h"
+
+namespace ccml {
+
+enum class AllreduceAlgo {
+  kRing,             ///< 2*(n-1)/n * M per worker (bandwidth optimal)
+  kTree,             ///< ~2*M per worker along a binomial tree (up + down)
+  kHierarchical,     ///< intra-group ring + inter-group ring over group leads
+  kParameterServer,  ///< push M + pull M per worker
+  kBroadcast,        ///< every worker broadcasts its share: (n-1)/n*M out + in
+};
+
+const char* to_string(AllreduceAlgo algo);
+AllreduceAlgo parse_allreduce(const std::string& name);
+
+/// Bytes a single worker's NIC *sends* per iteration to allreduce a gradient
+/// of `model_bytes` across `workers` participants.
+///
+/// `group_size` only applies to the hierarchical scheme (workers per
+/// intra-group ring, e.g. GPUs within one server).
+Bytes wire_bytes_per_worker(AllreduceAlgo algo, Bytes model_bytes, int workers,
+                            int group_size = 8);
+
+/// Ideal time for the collective with every worker injecting at `nic_rate`,
+/// ignoring contention (lower bound used by the profiler).
+Duration ideal_allreduce_time(AllreduceAlgo algo, Bytes model_bytes,
+                              int workers, Rate nic_rate, int group_size = 8);
+
+}  // namespace ccml

@@ -1,0 +1,54 @@
+#include "workload/background.h"
+
+#include <cassert>
+
+namespace ccml {
+
+BackgroundTraffic::BackgroundTraffic(Simulator& sim, Network& net,
+                                     BackgroundConfig config)
+    : sim_(sim), net_(net), config_(std::move(config)), rng_(config_.seed) {
+  assert(!config_.paths.empty());
+  assert(config_.offered_load.is_positive());
+  assert(config_.mean_flow_size.is_positive());
+}
+
+void BackgroundTraffic::start() { schedule_next(); }
+
+void BackgroundTraffic::schedule_next() {
+  // Poisson arrivals: lambda = load / mean size (flows per second).
+  const double lambda =
+      config_.offered_load.bits_per_sec() / config_.mean_flow_size.bits();
+  const double gap_s = rng_.exponential(1.0 / lambda);
+  sim_.schedule_after(Duration::from_seconds_f(gap_s), [this] {
+    launch_flow();
+    schedule_next();
+  });
+}
+
+void BackgroundTraffic::launch_flow() {
+  if (in_flight_ >= config_.max_concurrent) {
+    ++dropped_;
+    return;
+  }
+  const auto& path = config_.paths[static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(config_.paths.size()) - 1))];
+  FlowSpec fs;
+  fs.src = path.src;
+  fs.dst = path.dst;
+  fs.route = path.route;
+  fs.size = Bytes::of(rng_.exponential(config_.mean_flow_size.count()));
+  if (!fs.size.is_positive()) fs.size = Bytes::of(1);
+  fs.label = "background";
+  fs.cc_timer = config_.cc_timer;
+  fs.cc_rai = config_.cc_rai;
+  fs.priority = config_.priority;
+  ++started_;
+  ++in_flight_;
+  offered_ += fs.size;
+  net_.start_flow(std::move(fs), [this](const Flow&, TimePoint) {
+    ++completed_;
+    --in_flight_;
+  });
+}
+
+}  // namespace ccml

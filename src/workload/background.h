@@ -1,0 +1,67 @@
+// Background (non-ML) cross traffic: Poisson flow arrivals with a fixed or
+// exponential size distribution.  Real clusters carry storage, logging and
+// evaluation traffic next to training jobs; the paper's mechanism assumes
+// the bottleneck is shared only by periodic ML flows, so
+// bench/ablation_background_traffic uses this generator to probe how much
+// aperiodic load the interleaving tolerates.
+#pragma once
+
+#include <vector>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "workload/job.h"
+
+namespace ccml {
+
+struct BackgroundConfig {
+  /// Candidate paths; each arrival picks one uniformly at random.
+  std::vector<JobPath> paths;
+  /// Mean offered load in bits/second (across all paths).
+  Rate offered_load = Rate::gbps(1);
+  /// Mean flow size; actual sizes are exponential about this mean.
+  Bytes mean_flow_size = Bytes::mega(8);
+  /// Congestion-control knobs forwarded to the flows.
+  Duration cc_timer = Duration::zero();
+  Rate cc_rai = Rate::zero();
+  int priority = 0;
+  /// Arrivals are dropped while this many background flows are in flight —
+  /// both a realism knob (finite connection pools) and a guard against
+  /// unbounded backlog when offered load exceeds available capacity.
+  std::size_t max_concurrent = 64;
+  std::uint64_t seed = 99;
+};
+
+/// Open-loop traffic source: flow inter-arrival times are exponential with
+/// rate offered_load / mean_flow_size.
+class BackgroundTraffic {
+ public:
+  BackgroundTraffic(Simulator& sim, Network& net, BackgroundConfig config);
+  BackgroundTraffic(const BackgroundTraffic&) = delete;
+  BackgroundTraffic& operator=(const BackgroundTraffic&) = delete;
+
+  /// Begins generating arrivals; runs until the simulation ends.
+  void start();
+
+  std::size_t flows_started() const { return started_; }
+  std::size_t flows_completed() const { return completed_; }
+  std::size_t flows_dropped() const { return dropped_; }
+  Bytes bytes_offered() const { return offered_; }
+
+ private:
+  void schedule_next();
+  void launch_flow();
+
+  Simulator& sim_;
+  Network& net_;
+  BackgroundConfig config_;
+  Rng rng_;
+  std::size_t started_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t dropped_ = 0;
+  std::size_t in_flight_ = 0;
+  Bytes offered_ = Bytes::zero();
+};
+
+}  // namespace ccml

@@ -1,0 +1,162 @@
+#include "workload/job.h"
+
+#include <cassert>
+
+#include "util/log.h"
+
+namespace ccml {
+
+TrainingJob::TrainingJob(Simulator& sim, Network& net, JobSpec spec)
+    : sim_(sim),
+      net_(net),
+      spec_(std::move(spec)),
+      jitter_rng_(spec_.jitter_seed + 0x5bd1e995u) {
+  assert(!spec_.paths.empty() && "a job needs at least one network path");
+  phases_ = spec_.profile.iteration_phases();
+  assert(!phases_.empty());
+  if (spec_.gate) {
+    assert(spec_.gate->period.is_positive());
+  }
+}
+
+TrainingJob::~TrainingJob() {
+  destroyed_guard_ = true;
+  for (const FlowId fid : live_flows_) {
+    net_.abort_flow(fid);
+  }
+}
+
+void TrainingJob::start() {
+  assert(phase_ == Phase::kIdle);
+  sim_.schedule_at(spec_.start, [this] { begin_iteration(sim_.now()); });
+}
+
+void TrainingJob::begin_iteration(TimePoint t) {
+  iter_start_ = t;
+  iteration_starts_.push_back(t);
+  phase_index_ = 0;
+  begin_phase(t);
+}
+
+void TrainingJob::begin_phase(TimePoint t) {
+  phase_ = Phase::kComputing;
+  Duration compute = phases_[phase_index_].compute;
+  if (spec_.compute_jitter.is_positive() && compute.is_positive()) {
+    const double noise =
+        jitter_rng_.gaussian(0.0, spec_.compute_jitter.to_seconds());
+    compute += Duration::from_seconds_f(noise);
+    if (compute.is_negative()) compute = Duration::zero();
+  }
+  if (compute.is_positive()) {
+    // `t` may sit slightly before the simulator clock (interpolated flow
+    // completion inside the previous step); the compute deadline is measured
+    // from `t` so iteration accounting stays exact.
+    TimePoint deadline = t + compute;
+    if (deadline < sim_.now()) deadline = sim_.now();
+    sim_.schedule_at(deadline, [this] { on_compute_done(); });
+  } else {
+    on_compute_done();
+  }
+}
+
+void TrainingJob::on_compute_done() {
+  const TimePoint now = sim_.now();
+  if (spec_.gate) {
+    // Central flow scheduling: wait for the next admitted slot.
+    const CommGate& g = *spec_.gate;
+    const Duration offset = phase_index_ < g.phase_offsets.size()
+                                ? g.phase_offsets[phase_index_]
+                                : g.offset;
+    TimePoint slot = g.epoch + offset;
+    if (slot < now) {
+      // Most recent slot at or before `now`; admit immediately when still
+      // inside its guard window, otherwise wait for the next slot.
+      const Duration behind = now - slot;
+      const std::int64_t k_floor = behind.ns() / g.period.ns();
+      const TimePoint current = slot + g.period * k_floor;
+      if (now - current <= g.window) {
+        slot = current;  // in-window: current slot admits us now
+      } else {
+        slot = current + g.period;
+      }
+    }
+    if (slot > now) {
+      phase_ = Phase::kWaitingGate;
+      sim_.schedule_at(slot, [this] { launch_comm_phase(sim_.now()); });
+      return;
+    }
+  }
+  launch_comm_phase(now);
+}
+
+void TrainingJob::launch_comm_phase(TimePoint t) {
+  phase_ = Phase::kCommunicating;
+  const Bytes phase_bytes = phases_[phase_index_].comm;
+  if (!phase_bytes.is_positive()) {
+    phase_done(t);
+    return;
+  }
+  const Bytes per_path =
+      spec_.split_bytes
+          ? phase_bytes * (1.0 / static_cast<double>(spec_.paths.size()))
+          : phase_bytes;
+  flows_in_flight_ = spec_.paths.size();
+  last_flow_finish_ = t;
+  live_flows_.clear();
+  for (const JobPath& path : spec_.paths) {
+    FlowSpec fs;
+    fs.src = path.src;
+    fs.dst = path.dst;
+    fs.route = path.route;
+    fs.size = per_path;
+    fs.job = spec_.id;
+    fs.priority = spec_.priority;
+    fs.weight = spec_.weight;
+    fs.label = spec_.name;
+    fs.cc_timer = spec_.cc_timer;
+    fs.cc_rai = spec_.cc_rai;
+    const FlowId fid = net_.start_flow(
+        std::move(fs),
+        [this](const Flow& flow, TimePoint finish) {
+          if (destroyed_guard_) return;
+          std::erase(live_flows_, flow.id);
+          on_flow_complete(finish);
+        });
+    live_flows_.push_back(fid);
+  }
+}
+
+void TrainingJob::on_flow_complete(TimePoint finish) {
+  assert(flows_in_flight_ > 0);
+  if (finish > last_flow_finish_) last_flow_finish_ = finish;
+  if (--flows_in_flight_ == 0) {
+    phase_done(last_flow_finish_);
+  }
+}
+
+void TrainingJob::phase_done(TimePoint t) {
+  if (phase_index_ + 1 < phases_.size()) {
+    ++phase_index_;
+    begin_phase(t);
+  } else {
+    finish_iteration(t);
+  }
+}
+
+void TrainingJob::finish_iteration(TimePoint t) {
+  const Duration iter = t - iter_start_;
+  iteration_times_.push_back(iter);
+  if (on_iteration) on_iteration(iteration_times_.size() - 1, iter);
+  if (spec_.max_iterations > 0 &&
+      iteration_times_.size() >=
+          static_cast<std::size_t>(spec_.max_iterations)) {
+    phase_ = Phase::kDone;
+    if (on_done) on_done(*this);
+    return;
+  }
+  // The interpolated finish `t` may precede the simulator clock (flows end
+  // mid-step); account the next iteration from `t` but schedule work now.
+  begin_iteration(t);
+}
+
+}  // namespace ccml

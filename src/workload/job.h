@@ -1,0 +1,137 @@
+// The data-parallel training job state machine.
+//
+// Each iteration alternates a compute phase (forward pass; no network
+// traffic) and a communication phase (backprop + allreduce folded together,
+// per the paper's definition) during which the job's flows inject bytes.
+// The iteration ends when every flow of the communication phase completes;
+// the next iteration starts immediately — or, when a flow-scheduling gate is
+// configured (paper §4, direction (iii)), at the next admitted slot.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "workload/model_zoo.h"
+
+namespace ccml {
+
+/// One network path a job's communication phase uses.
+struct JobPath {
+  NodeId src;
+  NodeId dst;
+  Route route;
+};
+
+/// A time gate for the communication phase (central flow scheduling).
+/// Communication may begin in the window [epoch + offset + k*period,
+/// epoch + offset + k*period + window) for integer k >= 0; outside a window
+/// the job waits for the next one.  A zero window degenerates to strict
+/// instants.  Multi-phase jobs may carry one offset per phase in
+/// `phase_offsets` (falling back to `offset` when it is empty or shorter
+/// than the phase index).
+struct CommGate {
+  TimePoint epoch;
+  Duration offset;
+  Duration period;
+  std::vector<Duration> phase_offsets;
+  Duration window = Duration::zero();
+};
+
+struct JobSpec {
+  JobId id;
+  std::string name;
+  JobProfile profile;
+  /// Paths used by the communication phase; all must finish to end the
+  /// iteration.  Must be non-empty.
+  std::vector<JobPath> paths;
+  /// When true (default), profile.comm_bytes is split evenly across paths —
+  /// the single-bottleneck abstraction.  When false, *each* path carries the
+  /// full comm_bytes, matching ring allreduce where every worker's NIC
+  /// injects the whole per-worker wire volume.
+  bool split_bytes = true;
+  TimePoint start = TimePoint::origin();
+  int max_iterations = 0;  ///< 0 = run until simulation ends
+
+  // Knobs forwarded to FlowSpec:
+  int priority = 0;
+  double weight = 1.0;
+  Duration cc_timer = Duration::zero();  ///< per-flow DCQCN T override
+  Rate cc_rai = Rate::zero();            ///< per-flow DCQCN R_AI override
+
+  std::optional<CommGate> gate;
+
+  /// Per-iteration Gaussian jitter applied to every compute phase (real
+  /// jobs' step times vary with data loading, kernel scheduling, stragglers).
+  /// Zero disables jitter.  The paper's abstraction assumes phases are
+  /// "more or less the same" across iterations; bench/ablation_compute_jitter
+  /// probes how much variation the mechanism tolerates.
+  Duration compute_jitter = Duration::zero();
+  std::uint64_t jitter_seed = 0;
+};
+
+class TrainingJob {
+ public:
+  TrainingJob(Simulator& sim, Network& net, JobSpec spec);
+  TrainingJob(const TrainingJob&) = delete;
+  TrainingJob& operator=(const TrainingJob&) = delete;
+  ~TrainingJob();
+
+  /// Schedules the first compute phase at spec.start.
+  void start();
+
+  const JobSpec& spec() const { return spec_; }
+  JobId id() const { return spec_.id; }
+
+  enum class Phase { kIdle, kComputing, kWaitingGate, kCommunicating, kDone };
+  Phase phase() const { return phase_; }
+
+  std::size_t completed_iterations() const { return iteration_times_.size(); }
+
+  /// Wall-clock duration of each completed iteration (interpolated flow
+  /// completion, not step-quantized).
+  const std::vector<Duration>& iteration_times() const {
+    return iteration_times_;
+  }
+
+  /// Start timestamps of each completed or in-flight iteration.
+  const std::vector<TimePoint>& iteration_starts() const {
+    return iteration_starts_;
+  }
+
+  /// Fired when max_iterations completes.
+  std::function<void(const TrainingJob&)> on_done;
+
+  /// Fired at each iteration boundary with (iteration index, duration).
+  std::function<void(std::size_t, Duration)> on_iteration;
+
+ private:
+  void begin_iteration(TimePoint t);
+  void begin_phase(TimePoint t);
+  void on_compute_done();
+  void launch_comm_phase(TimePoint t);
+  void on_flow_complete(TimePoint finish);
+  void phase_done(TimePoint t);
+  void finish_iteration(TimePoint t);
+
+  Simulator& sim_;
+  Network& net_;
+  JobSpec spec_;
+  Rng jitter_rng_;
+  std::vector<PhaseSpec> phases_;       // normalized iteration structure
+  std::size_t phase_index_ = 0;         // current phase within the iteration
+  Phase phase_ = Phase::kIdle;
+  TimePoint iter_start_;
+  std::size_t flows_in_flight_ = 0;
+  TimePoint last_flow_finish_;
+  std::vector<FlowId> live_flows_;
+  std::vector<Duration> iteration_times_;
+  std::vector<TimePoint> iteration_starts_;
+  bool destroyed_guard_ = false;
+};
+
+}  // namespace ccml

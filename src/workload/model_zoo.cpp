@@ -1,0 +1,133 @@
+#include "workload/model_zoo.h"
+
+#include <stdexcept>
+
+namespace ccml {
+
+namespace {
+
+// Forward-pass microseconds per sample are rough A100 figures; they only
+// matter through the calibrated/analytic iteration times they produce.
+const std::vector<ModelInfo> kModels = {
+    {"VGG16", 138.0, 105.0, 2.0},
+    {"VGG19", 143.0, 125.0, 2.0},
+    {"ResNet50", 25.6, 100.0, 2.0},
+    {"WideResNet", 68.9, 310.0, 2.0},
+    {"BERT", 110.0, 12'500.0, 2.0},
+    {"DLRM", 540.0, 350.0, 2.0},
+};
+
+// Bytes that fill `ms` milliseconds at the reference effective goodput of
+// 42.5 Gbps (50 Gbps NIC x 0.85), the rate the calibration assumes.
+constexpr double kRefGbps = 42.5;
+Bytes comm_ms(double ms) { return Bytes::of(ms * 1e-3 * kRefGbps * 1e9 / 8.0); }
+
+struct CalEntry {
+  const char* model;
+  int batch;
+  double fwd_ms;   // compute phase
+  double comm_ms_at_ref;  // communication phase duration on a dedicated link
+};
+
+// Calibrated against Table 1 (see DESIGN.md §5).  For fully compatible
+// groups, solo time = unfair time; fair time = fwd + k * comm for k sharers.
+const CalEntry kCalibrated[] = {
+    // model        batch  fwd(ms) comm(ms @42.5Gbps)
+    // BERT(8)'s 140 ms period harmonically locks with VGG19(1200)'s 280 ms
+    // (ratio exactly 2), reproducing the paper's persistent fair-sharing
+    // overlap in Table 1 row 1.
+    {"BERT",        8,     95.0,   45.0},
+    {"VGG19",       1200,  180.0,  100.0},
+    {"DLRM",        2000,  700.0,  300.0},
+    {"VGG19",       1400,  269.0,  60.0},
+    // WideResNet(800) and VGG16(1400) share one comm volume so their solo
+    // periods match exactly; mismatched periods would let fair sharing
+    // drift apart on its own, which the paper's row 4 does not show.
+    {"WideResNet",  800,   250.0,  22.5},
+    {"VGG16",       1400,  250.0,  22.5},
+    {"VGG16",       1700,  269.0,  60.0},
+    {"ResNet50",    1600,  163.0,  2.0},
+};
+
+}  // namespace
+
+const std::vector<ModelInfo>& ModelZoo::models() { return kModels; }
+
+std::optional<ModelInfo> ModelZoo::find(const std::string& name) {
+  for (const auto& m : kModels) {
+    if (m.name == name) return m;
+  }
+  return std::nullopt;
+}
+
+std::optional<JobProfile> ModelZoo::calibrated(const std::string& model,
+                                               int batch) {
+  for (const auto& e : kCalibrated) {
+    if (model == e.model && batch == e.batch) {
+      return JobProfile{model, batch, Duration::from_millis_f(e.fwd_ms),
+                        comm_ms(e.comm_ms_at_ref)};
+    }
+  }
+  return std::nullopt;
+}
+
+JobProfile ModelZoo::analytic(const std::string& model, int batch, int workers,
+                              AllreduceAlgo algo) {
+  const auto info = find(model);
+  if (!info) throw std::invalid_argument("unknown model: " + model);
+  // Data parallelism splits the global batch across workers.
+  const double per_worker = static_cast<double>(batch) / workers;
+  const Duration fwd =
+      Duration::from_micros_f(info->fwd_us_per_sample * per_worker);
+  const Bytes model_bytes = Bytes::mega(info->params_millions * 4.0);  // fp32
+  const Bytes wire = wire_bytes_per_worker(algo, model_bytes, workers);
+  return JobProfile{model, batch, fwd, wire};
+}
+
+JobProfile ModelZoo::synthetic(std::string name, Duration fwd_compute,
+                               Bytes comm_bytes) {
+  return JobProfile{std::move(name), 0, fwd_compute, comm_bytes, {}};
+}
+
+JobProfile ModelZoo::synthetic_phased(std::string name,
+                                      std::vector<PhaseSpec> phases) {
+  JobProfile p;
+  p.model = std::move(name);
+  p.phases = std::move(phases);
+  return p;
+}
+
+std::vector<PhaseSpec> JobProfile::iteration_phases() const {
+  if (!phases.empty()) return phases;
+  return {PhaseSpec{fwd_compute, comm_bytes}};
+}
+
+Bytes JobProfile::total_comm_bytes() const {
+  Bytes total = Bytes::zero();
+  for (const PhaseSpec& p : iteration_phases()) total += p.comm;
+  return total;
+}
+
+Duration JobProfile::total_compute() const {
+  Duration total = Duration::zero();
+  for (const PhaseSpec& p : iteration_phases()) total += p.compute;
+  return total;
+}
+
+Duration JobProfile::solo_iteration(Rate rate) const {
+  Duration total = Duration::zero();
+  for (const PhaseSpec& p : iteration_phases()) {
+    total += p.compute;
+    if (p.comm.is_positive()) total += transfer_time(p.comm, rate);
+  }
+  return total;
+}
+
+double JobProfile::comm_fraction(Rate rate) const {
+  const Duration total = solo_iteration(rate);
+  if (!total.is_positive()) return 0.0;
+  const Bytes bytes = total_comm_bytes();
+  return bytes.is_positive() ? transfer_time(bytes, rate) / total : 0.0;
+}
+
+}  // namespace ccml

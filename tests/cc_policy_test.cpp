@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "cc/factory.h"
+#include "cc/priority.h"
+#include "cc/wfq.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace ccml {
+namespace {
+
+struct Fixture {
+  explicit Fixture(std::unique_ptr<BandwidthPolicy> policy)
+      : topo(Topology::dumbbell(3, Rate::gbps(100), Rate::gbps(30))),
+        router(topo) {
+    NetworkConfig cfg;
+    cfg.goodput_factor = 1.0;
+    cfg.step = Duration::micros(10);
+    net = std::make_unique<Network>(topo, std::move(policy), cfg);
+    net->attach(sim);
+    hosts = topo.hosts();
+  }
+
+  FlowId flow(int pair, Bytes size, int priority = 0, double weight = 1.0) {
+    FlowSpec fs;
+    fs.src = hosts[2 * pair];
+    fs.dst = hosts[2 * pair + 1];
+    fs.route = router.pick(fs.src, fs.dst, 0);
+    fs.size = size;
+    fs.priority = priority;
+    fs.weight = weight;
+    return net->start_flow(std::move(fs));
+  }
+
+  Simulator sim;
+  Topology topo;
+  Router router;
+  std::unique_ptr<Network> net;
+  std::vector<NodeId> hosts;
+};
+
+TEST(WfqPolicy, RatesFollowWeights) {
+  Fixture f(std::make_unique<WfqPolicy>());
+  const FlowId w3 = f.flow(0, Bytes::giga(1), 0, 3.0);
+  const FlowId w1 = f.flow(1, Bytes::giga(1), 0, 1.0);
+  f.sim.run_for(Duration::micros(50));
+  EXPECT_NEAR(f.net->flow(w3).rate.to_gbps(), 22.5, 0.01);
+  EXPECT_NEAR(f.net->flow(w1).rate.to_gbps(), 7.5, 0.01);
+}
+
+TEST(WfqPolicy, EqualWeightsEqualRates) {
+  Fixture f(std::make_unique<WfqPolicy>());
+  const FlowId a = f.flow(0, Bytes::giga(1));
+  const FlowId b = f.flow(1, Bytes::giga(1));
+  const FlowId c = f.flow(2, Bytes::giga(1));
+  f.sim.run_for(Duration::micros(50));
+  EXPECT_NEAR(f.net->flow(a).rate.to_gbps(), 10.0, 0.01);
+  EXPECT_NEAR(f.net->flow(b).rate.to_gbps(), 10.0, 0.01);
+  EXPECT_NEAR(f.net->flow(c).rate.to_gbps(), 10.0, 0.01);
+}
+
+TEST(PriorityPolicy, HighPriorityTakesEverything) {
+  Fixture f(std::make_unique<PriorityPolicy>());
+  const FlowId high = f.flow(0, Bytes::giga(1), /*priority=*/0);
+  const FlowId low = f.flow(1, Bytes::giga(1), /*priority=*/1);
+  f.sim.run_for(Duration::micros(50));
+  EXPECT_NEAR(f.net->flow(high).rate.to_gbps(), 30.0, 0.01);
+  EXPECT_NEAR(f.net->flow(low).rate.to_gbps(), 0.0, 0.01);
+}
+
+TEST(PriorityPolicy, PreemptionTimeline) {
+  Fixture f(std::make_unique<PriorityPolicy>());
+  TimePoint done_high = TimePoint::origin(), done_low = TimePoint::origin();
+  FlowSpec hi;
+  hi.src = f.hosts[0];
+  hi.dst = f.hosts[1];
+  hi.route = f.router.pick(hi.src, hi.dst, 0);
+  hi.size = Bytes::mega(3.75);  // 1 ms at 30 Gbps
+  hi.priority = 0;
+  f.net->start_flow(std::move(hi),
+                    [&](const Flow&, TimePoint t) { done_high = t; });
+  FlowSpec lo;
+  lo.src = f.hosts[2];
+  lo.dst = f.hosts[3];
+  lo.route = f.router.pick(lo.src, lo.dst, 0);
+  lo.size = Bytes::mega(3.75);
+  lo.priority = 5;
+  f.net->start_flow(std::move(lo),
+                    [&](const Flow&, TimePoint t) { done_low = t; });
+  f.sim.run_for(Duration::millis(5));
+  EXPECT_NEAR((done_high - TimePoint::origin()).to_millis(), 1.0, 0.05);
+  EXPECT_NEAR((done_low - TimePoint::origin()).to_millis(), 2.0, 0.05);
+}
+
+TEST(PriorityPolicy, SamePriorityShares) {
+  Fixture f(std::make_unique<PriorityPolicy>());
+  const FlowId a = f.flow(0, Bytes::giga(1), 2);
+  const FlowId b = f.flow(1, Bytes::giga(1), 2);
+  f.sim.run_for(Duration::micros(50));
+  EXPECT_NEAR(f.net->flow(a).rate.to_gbps(), 15.0, 0.01);
+  EXPECT_NEAR(f.net->flow(b).rate.to_gbps(), 15.0, 0.01);
+}
+
+TEST(PolicyFactory, BuildsEveryKind) {
+  for (const PolicyKind kind :
+       {PolicyKind::kMaxMinFair, PolicyKind::kWfq, PolicyKind::kPriority,
+        PolicyKind::kDcqcn, PolicyKind::kDcqcnAdaptive}) {
+    const auto policy = make_policy(kind);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_STRNE(policy->name(), "");
+  }
+}
+
+TEST(PolicyFactory, ParseRoundTrip) {
+  for (const PolicyKind kind :
+       {PolicyKind::kMaxMinFair, PolicyKind::kWfq, PolicyKind::kPriority,
+        PolicyKind::kDcqcn, PolicyKind::kDcqcnAdaptive}) {
+    EXPECT_EQ(parse_policy_kind(to_string(kind)), kind);
+  }
+  EXPECT_THROW(parse_policy_kind("bogus"), std::invalid_argument);
+}
+
+TEST(PolicyFactory, AdaptiveFlagPropagates) {
+  const auto plain = make_policy(PolicyKind::kDcqcn);
+  const auto adaptive = make_policy(PolicyKind::kDcqcnAdaptive);
+  EXPECT_STREQ(plain->name(), "dcqcn");
+  EXPECT_STREQ(adaptive->name(), "dcqcn-adaptive");
+}
+
+}  // namespace
+}  // namespace ccml

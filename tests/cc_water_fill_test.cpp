@@ -1,0 +1,162 @@
+#include "cc/water_fill.h"
+
+#include <gtest/gtest.h>
+
+#include "cc/max_min_fair.h"
+#include "sim/simulator.h"
+
+namespace ccml {
+namespace {
+
+/// Builds a network with no steps run yet; flows are started manually and
+/// rates computed by direct water_fill calls.
+struct Fixture {
+  explicit Fixture(Topology t) : topo(std::move(t)), router(topo) {
+    NetworkConfig cfg;
+    cfg.goodput_factor = 1.0;
+    net = std::make_unique<Network>(topo, std::make_unique<MaxMinFairPolicy>(),
+                                    cfg);
+    net->attach(sim);
+  }
+
+  FlowId flow(NodeId src, NodeId dst, std::uint64_t salt = 0) {
+    FlowSpec fs;
+    fs.src = src;
+    fs.dst = dst;
+    fs.route = router.pick(src, dst, salt);
+    fs.size = Bytes::giga(1);
+    return net->start_flow(std::move(fs));
+  }
+
+  Simulator sim;
+  Topology topo;
+  Router router;
+  std::unique_ptr<Network> net;
+};
+
+TEST(WaterFill, EqualSharesOnSharedBottleneck) {
+  Fixture f(Topology::dumbbell(3, Rate::gbps(100), Rate::gbps(30)));
+  const auto hosts = f.topo.hosts();
+  std::vector<FlowId> ids;
+  for (int i = 0; i < 3; ++i) {
+    ids.push_back(f.flow(hosts[2 * i], hosts[2 * i + 1]));
+  }
+  auto residual = full_residual(*f.net);
+  const auto rates = water_fill(*f.net, f.net->active_flows(), residual, {});
+  for (const FlowId id : ids) {
+    EXPECT_NEAR(rates.at(id).to_gbps(), 10.0, 1e-6);
+  }
+}
+
+TEST(WaterFill, HostLinkBottleneckFreesBandwidth) {
+  // Two flows: one constrained by a slow host NIC (10 Gbps), the other takes
+  // the rest of the 30 Gbps bottleneck.
+  Topology t;
+  const NodeId sw1 = t.add_node(NodeKind::kTor, "sw1");
+  const NodeId sw2 = t.add_node(NodeKind::kTor, "sw2");
+  t.add_duplex_link(sw1, sw2, Rate::gbps(30));
+  const NodeId a = t.add_node(NodeKind::kHost, "a");
+  const NodeId b = t.add_node(NodeKind::kHost, "b");
+  const NodeId c = t.add_node(NodeKind::kHost, "c");
+  const NodeId d = t.add_node(NodeKind::kHost, "d");
+  t.add_duplex_link(a, sw1, Rate::gbps(10));   // slow NIC
+  t.add_duplex_link(c, sw1, Rate::gbps(100));
+  t.add_duplex_link(sw2, b, Rate::gbps(100));
+  t.add_duplex_link(sw2, d, Rate::gbps(100));
+
+  Fixture f(std::move(t));
+  const FlowId slow = f.flow(a, b);
+  const FlowId fast = f.flow(c, d);
+  auto residual = full_residual(*f.net);
+  const auto rates = water_fill(*f.net, f.net->active_flows(), residual, {});
+  EXPECT_NEAR(rates.at(slow).to_gbps(), 10.0, 1e-6);
+  EXPECT_NEAR(rates.at(fast).to_gbps(), 20.0, 1e-6);
+}
+
+TEST(WaterFill, WeightsSplitProportionally) {
+  Fixture f(Topology::dumbbell(2, Rate::gbps(100), Rate::gbps(30)));
+  const auto hosts = f.topo.hosts();
+  const FlowId heavy = f.flow(hosts[0], hosts[1]);
+  const FlowId light = f.flow(hosts[2], hosts[3]);
+  auto residual = full_residual(*f.net);
+  std::unordered_map<FlowId, double> weights{{heavy, 2.0}, {light, 1.0}};
+  const auto rates =
+      water_fill(*f.net, f.net->active_flows(), residual, weights);
+  EXPECT_NEAR(rates.at(heavy).to_gbps(), 20.0, 1e-6);
+  EXPECT_NEAR(rates.at(light).to_gbps(), 10.0, 1e-6);
+}
+
+TEST(WaterFill, ZeroWeightGetsNothing) {
+  Fixture f(Topology::dumbbell(2, Rate::gbps(100), Rate::gbps(30)));
+  const auto hosts = f.topo.hosts();
+  const FlowId on = f.flow(hosts[0], hosts[1]);
+  const FlowId off = f.flow(hosts[2], hosts[3]);
+  auto residual = full_residual(*f.net);
+  std::unordered_map<FlowId, double> weights{{off, 0.0}};
+  const auto rates =
+      water_fill(*f.net, f.net->active_flows(), residual, weights);
+  EXPECT_NEAR(rates.at(on).to_gbps(), 30.0, 1e-6);
+  EXPECT_DOUBLE_EQ(rates.at(off).to_gbps(), 0.0);
+}
+
+TEST(WaterFill, ConsumesResidualInPlace) {
+  Fixture f(Topology::dumbbell(1, Rate::gbps(100), Rate::gbps(30)));
+  const auto hosts = f.topo.hosts();
+  f.flow(hosts[0], hosts[1]);
+  auto residual = full_residual(*f.net);
+  water_fill(*f.net, f.net->active_flows(), residual, {});
+  // Bottleneck (link 0) fully consumed.
+  EXPECT_NEAR(residual[0].to_gbps(), 0.0, 1e-6);
+}
+
+TEST(WaterFill, NoFlowsIsEmpty) {
+  Fixture f(Topology::dumbbell(1, Rate::gbps(100), Rate::gbps(30)));
+  auto residual = full_residual(*f.net);
+  const auto rates = water_fill(*f.net, {}, residual, {});
+  EXPECT_TRUE(rates.empty());
+}
+
+TEST(WaterFill, CapacityNeverExceededOnAnyLink) {
+  Fixture f(Topology::leaf_spine(2, 4, 2, Rate::gbps(50), Rate::gbps(40)));
+  const auto hosts = f.topo.hosts();
+  // Cross-rack flows with assorted sources.
+  for (std::size_t i = 0; i < 4; ++i) {
+    f.flow(hosts[i], hosts[4 + i], i);
+  }
+  auto residual = full_residual(*f.net);
+  const auto rates = water_fill(*f.net, f.net->active_flows(), residual, {});
+  // Recompute per-link load and compare to capacity.
+  std::vector<double> load(f.topo.link_count(), 0.0);
+  for (const auto& [fid, rate] : rates) {
+    for (const LinkId lid : f.net->flow(fid).spec.route.links) {
+      load[lid.value] += rate.to_gbps();
+    }
+  }
+  for (std::size_t l = 0; l < load.size(); ++l) {
+    EXPECT_LE(load[l],
+              f.net->effective_capacity(LinkId{static_cast<std::int32_t>(l)})
+                      .to_gbps() +
+                  1e-6);
+  }
+}
+
+TEST(WaterFill, ParetoEfficientOnBottleneck) {
+  // Every flow must be bottlenecked somewhere: no flow can be given more
+  // rate without exceeding some link.
+  Fixture f(Topology::leaf_spine(2, 2, 1, Rate::gbps(50), Rate::gbps(40)));
+  const auto hosts = f.topo.hosts();
+  f.flow(hosts[0], hosts[2], 0);
+  f.flow(hosts[1], hosts[3], 1);
+  auto residual = full_residual(*f.net);
+  const auto rates = water_fill(*f.net, f.net->active_flows(), residual, {});
+  for (const auto& [fid, rate] : rates) {
+    bool bottlenecked = false;
+    for (const LinkId lid : f.net->flow(fid).spec.route.links) {
+      if (residual[lid.value].to_gbps() < 1e-6) bottlenecked = true;
+    }
+    EXPECT_TRUE(bottlenecked) << "flow " << fid.value << " has slack";
+  }
+}
+
+}  // namespace
+}  // namespace ccml

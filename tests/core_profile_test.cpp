@@ -1,0 +1,68 @@
+#include "core/profile.h"
+
+#include <gtest/gtest.h>
+
+namespace ccml {
+namespace {
+
+TEST(CommProfile, SinglePhaseLayout) {
+  // Paper Fig. 3: VGG16, 255 ms iteration, first 141 ms pure compute.
+  const CommProfile p = CommProfile::single_phase(
+      "VGG16", Duration::millis(255), Duration::millis(141), Rate::gbps(42));
+  EXPECT_TRUE(p.valid());
+  EXPECT_EQ(p.period.to_millis(), 255.0);
+  ASSERT_EQ(p.arcs.size(), 1u);
+  EXPECT_EQ(p.arcs[0].start.to_millis(), 141.0);
+  EXPECT_EQ(p.arcs[0].length.to_millis(), 114.0);
+  EXPECT_NEAR(p.comm_fraction(), 114.0 / 255.0, 1e-9);
+}
+
+TEST(CommProfile, CommTimeSumsArcs) {
+  CommProfile p;
+  p.name = "multi";
+  p.period = Duration::millis(100);
+  p.demand = Rate::gbps(10);
+  p.arcs = {Arc{Duration::millis(10), Duration::millis(20)},
+            Arc{Duration::millis(50), Duration::millis(5)}};
+  EXPECT_EQ(p.comm_time().to_millis(), 25.0);
+  EXPECT_NEAR(p.comm_fraction(), 0.25, 1e-9);
+  EXPECT_TRUE(p.valid());
+}
+
+TEST(CommProfile, AllComputeIsValidWithZeroFraction) {
+  const CommProfile p = CommProfile::single_phase(
+      "cpu", Duration::millis(50), Duration::millis(50), Rate::gbps(42));
+  EXPECT_TRUE(p.valid());
+  EXPECT_TRUE(p.arcs.empty());
+  EXPECT_DOUBLE_EQ(p.comm_fraction(), 0.0);
+}
+
+TEST(CommProfile, InvalidCases) {
+  CommProfile zero_period;
+  zero_period.period = Duration::zero();
+  EXPECT_FALSE(zero_period.valid());
+
+  CommProfile zero_arc;
+  zero_arc.period = Duration::millis(10);
+  zero_arc.arcs = {Arc{Duration::zero(), Duration::zero()}};
+  EXPECT_FALSE(zero_arc.valid());
+
+  CommProfile overfull;
+  overfull.period = Duration::millis(10);
+  overfull.arcs = {Arc{Duration::zero(), Duration::millis(8)},
+                   Arc{Duration::millis(5), Duration::millis(8)}};
+  EXPECT_FALSE(overfull.valid());
+}
+
+TEST(CommProfile, ToIntervalsRollsOntoCircle) {
+  const CommProfile p = CommProfile::single_phase(
+      "j", Duration::millis(100), Duration::millis(60), Rate::gbps(42));
+  const CircularIntervalSet set = p.to_intervals();
+  EXPECT_EQ(set.perimeter().to_millis(), 100.0);
+  EXPECT_FALSE(set.contains(Duration::millis(30)));  // compute
+  EXPECT_TRUE(set.contains(Duration::millis(80)));   // comm
+  EXPECT_NEAR(set.covered_fraction(), 0.4, 1e-9);
+}
+
+}  // namespace
+}  // namespace ccml

@@ -1,0 +1,126 @@
+#include "core/unified_circle.h"
+
+#include <gtest/gtest.h>
+
+namespace ccml {
+namespace {
+
+CommProfile job(const char* name, std::int64_t period_ms,
+                std::int64_t compute_ms, double demand_gbps = 42.5) {
+  return CommProfile::single_phase(name, Duration::millis(period_ms),
+                                   Duration::millis(compute_ms),
+                                   Rate::gbps(demand_gbps));
+}
+
+TEST(UnifiedCircle, PerimeterIsLcm) {
+  // Paper Fig. 5: periods 40 ms and 60 ms => unified perimeter 120 ms.
+  const std::vector<CommProfile> jobs = {job("J1", 40, 25), job("J2", 60, 40)};
+  const UnifiedCircle circle(jobs);
+  EXPECT_EQ(circle.perimeter().to_millis(), 120.0);
+  EXPECT_TRUE(circle.exact());
+  EXPECT_EQ(circle.repetitions(0), 3);  // J1 appears 3x (Fig. 5a)
+  EXPECT_EQ(circle.repetitions(1), 2);  // J2 appears 2x (Fig. 5b)
+}
+
+TEST(UnifiedCircle, SameperiodJobsKeepPerimeter) {
+  const std::vector<CommProfile> jobs = {job("a", 100, 60), job("b", 100, 70)};
+  const UnifiedCircle circle(jobs);
+  EXPECT_EQ(circle.perimeter().to_millis(), 100.0);
+  EXPECT_EQ(circle.repetitions(0), 1);
+}
+
+TEST(UnifiedCircle, JobArcsReplicateAroundCircle) {
+  const std::vector<CommProfile> jobs = {job("J1", 40, 25), job("J2", 60, 40)};
+  const UnifiedCircle circle(jobs);
+  const auto arcs = circle.job_arcs(0, Duration::zero());
+  // J1 communicates on [25,40) of each of its 3 iterations.
+  EXPECT_EQ(arcs.covered_length().to_millis(), 45.0);
+  EXPECT_TRUE(arcs.contains(Duration::millis(30)));
+  EXPECT_TRUE(arcs.contains(Duration::millis(70)));
+  EXPECT_TRUE(arcs.contains(Duration::millis(110)));
+  EXPECT_FALSE(arcs.contains(Duration::millis(50)));
+}
+
+TEST(UnifiedCircle, RotationShiftsArcs) {
+  const std::vector<CommProfile> jobs = {job("J1", 40, 25), job("J2", 60, 40)};
+  const UnifiedCircle circle(jobs);
+  const auto arcs = circle.job_arcs(0, Duration::millis(5));
+  EXPECT_TRUE(arcs.contains(Duration::millis(35)));
+  EXPECT_FALSE(arcs.contains(Duration::millis(25)));
+}
+
+TEST(UnifiedCircle, OverlapFractionZeroWhenSeparated) {
+  // Two jobs, period 100: comm [60,100) and comm [60,100) rotated by 40
+  // lands at [0,40) — wait, rotated +40 => [100,140)=[0,40). Disjoint from
+  // [60,100).
+  const std::vector<CommProfile> jobs = {job("a", 100, 60), job("b", 100, 60)};
+  const UnifiedCircle circle(jobs);
+  const std::vector<Duration> aligned = {Duration::zero(), Duration::zero()};
+  EXPECT_NEAR(circle.overlap_fraction(aligned), 0.4, 1e-9);
+  EXPECT_EQ(circle.max_concurrency(aligned), 2);
+
+  const std::vector<Duration> rotated = {Duration::zero(),
+                                         Duration::millis(40)};
+  EXPECT_NEAR(circle.overlap_fraction(rotated), 0.0, 1e-9);
+  EXPECT_EQ(circle.max_concurrency(rotated), 1);
+}
+
+TEST(UnifiedCircle, Fig5RotationSeparatesJobs) {
+  // The paper rotates J1 by 30 degrees ccw on the 120 ms circle = 10 ms.
+  // Our numbers differ from the illustration, but for light jobs (J1 comm
+  // 6 ms per 40 ms period, J2 comm 10 ms per 60 ms period) a separating
+  // rotation must exist.
+  const std::vector<CommProfile> jobs = {job("J1", 40, 34), job("J2", 60, 50)};
+  const UnifiedCircle circle(jobs);
+  bool found = false;
+  for (std::int64_t r = 0; r < 40 && !found; ++r) {
+    const std::vector<Duration> rot = {Duration::millis(r), Duration::zero()};
+    if (circle.overlap_fraction(rot) == 0.0) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(UnifiedCircle, PeakDemandSumsOverlappingJobs) {
+  const std::vector<CommProfile> jobs = {job("a", 100, 60, 20.0),
+                                         job("b", 100, 60, 15.0)};
+  const UnifiedCircle circle(jobs);
+  const std::vector<Duration> aligned = {Duration::zero(), Duration::zero()};
+  EXPECT_NEAR(circle.peak_demand(aligned).to_gbps(), 35.0, 1e-9);
+  const std::vector<Duration> rotated = {Duration::zero(),
+                                         Duration::millis(40)};
+  EXPECT_NEAR(circle.peak_demand(rotated).to_gbps(), 20.0, 1e-9);
+}
+
+TEST(UnifiedCircle, InexactWhenLcmExceedsCap) {
+  UnifiedCircleOptions opts;
+  opts.perimeter_cap = Duration::millis(500);
+  const std::vector<CommProfile> jobs = {job("a", 997, 500),
+                                         job("b", 1009, 500)};
+  const UnifiedCircle circle(jobs, opts);
+  EXPECT_EQ(circle.perimeter().to_millis(), 500.0);
+  EXPECT_FALSE(circle.exact());
+}
+
+TEST(UnifiedCircle, QuantizationSnapsNoisyPeriods) {
+  UnifiedCircleOptions opts;
+  opts.quantum = Duration::millis(1);
+  std::vector<CommProfile> jobs = {job("a", 40, 25), job("b", 60, 40)};
+  jobs[0].period = Duration::from_millis_f(40.3);  // noisy measurement
+  const UnifiedCircle circle(jobs, opts);
+  EXPECT_EQ(circle.perimeter().to_millis(), 120.0);
+}
+
+TEST(UnifiedCircle, ThreeJobsConcurrency) {
+  const std::vector<CommProfile> jobs = {job("a", 90, 60), job("b", 90, 60),
+                                         job("c", 90, 60)};
+  const UnifiedCircle circle(jobs);
+  const std::vector<Duration> aligned(3, Duration::zero());
+  EXPECT_EQ(circle.max_concurrency(aligned), 3);
+  const std::vector<Duration> spread = {Duration::zero(), Duration::millis(30),
+                                        Duration::millis(60)};
+  EXPECT_EQ(circle.max_concurrency(spread), 1);
+  EXPECT_NEAR(circle.overlap_fraction(spread), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ccml

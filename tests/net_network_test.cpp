@@ -1,0 +1,251 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include "cc/max_min_fair.h"
+#include "sim/simulator.h"
+
+namespace ccml {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : topo(Topology::dumbbell(2, Rate::gbps(50), Rate::gbps(50))),
+        router(topo) {
+    NetworkConfig cfg;
+    cfg.goodput_factor = 1.0;  // exact arithmetic in these tests
+    cfg.step = Duration::micros(10);
+    net = std::make_unique<Network>(topo, std::make_unique<MaxMinFairPolicy>(),
+                                    cfg);
+    net->attach(sim);
+    hosts = topo.hosts();  // src0, dst0, src1, dst1
+  }
+
+  FlowSpec spec(NodeId src, NodeId dst, Bytes size) {
+    FlowSpec fs;
+    fs.src = src;
+    fs.dst = dst;
+    fs.route = router.pick(src, dst, 0);
+    fs.size = size;
+    return fs;
+  }
+
+  Simulator sim;
+  Topology topo;
+  Router router;
+  std::unique_ptr<Network> net;
+  std::vector<NodeId> hosts;
+};
+
+TEST(Network, SingleFlowCompletionTime) {
+  Fixture f;
+  // 50 Gbps link, 6.25 MB => exactly 1 ms.
+  TimePoint done = TimePoint::origin();
+  f.net->start_flow(f.spec(f.hosts[0], f.hosts[1], Bytes::mega(6.25)),
+                    [&](const Flow&, TimePoint t) { done = t; });
+  f.sim.run_for(Duration::millis(10));
+  EXPECT_NEAR((done - TimePoint::origin()).to_millis(), 1.0, 0.02);
+  EXPECT_EQ(f.net->active_flow_count(), 0u);
+}
+
+TEST(Network, CompletionInterpolatesWithinStep) {
+  Fixture f;
+  // 50 Gbps: 625 KB = 100 us = exactly 10 steps; 640 KB = 102.4 us, which is
+  // mid-step.  The interpolated finish should land near 102.4 us, not 110.
+  TimePoint done = TimePoint::origin();
+  f.net->start_flow(f.spec(f.hosts[0], f.hosts[1], Bytes::kilo(640)),
+                    [&](const Flow&, TimePoint t) { done = t; });
+  f.sim.run_for(Duration::millis(1));
+  EXPECT_NEAR((done - TimePoint::origin()).to_micros(), 102.4, 1.0);
+}
+
+TEST(Network, TwoFlowsShareBottleneckFairly) {
+  Fixture f;
+  // Both flows cross the 50 Gbps bottleneck: each should get 25 Gbps, so a
+  // 6.25 MB transfer takes 2 ms.
+  TimePoint done0 = TimePoint::origin(), done1 = TimePoint::origin();
+  f.net->start_flow(f.spec(f.hosts[0], f.hosts[1], Bytes::mega(6.25)),
+                    [&](const Flow&, TimePoint t) { done0 = t; });
+  f.net->start_flow(f.spec(f.hosts[2], f.hosts[3], Bytes::mega(6.25)),
+                    [&](const Flow&, TimePoint t) { done1 = t; });
+  f.sim.run_for(Duration::millis(10));
+  EXPECT_NEAR((done0 - TimePoint::origin()).to_millis(), 2.0, 0.05);
+  EXPECT_NEAR((done1 - TimePoint::origin()).to_millis(), 2.0, 0.05);
+}
+
+TEST(Network, LateFlowGetsResidualThenShares) {
+  Fixture f;
+  // Flow A alone for 1 ms (delivers 6.25 MB), then flow B joins.
+  TimePoint doneA = TimePoint::origin();
+  f.net->start_flow(f.spec(f.hosts[0], f.hosts[1], Bytes::mega(12.5)),
+                    [&](const Flow&, TimePoint t) { doneA = t; });
+  f.sim.schedule_at(TimePoint::origin() + Duration::millis(1), [&] {
+    f.net->start_flow(f.spec(f.hosts[2], f.hosts[3], Bytes::mega(6.25)));
+  });
+  f.sim.run_for(Duration::millis(10));
+  // A: 6.25 MB at 50 Gbps (1 ms) + 6.25 MB at 25 Gbps (2 ms) = 3 ms total.
+  EXPECT_NEAR((doneA - TimePoint::origin()).to_millis(), 3.0, 0.05);
+}
+
+TEST(Network, AbortFlowSuppressesCallback) {
+  Fixture f;
+  bool fired = false;
+  const FlowId id =
+      f.net->start_flow(f.spec(f.hosts[0], f.hosts[1], Bytes::mega(100)),
+                        [&](const Flow&, TimePoint) { fired = true; });
+  f.sim.schedule_at(TimePoint::origin() + Duration::millis(1), [&] {
+    f.net->abort_flow(id);
+  });
+  f.sim.run_for(Duration::millis(5));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(f.net->active_flow_count(), 0u);
+}
+
+TEST(Network, GoodputFactorScalesCapacity) {
+  const Topology topo = Topology::dumbbell(1, Rate::gbps(50), Rate::gbps(50));
+  Simulator sim;
+  NetworkConfig cfg;
+  cfg.goodput_factor = 0.85;
+  Network net(topo, std::make_unique<MaxMinFairPolicy>(), cfg);
+  net.attach(sim);
+  EXPECT_NEAR(net.effective_capacity(LinkId{0}).to_gbps(), 42.5, 1e-9);
+}
+
+TEST(Network, LinkThroughputAndUtilization) {
+  Fixture f;
+  f.net->start_flow(f.spec(f.hosts[0], f.hosts[1], Bytes::mega(100)));
+  f.sim.run_for(Duration::micros(100));
+  const LinkId bottleneck{0};
+  EXPECT_NEAR(f.net->link_throughput(bottleneck).to_gbps(), 50.0, 0.5);
+  EXPECT_NEAR(f.net->link_utilization(bottleneck), 1.0, 0.01);
+}
+
+TEST(Network, FlowsOnLinkTracksMembership) {
+  Fixture f;
+  const LinkId bottleneck{0};
+  EXPECT_TRUE(f.net->flows_on_link(bottleneck).empty());
+  const FlowId id =
+      f.net->start_flow(f.spec(f.hosts[0], f.hosts[1], Bytes::mega(100)));
+  EXPECT_EQ(f.net->flows_on_link(bottleneck).size(), 1u);
+  f.net->abort_flow(id);
+  EXPECT_TRUE(f.net->flows_on_link(bottleneck).empty());
+}
+
+TEST(Network, FlowProgressReporting) {
+  Fixture f;
+  const FlowId id =
+      f.net->start_flow(f.spec(f.hosts[0], f.hosts[1], Bytes::mega(12.5)));
+  f.sim.run_for(Duration::millis(1));  // half of the 2 ms solo transfer
+  ASSERT_TRUE(f.net->is_active(id));
+  EXPECT_NEAR(f.net->flow(id).progress(), 0.5, 0.02);
+}
+
+TEST(Network, ZeroByteFlowCompletesImmediately) {
+  Fixture f;
+  bool fired = false;
+  f.net->start_flow(f.spec(f.hosts[0], f.hosts[1], Bytes::zero()),
+                    [&](const Flow&, TimePoint) { fired = true; });
+  f.sim.run_for(Duration::micros(50));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Network, StepObserverRuns) {
+  Fixture f;
+  int calls = 0;
+  f.net->add_step_observer([&](const Network&, TimePoint) { ++calls; });
+  f.sim.run_for(Duration::micros(100));
+  EXPECT_EQ(calls, 10);  // 100 us / 10 us steps
+}
+
+TEST(Network, ActiveFlowsSortedDeterministic) {
+  Fixture f;
+  f.net->start_flow(f.spec(f.hosts[0], f.hosts[1], Bytes::mega(100)));
+  f.net->start_flow(f.spec(f.hosts[2], f.hosts[3], Bytes::mega(100)));
+  const auto flows = f.net->active_flows();
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_LT(flows[0], flows[1]);
+}
+
+TEST(Network, MultiBottleneckFlowLimitedByTightest) {
+  // Chain: h0 -> s1 -(30G)-> s2 -(10G)-> s3 -> h1.  The 10 Gbps hop rules.
+  Topology t;
+  const NodeId s1 = t.add_node(NodeKind::kTor, "s1");
+  const NodeId s2 = t.add_node(NodeKind::kTor, "s2");
+  const NodeId s3 = t.add_node(NodeKind::kTor, "s3");
+  const NodeId h0 = t.add_node(NodeKind::kHost, "h0");
+  const NodeId h1 = t.add_node(NodeKind::kHost, "h1");
+  t.add_duplex_link(h0, s1, Rate::gbps(100));
+  t.add_duplex_link(s1, s2, Rate::gbps(30));
+  t.add_duplex_link(s2, s3, Rate::gbps(10));
+  t.add_duplex_link(s3, h1, Rate::gbps(100));
+  Simulator sim;
+  NetworkConfig cfg;
+  cfg.goodput_factor = 1.0;
+  Network net(t, std::make_unique<MaxMinFairPolicy>(), cfg);
+  net.attach(sim);
+  const Router router(t);
+  FlowSpec fs;
+  fs.src = h0;
+  fs.dst = h1;
+  fs.route = router.pick(h0, h1, 0);
+  fs.size = Bytes::giga(1);
+  const FlowId id = net.start_flow(std::move(fs));
+  sim.run_for(Duration::millis(1));
+  EXPECT_NEAR(net.flow(id).rate.to_gbps(), 10.0, 0.01);
+}
+
+TEST(Network, ReverseDirectionIndependent) {
+  // Forward and reverse traffic on a duplex cable must not share capacity.
+  const Topology topo = Topology::dumbbell(1, Rate::gbps(50), Rate::gbps(50));
+  Simulator sim;
+  NetworkConfig cfg;
+  cfg.goodput_factor = 1.0;
+  Network net(topo, std::make_unique<MaxMinFairPolicy>(), cfg);
+  net.attach(sim);
+  const Router router(topo);
+  const auto hosts = topo.hosts();
+  FlowSpec fwd;
+  fwd.src = hosts[0];
+  fwd.dst = hosts[1];
+  fwd.route = router.pick(fwd.src, fwd.dst, 0);
+  fwd.size = Bytes::giga(1);
+  const FlowId f1 = net.start_flow(std::move(fwd));
+  FlowSpec rev;
+  rev.src = hosts[1];
+  rev.dst = hosts[0];
+  rev.route = router.pick(rev.src, rev.dst, 0);
+  rev.size = Bytes::giga(1);
+  const FlowId f2 = net.start_flow(std::move(rev));
+  sim.run_for(Duration::millis(1));
+  EXPECT_NEAR(net.flow(f1).rate.to_gbps(), 50.0, 0.01);
+  EXPECT_NEAR(net.flow(f2).rate.to_gbps(), 50.0, 0.01);
+}
+
+TEST(Network, ManyFlowsDrainCompletely) {
+  const Topology topo = Topology::dumbbell(3, Rate::gbps(50), Rate::gbps(50));
+  Simulator sim;
+  NetworkConfig cfg;
+  cfg.goodput_factor = 1.0;
+  Network net(topo, std::make_unique<MaxMinFairPolicy>(), cfg);
+  net.attach(sim);
+  const Router router(topo);
+  const auto hosts = topo.hosts();
+  int completions = 0;
+  for (int i = 0; i < 3; ++i) {
+    for (int rep = 0; rep < 5; ++rep) {
+      FlowSpec fs;
+      fs.src = hosts[2 * i];
+      fs.dst = hosts[2 * i + 1];
+      fs.route = router.pick(fs.src, fs.dst, 0);
+      fs.size = Bytes::mega(1.0 + i + rep);
+      net.start_flow(std::move(fs),
+                     [&](const Flow&, TimePoint) { ++completions; });
+    }
+  }
+  sim.run_for(Duration::millis(200));
+  EXPECT_EQ(completions, 15);
+  EXPECT_EQ(net.active_flow_count(), 0u);
+}
+
+}  // namespace
+}  // namespace ccml

@@ -1,0 +1,119 @@
+#include "net/routing.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ccml {
+namespace {
+
+TEST(Router, DumbbellPath) {
+  const Topology t = Topology::dumbbell(2, Rate::gbps(50), Rate::gbps(50));
+  const Router r(t);
+  const auto hosts = t.hosts();  // src0, dst0, src1, dst1
+  const auto paths = r.equal_cost_paths(hosts[0], hosts[1]);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].hops(), 3u);  // src->swL->swR->dst
+}
+
+TEST(Router, PathLinksAreContiguous) {
+  const Topology t = Topology::dumbbell(1, Rate::gbps(50), Rate::gbps(50));
+  const Router r(t);
+  const auto hosts = t.hosts();
+  const auto paths = r.equal_cost_paths(hosts[0], hosts[1]);
+  ASSERT_FALSE(paths.empty());
+  const Route& route = paths[0];
+  EXPECT_EQ(t.link(route.links.front()).src, hosts[0]);
+  EXPECT_EQ(t.link(route.links.back()).dst, hosts[1]);
+  for (std::size_t i = 1; i < route.links.size(); ++i) {
+    EXPECT_EQ(t.link(route.links[i - 1]).dst, t.link(route.links[i]).src);
+  }
+}
+
+TEST(Router, SameNodeRouteIsEmpty) {
+  const Topology t = Topology::dumbbell(1, Rate::gbps(50), Rate::gbps(50));
+  const Router r(t);
+  const auto hosts = t.hosts();
+  const auto paths = r.equal_cost_paths(hosts[0], hosts[0]);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_TRUE(paths[0].empty());
+}
+
+TEST(Router, UnreachableReturnsNothing) {
+  Topology t;
+  const NodeId a = t.add_node(NodeKind::kHost, "a");
+  const NodeId b = t.add_node(NodeKind::kHost, "b");
+  const Router r(t);
+  EXPECT_TRUE(r.equal_cost_paths(a, b).empty());
+  EXPECT_TRUE(r.pick(a, b, 0).empty());
+}
+
+TEST(Router, LeafSpineEcmpFindsAllSpines) {
+  const Topology t =
+      Topology::leaf_spine(2, 2, 4, Rate::gbps(50), Rate::gbps(100));
+  const Router r(t);
+  const auto hosts = t.hosts();
+  // Hosts 0,1 under tor0; hosts 2,3 under tor1.
+  const auto paths = r.equal_cost_paths(hosts[0], hosts[2]);
+  EXPECT_EQ(paths.size(), 4u);  // one per spine
+  for (const auto& p : paths) {
+    EXPECT_EQ(p.hops(), 4u);  // host->tor->spine->tor->host
+  }
+}
+
+TEST(Router, RackLocalPathAvoidsFabric) {
+  const Topology t =
+      Topology::leaf_spine(2, 2, 4, Rate::gbps(50), Rate::gbps(100));
+  const Router r(t);
+  const auto hosts = t.hosts();
+  const auto paths = r.equal_cost_paths(hosts[0], hosts[1]);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].hops(), 2u);  // host->tor->host
+}
+
+TEST(Router, PickIsDeterministic) {
+  const Topology t =
+      Topology::leaf_spine(2, 2, 4, Rate::gbps(50), Rate::gbps(100));
+  const Router r(t);
+  const auto hosts = t.hosts();
+  const Route a = r.pick(hosts[0], hosts[2], 12345);
+  const Route b = r.pick(hosts[0], hosts[2], 12345);
+  ASSERT_EQ(a.links.size(), b.links.size());
+  for (std::size_t i = 0; i < a.links.size(); ++i) {
+    EXPECT_EQ(a.links[i], b.links[i]);
+  }
+}
+
+TEST(Router, DifferentHashesSpreadAcrossPaths) {
+  const Topology t =
+      Topology::leaf_spine(2, 2, 4, Rate::gbps(50), Rate::gbps(100));
+  const Router r(t);
+  const auto hosts = t.hosts();
+  std::set<std::int32_t> first_fabric_link;
+  for (std::uint64_t h = 0; h < 64; ++h) {
+    const Route route = r.pick(hosts[0], hosts[2], h);
+    ASSERT_EQ(route.hops(), 4u);
+    first_fabric_link.insert(route.links[1].value);
+  }
+  // With 64 hashes over 4 spines we expect to see more than one spine.
+  EXPECT_GT(first_fabric_link.size(), 1u);
+}
+
+TEST(Router, FlowHashMixes) {
+  const auto h1 = Router::flow_hash(NodeId{1}, NodeId{2}, 0);
+  const auto h2 = Router::flow_hash(NodeId{1}, NodeId{2}, 1);
+  const auto h3 = Router::flow_hash(NodeId{2}, NodeId{1}, 0);
+  EXPECT_NE(h1, h2);
+  EXPECT_NE(h1, h3);
+}
+
+TEST(Route, Traverses) {
+  Route route;
+  route.links = {LinkId{3}, LinkId{7}};
+  EXPECT_TRUE(route.traverses(LinkId{3}));
+  EXPECT_TRUE(route.traverses(LinkId{7}));
+  EXPECT_FALSE(route.traverses(LinkId{5}));
+}
+
+}  // namespace
+}  // namespace ccml

@@ -1,0 +1,202 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace ccml {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(TimePoint::from_ns(30), [&] { fired.push_back(3); });
+  q.schedule(TimePoint::from_ns(10), [&] { fired.push_back(1); });
+  q.schedule(TimePoint::from_ns(20), [&] { fired.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoForTies) {
+  EventQueue q;
+  std::vector<int> fired;
+  const TimePoint t = TimePoint::from_ns(5);
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(t, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, Cancel) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(TimePoint::from_ns(1), [&] { fired.push_back(1); });
+  const EventId id =
+      q.schedule(TimePoint::from_ns(2), [&] { fired.push_back(2); });
+  q.schedule(TimePoint::from_ns(3), [&] { fired.push_back(3); });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // second cancel fails
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, CancelUnknownIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(12345));
+}
+
+TEST(EventQueue, NextTime) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), TimePoint::max());
+  q.schedule(TimePoint::from_ns(7), [] {});
+  EXPECT_EQ(q.next_time(), TimePoint::from_ns(7));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId id = q.schedule(TimePoint::from_ns(7), [] {});
+  q.schedule(TimePoint::from_ns(9), [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.next_time(), TimePoint::from_ns(9));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(TimePoint::from_ns(1), [&] {
+    fired.push_back(1);
+    q.schedule(TimePoint::from_ns(2), [&] { fired.push_back(2); });
+  });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, ClockAdvancesToEvents) {
+  Simulator sim;
+  std::vector<std::int64_t> times;
+  sim.schedule_at(TimePoint::from_ns(100), [&] { times.push_back(sim.now().ns()); });
+  sim.schedule_at(TimePoint::from_ns(50), [&] { times.push_back(sim.now().ns()); });
+  sim.run_until(TimePoint::from_ns(1000));
+  EXPECT_EQ(times, (std::vector<std::int64_t>{50, 100}));
+  EXPECT_EQ(sim.now().ns(), 1000);
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  std::int64_t fired_at = -1;
+  sim.schedule_at(TimePoint::from_ns(10), [&] {
+    sim.schedule_after(Duration::nanos(5), [&] { fired_at = sim.now().ns(); });
+  });
+  sim.run_until(TimePoint::from_ns(100));
+  EXPECT_EQ(fired_at, 15);
+}
+
+TEST(Simulator, EventsBeyondDeadlineDoNotFire) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(TimePoint::from_ns(200), [&] { fired = true; });
+  sim.run_until(TimePoint::from_ns(100));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until(TimePoint::from_ns(300));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, Stop) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_at(TimePoint::from_ns(i), [&] {
+      if (++count == 3) sim.stop();
+    });
+  }
+  sim.run_until(TimePoint::from_ns(100));
+  EXPECT_EQ(count, 3);
+}
+
+class CountingStepper : public Stepper {
+ public:
+  void step(TimePoint now, Duration dt) override {
+    times.push_back(now.ns());
+    last_dt = dt;
+  }
+  std::vector<std::int64_t> times;
+  Duration last_dt = Duration::zero();
+};
+
+TEST(Simulator, StepperRunsAtFixedInterval) {
+  Simulator sim;
+  CountingStepper stepper;
+  sim.add_stepper(stepper, Duration::nanos(10));
+  sim.run_until(TimePoint::from_ns(35));
+  EXPECT_EQ(stepper.times, (std::vector<std::int64_t>{10, 20, 30}));
+  EXPECT_EQ(stepper.last_dt.ns(), 10);
+}
+
+TEST(Simulator, StepperAndEventsInterleave) {
+  Simulator sim;
+  CountingStepper stepper;
+  sim.add_stepper(stepper, Duration::nanos(10));
+  std::vector<std::int64_t> event_times;
+  sim.schedule_at(TimePoint::from_ns(15), [&] {
+    event_times.push_back(sim.now().ns());
+    EXPECT_EQ(stepper.times.size(), 1u);  // only the t=10 step so far
+  });
+  sim.schedule_at(TimePoint::from_ns(20), [&] {
+    event_times.push_back(sim.now().ns());
+    // The t=20 step fires before the t=20 event.
+    EXPECT_EQ(stepper.times.back(), 20);
+  });
+  sim.run_until(TimePoint::from_ns(25));
+  EXPECT_EQ(event_times, (std::vector<std::int64_t>{15, 20}));
+}
+
+TEST(Simulator, TwoSteppersDifferentPeriods) {
+  Simulator sim;
+  CountingStepper fast, slow;
+  sim.add_stepper(fast, Duration::nanos(5));
+  sim.add_stepper(slow, Duration::nanos(20));
+  sim.run_until(TimePoint::from_ns(20));
+  EXPECT_EQ(fast.times.size(), 4u);
+  EXPECT_EQ(slow.times.size(), 1u);
+}
+
+TEST(Simulator, RunUntilIdleDrainsEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(TimePoint::from_ns(5), [&] {
+    ++fired;
+    sim.schedule_after(Duration::nanos(5), [&] { ++fired; });
+  });
+  sim.run_until_idle();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now().ns(), 10);
+}
+
+TEST(Simulator, RunUntilIdleDrivesSteppersBetweenEvents) {
+  Simulator sim;
+  CountingStepper stepper;
+  sim.add_stepper(stepper, Duration::nanos(10));
+  sim.schedule_at(TimePoint::from_ns(35), [] {});
+  sim.run_until_idle();
+  // Steps at 10, 20, 30 happen before the event at 35.
+  EXPECT_GE(stepper.times.size(), 3u);
+  EXPECT_EQ(stepper.times[0], 10);
+  EXPECT_EQ(stepper.times[2], 30);
+}
+
+TEST(Simulator, CancelScheduledEvent) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(TimePoint::from_ns(10), [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run_until(TimePoint::from_ns(100));
+  EXPECT_FALSE(fired);
+}
+
+}  // namespace
+}  // namespace ccml

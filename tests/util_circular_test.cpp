@@ -1,0 +1,198 @@
+#include "util/circular.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace ccml {
+namespace {
+
+Duration ms(std::int64_t v) { return Duration::millis(v); }
+
+TEST(WrapToCircle, Normalizes) {
+  EXPECT_EQ(wrap_to_circle(ms(5), ms(10)).ns(), ms(5).ns());
+  EXPECT_EQ(wrap_to_circle(ms(15), ms(10)).ns(), ms(5).ns());
+  EXPECT_EQ(wrap_to_circle(ms(-3), ms(10)).ns(), ms(7).ns());
+  EXPECT_EQ(wrap_to_circle(ms(10), ms(10)).ns(), 0);
+}
+
+TEST(CircularIntervalSet, EmptyByDefault) {
+  CircularIntervalSet set(ms(100));
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.covered_length().ns(), 0);
+  EXPECT_DOUBLE_EQ(set.covered_fraction(), 0.0);
+  EXPECT_FALSE(set.contains(ms(50)));
+}
+
+TEST(CircularIntervalSet, SimpleArc) {
+  CircularIntervalSet set(ms(100));
+  set.add(Arc{ms(10), ms(20)});
+  EXPECT_EQ(set.covered_length().ns(), ms(20).ns());
+  EXPECT_TRUE(set.contains(ms(10)));
+  EXPECT_TRUE(set.contains(ms(29)));
+  EXPECT_FALSE(set.contains(ms(30)));  // half-open
+  EXPECT_FALSE(set.contains(ms(9)));
+}
+
+TEST(CircularIntervalSet, WrappingArcSplits) {
+  CircularIntervalSet set(ms(100));
+  set.add(Arc{ms(90), ms(20)});  // covers [90,100) and [0,10)
+  EXPECT_EQ(set.covered_length().ns(), ms(20).ns());
+  EXPECT_TRUE(set.contains(ms(95)));
+  EXPECT_TRUE(set.contains(ms(5)));
+  EXPECT_FALSE(set.contains(ms(15)));
+  EXPECT_EQ(set.segments().size(), 2u);
+}
+
+TEST(CircularIntervalSet, MergesOverlappingArcs) {
+  CircularIntervalSet set(ms(100));
+  set.add(Arc{ms(10), ms(20)});
+  set.add(Arc{ms(25), ms(10)});  // overlaps [25,30)
+  EXPECT_EQ(set.segments().size(), 1u);
+  EXPECT_EQ(set.covered_length().ns(), ms(25).ns());
+}
+
+TEST(CircularIntervalSet, MergesAbuttingArcs) {
+  CircularIntervalSet set(ms(100));
+  set.add(Arc{ms(10), ms(20)});
+  set.add(Arc{ms(30), ms(5)});
+  EXPECT_EQ(set.segments().size(), 1u);
+  EXPECT_EQ(set.covered_length().ns(), ms(25).ns());
+}
+
+TEST(CircularIntervalSet, FullCoverage) {
+  CircularIntervalSet set(ms(100));
+  set.add(Arc{ms(37), ms(100)});
+  EXPECT_DOUBLE_EQ(set.covered_fraction(), 1.0);
+  EXPECT_TRUE(set.contains(ms(0)));
+  EXPECT_TRUE(set.contains(ms(99)));
+}
+
+TEST(CircularIntervalSet, NegativeStartNormalizes) {
+  CircularIntervalSet set(ms(100));
+  set.add(Arc{ms(-10), ms(20)});  // [90,100) + [0,10)
+  EXPECT_TRUE(set.contains(ms(95)));
+  EXPECT_TRUE(set.contains(ms(5)));
+}
+
+TEST(CircularIntervalSet, ZeroLengthArcIgnored) {
+  CircularIntervalSet set(ms(100));
+  set.add(Arc{ms(10), Duration::zero()});
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(CircularIntervalSet, RotationPreservesLength) {
+  CircularIntervalSet set(ms(100));
+  set.add(Arc{ms(80), ms(30)});
+  for (int shift = -250; shift <= 250; shift += 37) {
+    const auto rotated = set.rotated(ms(shift));
+    EXPECT_EQ(rotated.covered_length().ns(), set.covered_length().ns())
+        << "shift=" << shift;
+  }
+}
+
+TEST(CircularIntervalSet, RotationMovesPoints) {
+  CircularIntervalSet set(ms(100));
+  set.add(Arc{ms(0), ms(10)});
+  const auto rotated = set.rotated(ms(50));
+  EXPECT_TRUE(rotated.contains(ms(55)));
+  EXPECT_FALSE(rotated.contains(ms(5)));
+}
+
+TEST(CircularIntervalSet, Complement) {
+  CircularIntervalSet set(ms(100));
+  set.add(Arc{ms(20), ms(30)});
+  const auto comp = set.complement();
+  EXPECT_EQ(comp.covered_length().ns(), ms(70).ns());
+  EXPECT_TRUE(comp.contains(ms(10)));
+  EXPECT_FALSE(comp.contains(ms(25)));
+  // Complement of complement is the original coverage.
+  const auto back = comp.complement();
+  EXPECT_EQ(back.covered_length().ns(), set.covered_length().ns());
+  EXPECT_TRUE(back.contains(ms(25)));
+}
+
+TEST(CircularIntervalSet, OverlapLength) {
+  CircularIntervalSet a(ms(100)), b(ms(100));
+  a.add(Arc{ms(0), ms(50)});
+  b.add(Arc{ms(40), ms(30)});
+  EXPECT_EQ(CircularIntervalSet::overlap_length(a, b).ns(), ms(10).ns());
+  EXPECT_TRUE(CircularIntervalSet::intersects(a, b));
+}
+
+TEST(CircularIntervalSet, DisjointSetsDoNotIntersect) {
+  CircularIntervalSet a(ms(100)), b(ms(100));
+  a.add(Arc{ms(0), ms(50)});
+  b.add(Arc{ms(50), ms(50)});
+  EXPECT_EQ(CircularIntervalSet::overlap_length(a, b).ns(), 0);
+  EXPECT_FALSE(CircularIntervalSet::intersects(a, b));
+}
+
+TEST(CircularIntervalSet, OverlapAcrossWrap) {
+  CircularIntervalSet a(ms(100)), b(ms(100));
+  a.add(Arc{ms(90), ms(20)});  // [90,100)+[0,10)
+  b.add(Arc{ms(95), ms(10)});  // [95,100)+[0,5)
+  EXPECT_EQ(CircularIntervalSet::overlap_length(a, b).ns(), ms(10).ns());
+}
+
+TEST(CircularIntervalSet, Unite) {
+  CircularIntervalSet a(ms(100)), b(ms(100));
+  a.add(Arc{ms(0), ms(30)});
+  b.add(Arc{ms(20), ms(30)});
+  const auto u = CircularIntervalSet::unite(a, b);
+  EXPECT_EQ(u.covered_length().ns(), ms(50).ns());
+  EXPECT_EQ(u.segments().size(), 1u);
+}
+
+TEST(CircularIntervalSet, PropertyRotationRoundTrip) {
+  // Rotating by +s then -s restores coverage at all sampled points.
+  Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Duration per = Duration::nanos(rng.uniform_int(1000, 1'000'000));
+    CircularIntervalSet set(per);
+    const int arcs = static_cast<int>(rng.uniform_int(1, 5));
+    for (int i = 0; i < arcs; ++i) {
+      set.add(Arc{Duration::nanos(rng.uniform_int(0, per.ns())),
+                  Duration::nanos(rng.uniform_int(1, per.ns() / 2))});
+    }
+    const Duration s = Duration::nanos(rng.uniform_int(-per.ns(), per.ns()));
+    const auto round = set.rotated(s).rotated(-s);
+    for (int i = 0; i < 20; ++i) {
+      const Duration p = Duration::nanos(rng.uniform_int(0, per.ns() - 1));
+      EXPECT_EQ(set.contains(p), round.contains(p));
+    }
+  }
+}
+
+TEST(CircularIntervalSet, PropertyOverlapSymmetricAndBounded) {
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Duration per = Duration::nanos(rng.uniform_int(1000, 100'000));
+    CircularIntervalSet a(per), b(per);
+    for (int i = 0; i < 3; ++i) {
+      a.add(Arc{Duration::nanos(rng.uniform_int(0, per.ns())),
+                Duration::nanos(rng.uniform_int(1, per.ns() / 3))});
+      b.add(Arc{Duration::nanos(rng.uniform_int(0, per.ns())),
+                Duration::nanos(rng.uniform_int(1, per.ns() / 3))});
+    }
+    const Duration ab = CircularIntervalSet::overlap_length(a, b);
+    const Duration ba = CircularIntervalSet::overlap_length(b, a);
+    EXPECT_EQ(ab.ns(), ba.ns());
+    EXPECT_LE(ab, a.covered_length());
+    EXPECT_LE(ab, b.covered_length());
+    // |A ∪ B| = |A| + |B| - |A ∩ B|.
+    const auto u = CircularIntervalSet::unite(a, b);
+    EXPECT_EQ(u.covered_length().ns(),
+              a.covered_length().ns() + b.covered_length().ns() - ab.ns());
+  }
+}
+
+TEST(CircularIntervalSet, ToStringMentionsPerimeter) {
+  CircularIntervalSet set(ms(100));
+  set.add(Arc{ms(10), ms(5)});
+  const std::string s = set.to_string();
+  EXPECT_NE(s.find("100.000ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccml

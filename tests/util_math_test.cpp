@@ -1,0 +1,92 @@
+#include "util/math.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace ccml {
+namespace {
+
+TEST(Gcd, Basics) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(7, 13), 1);
+  EXPECT_EQ(gcd64(0, 5), 5);
+  EXPECT_EQ(gcd64(5, 0), 5);
+  EXPECT_EQ(gcd64(0, 0), 0);
+}
+
+TEST(Lcm, Basics) {
+  EXPECT_EQ(lcm64(4, 6), 12);
+  EXPECT_EQ(lcm64(40, 60), 120);
+  EXPECT_EQ(lcm64(7, 13), 91);
+  EXPECT_EQ(lcm64(0, 5), 0);
+}
+
+TEST(Lcm, SaturatesInsteadOfOverflowing) {
+  const std::int64_t big = 1'000'000'007;       // prime
+  const std::int64_t big2 = 1'000'000'009;      // prime
+  const std::int64_t result = lcm64(big * 100, big2 * 100);
+  EXPECT_EQ(result, std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(Quantize, RoundsToNearestMultiple) {
+  const Duration q = Duration::millis(1);
+  EXPECT_EQ(quantize(Duration::micros(1400), q).ns(), Duration::millis(1).ns());
+  EXPECT_EQ(quantize(Duration::micros(1600), q).ns(), Duration::millis(2).ns());
+  EXPECT_EQ(quantize(Duration::micros(500), q).ns(), Duration::millis(1).ns());
+  EXPECT_EQ(quantize(Duration::zero(), q).ns(), 0);
+}
+
+TEST(Quantize, NegativeValues) {
+  const Duration q = Duration::millis(1);
+  EXPECT_EQ(quantize(Duration::micros(-1400), q).ns(),
+            Duration::millis(-1).ns());
+  EXPECT_EQ(quantize(Duration::micros(-1600), q).ns(),
+            Duration::millis(-2).ns());
+}
+
+TEST(LcmDurations, PaperFig5Example) {
+  // Jobs with 40 ms and 60 ms iteration times live on a 120 ms unified
+  // circle (paper Fig. 5).
+  const std::array<Duration, 2> periods = {Duration::millis(40),
+                                           Duration::millis(60)};
+  const Duration lcm = lcm_durations(periods, Duration::millis(1));
+  EXPECT_EQ(lcm.ns(), Duration::millis(120).ns());
+}
+
+TEST(LcmDurations, QuantizesNoisyPeriods) {
+  // 40.2 ms and 59.7 ms snap to 40/60 before the LCM.
+  const std::array<Duration, 2> periods = {Duration::from_millis_f(40.2),
+                                           Duration::from_millis_f(59.7)};
+  const Duration lcm = lcm_durations(periods, Duration::millis(1));
+  EXPECT_EQ(lcm.ns(), Duration::millis(120).ns());
+}
+
+TEST(LcmDurations, RespectsCap) {
+  const std::array<Duration, 2> periods = {Duration::millis(997),
+                                           Duration::millis(1009)};  // coprime
+  const Duration cap = Duration::seconds(10);
+  const Duration lcm = lcm_durations(periods, Duration::millis(1), cap);
+  EXPECT_EQ(lcm.ns(), cap.ns());
+}
+
+TEST(LcmDurations, SingleJob) {
+  const std::array<Duration, 1> periods = {Duration::millis(255)};
+  EXPECT_EQ(lcm_durations(periods, Duration::millis(1)).ns(),
+            Duration::millis(255).ns());
+}
+
+TEST(ApproxEqual, Tolerance) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_equal(1.0, 1.1));
+  EXPECT_TRUE(approx_equal(100.0, 100.5, 1.0));
+}
+
+TEST(Lerp, Interpolates) {
+  EXPECT_DOUBLE_EQ(lerp(0.0, 10.0, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 1.0), 4.0);
+}
+
+}  // namespace
+}  // namespace ccml

@@ -1,0 +1,120 @@
+#include "util/time.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace ccml {
+namespace {
+
+TEST(Duration, Constructors) {
+  EXPECT_EQ(Duration::nanos(5).ns(), 5);
+  EXPECT_EQ(Duration::micros(5).ns(), 5'000);
+  EXPECT_EQ(Duration::millis(5).ns(), 5'000'000);
+  EXPECT_EQ(Duration::seconds(5).ns(), 5'000'000'000);
+}
+
+TEST(Duration, FloatingPointConstructors) {
+  EXPECT_EQ(Duration::from_seconds_f(1.5).ns(), 1'500'000'000);
+  EXPECT_EQ(Duration::from_millis_f(0.25).ns(), 250'000);
+  EXPECT_EQ(Duration::from_micros_f(2.5).ns(), 2'500);
+  // Rounds to nearest nanosecond.
+  EXPECT_EQ(Duration::from_seconds_f(1e-10).ns(), 0);
+  EXPECT_EQ(Duration::from_seconds_f(6e-10).ns(), 1);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::millis(10);
+  const Duration b = Duration::millis(4);
+  EXPECT_EQ((a + b).ns(), Duration::millis(14).ns());
+  EXPECT_EQ((a - b).ns(), Duration::millis(6).ns());
+  EXPECT_EQ((a * 3).ns(), Duration::millis(30).ns());
+  EXPECT_EQ((3 * a).ns(), Duration::millis(30).ns());
+  EXPECT_EQ((a / 2).ns(), Duration::millis(5).ns());
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  EXPECT_EQ((a % b).ns(), Duration::millis(2).ns());
+  EXPECT_EQ((-a).ns(), -10'000'000);
+}
+
+TEST(Duration, ScalarDoubleMultiply) {
+  EXPECT_EQ((Duration::millis(10) * 0.5).ns(), Duration::millis(5).ns());
+  EXPECT_EQ((Duration::nanos(3) * (1.0 / 3.0)).ns(), 1);
+}
+
+TEST(Duration, Comparisons) {
+  EXPECT_LT(Duration::millis(1), Duration::millis(2));
+  EXPECT_EQ(Duration::micros(1000), Duration::millis(1));
+  EXPECT_GT(Duration::zero(), Duration::millis(-3));
+}
+
+TEST(Duration, Predicates) {
+  EXPECT_TRUE(Duration::zero().is_zero());
+  EXPECT_TRUE(Duration::millis(-1).is_negative());
+  EXPECT_TRUE(Duration::millis(1).is_positive());
+  EXPECT_FALSE(Duration::zero().is_positive());
+}
+
+TEST(Duration, Conversions) {
+  const Duration d = Duration::millis(1500);
+  EXPECT_DOUBLE_EQ(d.to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(d.to_millis(), 1500.0);
+  EXPECT_DOUBLE_EQ(d.to_micros(), 1'500'000.0);
+}
+
+TEST(Duration, ToString) {
+  EXPECT_EQ(Duration::seconds(2).to_string(), "2.000s");
+  EXPECT_EQ(Duration::millis(12).to_string(), "12.000ms");
+  EXPECT_EQ(Duration::micros(340).to_string(), "340.000us");
+  EXPECT_EQ(Duration::nanos(7).to_string(), "7ns");
+}
+
+TEST(TimePoint, Arithmetic) {
+  const TimePoint t0 = TimePoint::origin();
+  const TimePoint t1 = t0 + Duration::millis(5);
+  EXPECT_EQ((t1 - t0).ns(), Duration::millis(5).ns());
+  EXPECT_EQ((t1 - Duration::millis(2)).ns(), Duration::millis(3).ns());
+  EXPECT_LT(t0, t1);
+  TimePoint t2 = t1;
+  t2 += Duration::millis(1);
+  EXPECT_EQ((t2 - t1).ns(), Duration::millis(1).ns());
+}
+
+TEST(TimePoint, SinceOrigin) {
+  const TimePoint t = TimePoint::from_ns(42);
+  EXPECT_EQ(t.since_origin().ns(), 42);
+}
+
+TEST(Units, BytesConstructorsAndConversions) {
+  EXPECT_DOUBLE_EQ(Bytes::kilo(2).count(), 2e3);
+  EXPECT_DOUBLE_EQ(Bytes::mega(2).count(), 2e6);
+  EXPECT_DOUBLE_EQ(Bytes::giga(2).count(), 2e9);
+  EXPECT_DOUBLE_EQ(Bytes::giga(1).to_gb(), 1.0);
+  EXPECT_DOUBLE_EQ(Bytes::of(10).bits(), 80.0);
+}
+
+TEST(Units, RateTimesDurationIsBytes) {
+  // 8 Gbps for 1 ms = 1 MB.
+  const Bytes b = Rate::gbps(8) * Duration::millis(1);
+  EXPECT_NEAR(b.count(), 1e6, 1.0);
+}
+
+TEST(Units, TransferTime) {
+  // 1 MB at 8 Gbps = 1 ms.
+  const Duration d = transfer_time(Bytes::mega(1), Rate::gbps(8));
+  EXPECT_NEAR(d.to_millis(), 1.0, 1e-6);
+}
+
+TEST(Units, RateArithmetic) {
+  EXPECT_DOUBLE_EQ((Rate::gbps(1) + Rate::gbps(2)).to_gbps(), 3.0);
+  EXPECT_DOUBLE_EQ((Rate::gbps(4) - Rate::gbps(1)).to_gbps(), 3.0);
+  EXPECT_DOUBLE_EQ((Rate::gbps(2) * 2.0).to_gbps(), 4.0);
+  EXPECT_DOUBLE_EQ(Rate::gbps(4) / Rate::gbps(2), 2.0);
+}
+
+TEST(Units, ToStringRendering) {
+  EXPECT_EQ(Rate::gbps(1.5).to_string(), "1.500Gbps");
+  EXPECT_EQ(Bytes::mega(2.5).to_string(), "2.500MB");
+}
+
+}  // namespace
+}  // namespace ccml

@@ -1,0 +1,87 @@
+#include "workload/allreduce.h"
+
+#include <gtest/gtest.h>
+
+namespace ccml {
+namespace {
+
+TEST(Allreduce, RingWireBytes) {
+  // Ring: 2*(n-1)/n * M per worker.
+  const Bytes m = Bytes::mega(100);
+  EXPECT_NEAR(wire_bytes_per_worker(AllreduceAlgo::kRing, m, 2).to_mb(), 100.0,
+              1e-9);
+  EXPECT_NEAR(wire_bytes_per_worker(AllreduceAlgo::kRing, m, 4).to_mb(), 150.0,
+              1e-9);
+  // Large n approaches 2M.
+  EXPECT_NEAR(wire_bytes_per_worker(AllreduceAlgo::kRing, m, 1000).to_mb(),
+              199.8, 0.01);
+}
+
+TEST(Allreduce, SingleWorkerSendsNothing) {
+  for (const auto algo :
+       {AllreduceAlgo::kRing, AllreduceAlgo::kTree, AllreduceAlgo::kHierarchical,
+        AllreduceAlgo::kParameterServer, AllreduceAlgo::kBroadcast}) {
+    EXPECT_TRUE(
+        wire_bytes_per_worker(algo, Bytes::mega(10), 1).is_zero());
+  }
+}
+
+TEST(Allreduce, ParameterServerIsTwoModelVolumes) {
+  const Bytes m = Bytes::mega(50);
+  EXPECT_NEAR(
+      wire_bytes_per_worker(AllreduceAlgo::kParameterServer, m, 8).to_mb(),
+      100.0, 1e-9);
+}
+
+TEST(Allreduce, TreeIsTwoModelVolumes) {
+  const Bytes m = Bytes::mega(50);
+  EXPECT_NEAR(wire_bytes_per_worker(AllreduceAlgo::kTree, m, 8).to_mb(), 100.0,
+              1e-9);
+}
+
+TEST(Allreduce, BroadcastScalesWithWorkers) {
+  const Bytes m = Bytes::mega(10);
+  EXPECT_NEAR(wire_bytes_per_worker(AllreduceAlgo::kBroadcast, m, 5).to_mb(),
+              40.0, 1e-9);
+}
+
+TEST(Allreduce, HierarchicalBetweenRingAndDouble) {
+  const Bytes m = Bytes::mega(100);
+  // 16 workers in groups of 8: intra 2*(7/8)M + inter 2*(1/2)M = 1.75M + 1M.
+  const Bytes wire =
+      wire_bytes_per_worker(AllreduceAlgo::kHierarchical, m, 16, 8);
+  EXPECT_NEAR(wire.to_mb(), 275.0, 1e-6);
+}
+
+TEST(Allreduce, HierarchicalSingleGroupEqualsRing) {
+  const Bytes m = Bytes::mega(100);
+  const Bytes h = wire_bytes_per_worker(AllreduceAlgo::kHierarchical, m, 8, 8);
+  const Bytes r = wire_bytes_per_worker(AllreduceAlgo::kRing, m, 8);
+  EXPECT_NEAR(h.to_mb(), r.to_mb(), 1e-9);
+}
+
+TEST(Allreduce, IdealTimeMatchesTransferTime) {
+  const Bytes m = Bytes::mega(100);
+  const Duration t =
+      ideal_allreduce_time(AllreduceAlgo::kRing, m, 2, Rate::gbps(40));
+  // 100 MB wire at 40 Gbps = 20 ms.
+  EXPECT_NEAR(t.to_millis(), 20.0, 1e-6);
+}
+
+TEST(Allreduce, IdealTimeZeroForOneWorker) {
+  EXPECT_TRUE(ideal_allreduce_time(AllreduceAlgo::kRing, Bytes::mega(10), 1,
+                                   Rate::gbps(40))
+                  .is_zero());
+}
+
+TEST(Allreduce, NamesRoundTrip) {
+  for (const auto algo :
+       {AllreduceAlgo::kRing, AllreduceAlgo::kTree, AllreduceAlgo::kHierarchical,
+        AllreduceAlgo::kParameterServer, AllreduceAlgo::kBroadcast}) {
+    EXPECT_EQ(parse_allreduce(to_string(algo)), algo);
+  }
+  EXPECT_THROW(parse_allreduce("gossip"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ccml

@@ -1,0 +1,105 @@
+#include "workload/background.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cc/max_min_fair.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace ccml {
+namespace {
+
+struct Fixture {
+  Fixture() : topo(Topology::dumbbell(2, Rate::gbps(50), Rate::gbps(50))),
+              router(topo) {
+    NetworkConfig cfg;
+    cfg.goodput_factor = 1.0;
+    cfg.step = Duration::micros(20);
+    net = std::make_unique<Network>(topo, std::make_unique<MaxMinFairPolicy>(),
+                                    cfg);
+    net->attach(sim);
+    hosts = topo.hosts();
+  }
+
+  BackgroundConfig config(double gbps) {
+    BackgroundConfig bg;
+    bg.paths = {JobPath{hosts[0], hosts[1],
+                        router.pick(hosts[0], hosts[1], 0)}};
+    bg.offered_load = Rate::gbps(gbps);
+    bg.mean_flow_size = Bytes::mega(4);
+    return bg;
+  }
+
+  Simulator sim;
+  Topology topo;
+  Router router;
+  std::unique_ptr<Network> net;
+  std::vector<NodeId> hosts;
+};
+
+TEST(BackgroundTraffic, GeneratesApproximatelyOfferedLoad) {
+  Fixture f;
+  BackgroundTraffic bg(f.sim, *f.net, f.config(5.0));
+  bg.start();
+  f.sim.run_for(Duration::seconds(10));
+  // Offered bytes over 10 s at 5 Gbps = 6.25 GB; Poisson, so allow slack.
+  EXPECT_NEAR(bg.bytes_offered().to_gb(), 6.25, 1.5);
+  EXPECT_GT(bg.flows_started(), 100u);
+}
+
+TEST(BackgroundTraffic, FlowsCompleteUnderLightLoad) {
+  Fixture f;
+  BackgroundTraffic bg(f.sim, *f.net, f.config(2.0));
+  bg.start();
+  f.sim.run_for(Duration::seconds(5));
+  // Light load on a 50 Gbps link: nearly everything started also finishes.
+  EXPECT_GT(bg.flows_completed() + 5, bg.flows_started());
+  EXPECT_EQ(bg.flows_dropped(), 0u);
+}
+
+TEST(BackgroundTraffic, ConcurrencyCapDropsExcess) {
+  Fixture f;
+  BackgroundConfig cfg = f.config(200.0);  // 4x the link: guaranteed backlog
+  cfg.max_concurrent = 8;
+  BackgroundTraffic bg(f.sim, *f.net, cfg);
+  bg.start();
+  f.sim.run_for(Duration::seconds(2));
+  EXPECT_GT(bg.flows_dropped(), 0u);
+  EXPECT_LE(f.net->active_flow_count(), 8u);
+}
+
+TEST(BackgroundTraffic, DeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    Fixture f;
+    BackgroundConfig cfg = f.config(5.0);
+    cfg.seed = seed;
+    BackgroundTraffic bg(f.sim, *f.net, cfg);
+    bg.start();
+    f.sim.run_for(Duration::seconds(3));
+    return bg.flows_started();
+  };
+  EXPECT_EQ(run(5), run(5));
+}
+
+TEST(BackgroundTraffic, MultiplePathsAllUsed) {
+  Fixture f;
+  BackgroundConfig cfg = f.config(10.0);
+  cfg.paths.push_back(
+      JobPath{f.hosts[2], f.hosts[3], f.router.pick(f.hosts[2], f.hosts[3], 0)});
+  BackgroundTraffic bg(f.sim, *f.net, cfg);
+  bg.start();
+  // Count flows per source by sampling active flows over time.
+  std::set<std::int32_t> sources;
+  for (int i = 0; i < 200; ++i) {
+    f.sim.run_for(Duration::millis(10));
+    for (const FlowId id : f.net->active_flows()) {
+      sources.insert(f.net->flow(id).spec.src.value);
+    }
+  }
+  EXPECT_EQ(sources.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ccml

@@ -1,0 +1,162 @@
+// Multi-phase iteration structure: pipeline-parallel style jobs with several
+// communication bursts per iteration.
+#include <gtest/gtest.h>
+
+#include "cc/max_min_fair.h"
+#include "core/schedule.h"
+#include "core/solver.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "workload/job.h"
+#include "workload/profiler.h"
+
+namespace ccml {
+namespace {
+
+// 5 ms compute + 31.25 MB (5 ms at 50 Gbps), twice per iteration => 20 ms.
+JobProfile two_phase() {
+  return ModelZoo::synthetic_phased(
+      "pipeline", {PhaseSpec{Duration::millis(5), Bytes::mega(31.25)},
+                   PhaseSpec{Duration::millis(5), Bytes::mega(31.25)}});
+}
+
+struct Fixture {
+  Fixture() : topo(Topology::dumbbell(2, Rate::gbps(50), Rate::gbps(50))),
+              router(topo) {
+    NetworkConfig cfg;
+    cfg.goodput_factor = 1.0;
+    cfg.step = Duration::micros(20);
+    net = std::make_unique<Network>(topo, std::make_unique<MaxMinFairPolicy>(),
+                                    cfg);
+    net->attach(sim);
+    hosts = topo.hosts();
+  }
+
+  JobSpec spec(int pair, JobProfile profile) {
+    JobSpec s;
+    s.id = JobId{pair};
+    s.name = "job" + std::to_string(pair);
+    s.profile = std::move(profile);
+    s.paths = {JobPath{hosts[2 * pair], hosts[2 * pair + 1],
+                       router.pick(hosts[2 * pair], hosts[2 * pair + 1], 0)}};
+    return s;
+  }
+
+  Simulator sim;
+  Topology topo;
+  Router router;
+  std::unique_ptr<Network> net;
+  std::vector<NodeId> hosts;
+};
+
+TEST(JobProfilePhases, NormalizedView) {
+  const JobProfile single = ModelZoo::synthetic("s", Duration::millis(10),
+                                                Bytes::mega(1));
+  ASSERT_EQ(single.iteration_phases().size(), 1u);
+  EXPECT_EQ(single.iteration_phases()[0].compute.to_millis(), 10.0);
+
+  const JobProfile multi = two_phase();
+  ASSERT_EQ(multi.iteration_phases().size(), 2u);
+  EXPECT_NEAR(multi.total_compute().to_millis(), 10.0, 1e-9);
+  EXPECT_NEAR(multi.total_comm_bytes().to_mb(), 62.5, 1e-9);
+}
+
+TEST(JobProfilePhases, SoloIterationSumsPhases) {
+  EXPECT_NEAR(two_phase().solo_iteration(Rate::gbps(50)).to_millis(), 20.0,
+              1e-6);
+  EXPECT_NEAR(two_phase().comm_fraction(Rate::gbps(50)), 0.5, 1e-9);
+}
+
+TEST(TrainingJobPhases, RunsAllPhasesPerIteration) {
+  Fixture f;
+  JobSpec s = f.spec(0, two_phase());
+  s.max_iterations = 4;
+  TrainingJob job(f.sim, *f.net, std::move(s));
+  job.start();
+  f.sim.run_for(Duration::millis(200));
+  ASSERT_EQ(job.completed_iterations(), 4u);
+  for (const Duration d : job.iteration_times()) {
+    EXPECT_NEAR(d.to_millis(), 20.0, 0.2);
+  }
+}
+
+TEST(TrainingJobPhases, AnalyticProfileHasOneArcPerCommPhase) {
+  const CommProfile p = analytic_profile(two_phase(), Rate::gbps(50));
+  ASSERT_EQ(p.arcs.size(), 2u);
+  EXPECT_NEAR(p.period.to_millis(), 20.0, 1e-6);
+  EXPECT_NEAR(p.arcs[0].start.to_millis(), 5.0, 1e-6);
+  EXPECT_NEAR(p.arcs[0].length.to_millis(), 5.0, 1e-6);
+  EXPECT_NEAR(p.arcs[1].start.to_millis(), 15.0, 1e-6);
+}
+
+TEST(TrainingJobPhases, ZeroCommPhaseSkipsNetwork) {
+  Fixture f;
+  const JobProfile p = ModelZoo::synthetic_phased(
+      "mixed", {PhaseSpec{Duration::millis(5), Bytes::zero()},
+                PhaseSpec{Duration::millis(5), Bytes::mega(31.25)}});
+  JobSpec s = f.spec(0, p);
+  s.max_iterations = 2;
+  TrainingJob job(f.sim, *f.net, std::move(s));
+  job.start();
+  f.sim.run_for(Duration::millis(100));
+  ASSERT_EQ(job.completed_iterations(), 2u);
+  EXPECT_NEAR(job.iteration_times()[0].to_millis(), 15.0, 0.2);
+}
+
+TEST(TrainingJobPhases, SolverHandlesMultiArcProfiles) {
+  // Two identical 2-phase jobs: comm fraction 0.5 each, packable exactly
+  // (the second job's comm bursts land in the first job's compute slots).
+  const CommProfile p = analytic_profile(two_phase(), Rate::gbps(50));
+  const std::vector<CommProfile> pair = {p, p};
+  const SolverResult r = CompatibilitySolver().solve(pair);
+  ASSERT_TRUE(r.compatible);
+  const UnifiedCircle circle(pair);
+  EXPECT_NEAR(circle.overlap_fraction(r.rotations), 0.0, 1e-12);
+}
+
+TEST(TrainingJobPhases, PhaseGatesScheduleEachBurst) {
+  // Solve the two-job multi-phase instance, convert to a schedule with
+  // per-phase offsets, and verify both jobs reach solo speed under plain
+  // fair sharing.
+  Fixture f;
+  const Rate goodput = Rate::gbps(50);
+  const CommProfile prof = analytic_profile(two_phase(), goodput);
+  const std::vector<CommProfile> group = {prof, prof};
+  const SolverResult sr = CompatibilitySolver().solve(group);
+  ASSERT_TRUE(sr.compatible);
+  const FlowSchedule fs =
+      make_flow_schedule(group, sr.rotations, TimePoint::origin());
+  ASSERT_EQ(fs.slots[0].phase_offsets.size(), 2u);
+
+  std::vector<std::unique_ptr<TrainingJob>> jobs;
+  for (int i = 0; i < 2; ++i) {
+    JobSpec s = f.spec(i, two_phase());
+    s.gate = CommGate{fs.epoch, fs.slots[i].start_offset, fs.slots[i].period,
+                      fs.slots[i].phase_offsets};
+    s.start = TimePoint::origin() + fs.slots[i].job_start_offset;
+    jobs.push_back(std::make_unique<TrainingJob>(f.sim, *f.net, std::move(s)));
+    jobs.back()->start();
+  }
+  f.sim.run_for(Duration::seconds(2));
+  for (const auto& job : jobs) {
+    ASSERT_GT(job->completed_iterations(), 20u);
+    // Skip the first iterations (initial alignment) and expect solo speed.
+    const auto& iters = job->iteration_times();
+    for (std::size_t i = 5; i < iters.size(); ++i) {
+      EXPECT_NEAR(iters[i].to_millis(), 20.0, 0.5);
+    }
+  }
+}
+
+TEST(TrainingJobPhases, MeasuredProfileCoversPhasedJobs) {
+  ProfilerOptions opts;
+  opts.iterations = 12;
+  opts.warmup = 2;
+  opts.policy = PolicyKind::kMaxMinFair;
+  opts.goodput_factor = 1.0;
+  const MeasuredProfile m = measure_profile(two_phase(), opts);
+  EXPECT_NEAR(m.mean_iteration.to_millis(), 20.0, 0.5);
+}
+
+}  // namespace
+}  // namespace ccml

@@ -1,0 +1,100 @@
+#include "workload/model_zoo.h"
+
+#include <gtest/gtest.h>
+
+namespace ccml {
+namespace {
+
+constexpr double kRefGbps = 42.5;  // 50 Gbps NIC x 0.85 goodput
+
+double comm_ms(const JobProfile& p) {
+  return transfer_time(p.comm_bytes, Rate::gbps(kRefGbps)).to_millis();
+}
+
+TEST(ModelZoo, ContainsAllPaperModels) {
+  for (const char* name :
+       {"VGG16", "VGG19", "ResNet50", "WideResNet", "BERT", "DLRM"}) {
+    EXPECT_TRUE(ModelZoo::find(name).has_value()) << name;
+  }
+}
+
+TEST(ModelZoo, FindUnknownReturnsNullopt) {
+  EXPECT_FALSE(ModelZoo::find("GPT-17").has_value());
+}
+
+TEST(ModelZoo, CalibratedDlrmMatchesTable1Derivation) {
+  // Table 1: DLRM(2000) fair 1300 ms / unfair ~1000 ms => solo 1000 ms with
+  // 700 ms compute + 300 ms communication at 42.5 Gbps.
+  const auto p = ModelZoo::calibrated("DLRM", 2000);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(p->fwd_compute.to_millis(), 700.0, 1e-6);
+  EXPECT_NEAR(comm_ms(*p), 300.0, 0.5);
+  EXPECT_NEAR(p->solo_iteration(Rate::gbps(kRefGbps)).to_millis(), 1000.0, 0.5);
+}
+
+TEST(ModelZoo, CalibratedEntriesExistForTable1) {
+  const std::pair<const char*, int> entries[] = {
+      {"BERT", 8},      {"VGG19", 1200}, {"DLRM", 2000}, {"VGG19", 1400},
+      {"WideResNet", 800}, {"VGG16", 1400}, {"VGG16", 1700}, {"ResNet50", 1600},
+  };
+  for (const auto& [model, batch] : entries) {
+    EXPECT_TRUE(ModelZoo::calibrated(model, batch).has_value())
+        << model << "(" << batch << ")";
+  }
+}
+
+TEST(ModelZoo, CalibratedUnknownBatchReturnsNullopt) {
+  EXPECT_FALSE(ModelZoo::calibrated("DLRM", 31).has_value());
+}
+
+TEST(ModelZoo, CompatibleGroupsHaveSmallCommFractions) {
+  // Fully compatible Table-1 groups must satisfy the necessary condition
+  // sum of comm fractions <= 1.
+  const auto wrn = ModelZoo::calibrated("WideResNet", 800);
+  const auto vgg16 = ModelZoo::calibrated("VGG16", 1400);
+  ASSERT_TRUE(wrn && vgg16);
+  const Rate r = Rate::gbps(kRefGbps);
+  EXPECT_LE(wrn->comm_fraction(r) + vgg16->comm_fraction(r), 1.0);
+}
+
+TEST(ModelZoo, AnalyticForwardScalesWithBatch) {
+  const auto small = ModelZoo::analytic("VGG19", 256, 8);
+  const auto large = ModelZoo::analytic("VGG19", 512, 8);
+  EXPECT_NEAR(large.fwd_compute.to_millis() / small.fwd_compute.to_millis(),
+              2.0, 1e-9);
+}
+
+TEST(ModelZoo, AnalyticCommIndependentOfBatch) {
+  const auto small = ModelZoo::analytic("VGG19", 256, 8);
+  const auto large = ModelZoo::analytic("VGG19", 512, 8);
+  EXPECT_DOUBLE_EQ(small.comm_bytes.count(), large.comm_bytes.count());
+}
+
+TEST(ModelZoo, AnalyticUsesAllreduceFormula) {
+  const auto p = ModelZoo::analytic("ResNet50", 256, 4, AllreduceAlgo::kRing);
+  // ResNet50: 25.6M params * 4B = 102.4 MB; ring with 4 workers: 1.5x.
+  EXPECT_NEAR(p.comm_bytes.to_mb(), 153.6, 0.1);
+}
+
+TEST(ModelZoo, AnalyticUnknownModelThrows) {
+  EXPECT_THROW(ModelZoo::analytic("GPT-17", 8, 4), std::invalid_argument);
+}
+
+TEST(ModelZoo, SyntheticProfile) {
+  const auto p = ModelZoo::synthetic("toy", Duration::millis(10),
+                                     Bytes::mega(53.125));
+  EXPECT_EQ(p.fwd_compute.to_millis(), 10.0);
+  // 53.125 MB at 42.5 Gbps = 10 ms; solo = 20 ms; comm fraction = 0.5.
+  EXPECT_NEAR(p.solo_iteration(Rate::gbps(kRefGbps)).to_millis(), 20.0, 1e-6);
+  EXPECT_NEAR(p.comm_fraction(Rate::gbps(kRefGbps)), 0.5, 1e-9);
+}
+
+TEST(JobProfile, ZeroCommBytesSoloIsCompute) {
+  const auto p = ModelZoo::synthetic("compute-only", Duration::millis(7),
+                                     Bytes::zero());
+  EXPECT_NEAR(p.solo_iteration(Rate::gbps(10)).to_millis(), 7.0, 1e-9);
+  EXPECT_DOUBLE_EQ(p.comm_fraction(Rate::gbps(10)), 0.0);
+}
+
+}  // namespace
+}  // namespace ccml

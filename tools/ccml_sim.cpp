@@ -1,0 +1,277 @@
+// ccml_sim — command-line driver for the library.
+//
+// Subcommands:
+//   zoo                      list the model zoo and calibrated profiles
+//   profile                  profile one job in isolation
+//   solve                    run the compatibility solver on job profiles
+//   scenario                 simulate jobs sharing a dumbbell bottleneck
+//
+// Examples:
+//   ccml_sim zoo
+//   ccml_sim profile --model DLRM --batch 2000
+//   ccml_sim solve --job period_ms=100,comm_ms=30 --job period_ms=100,comm_ms=30
+//   ccml_sim scenario --policy dcqcn --seconds 20
+//       --job model=DLRM,batch=2000,timer_us=55,rai_mbps=80
+//       --job model=DLRM,batch=2000,timer_us=300,rai_mbps=40
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cluster/scenario.h"
+#include "core/solver.h"
+#include "telemetry/table.h"
+#include "workload/profiler.h"
+
+using namespace ccml;
+
+namespace {
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr, R"(usage: ccml_sim <command> [options]
+
+commands:
+  zoo                         list models and calibrated (model,batch) entries
+  profile --model M --batch B [--policy P] [--iterations N]
+                              profile one job in isolation
+  solve --job K=V[,K=V...] [--job ...] [--sectors N] [--capacity-gbps G]
+                              compatibility of jobs on one link
+       job keys: period_ms, comm_ms (or model+batch), demand_gbps
+  scenario --job K=V[,K=V...] [--job ...] [--policy P] [--seconds S]
+                              simulate jobs on a shared dumbbell bottleneck
+       job keys: model, batch, name, compute_ms, comm_ms, timer_us,
+                 rai_mbps, priority, weight, start_ms
+  policies: maxmin | wfq | priority | dcqcn | dcqcn-adaptive | timely
+)");
+  std::exit(2);
+}
+
+std::map<std::string, std::string> parse_kv(const std::string& arg) {
+  std::map<std::string, std::string> out;
+  std::stringstream ss(arg);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) usage(("bad key=value: " + item).c_str());
+    out[item.substr(0, eq)] = item.substr(eq + 1);
+  }
+  return out;
+}
+
+double want_num(const std::map<std::string, std::string>& kv,
+                const std::string& key, std::optional<double> fallback = {}) {
+  const auto it = kv.find(key);
+  if (it == kv.end()) {
+    if (fallback) return *fallback;
+    usage(("missing job key: " + key).c_str());
+  }
+  return std::atof(it->second.c_str());
+}
+
+std::string want_str(const std::map<std::string, std::string>& kv,
+                     const std::string& key, std::string fallback = "") {
+  const auto it = kv.find(key);
+  return it == kv.end() ? fallback : it->second;
+}
+
+JobProfile job_profile_from(const std::map<std::string, std::string>& kv) {
+  const std::string model = want_str(kv, "model");
+  if (!model.empty()) {
+    const int batch = static_cast<int>(want_num(kv, "batch", 0.0));
+    if (const auto cal = ModelZoo::calibrated(model, batch)) return *cal;
+    const int workers = static_cast<int>(want_num(kv, "workers", 2.0));
+    return ModelZoo::analytic(model, batch, workers);
+  }
+  const double compute_ms = want_num(kv, "compute_ms");
+  const double comm_ms = want_num(kv, "comm_ms", 0.0);
+  return ModelZoo::synthetic(
+      want_str(kv, "name", "job"), Duration::from_millis_f(compute_ms),
+      Rate::gbps(42.5) * Duration::from_millis_f(comm_ms));
+}
+
+int cmd_zoo() {
+  std::printf("models:\n");
+  TextTable models({"model", "params (M)", "fwd us/sample"});
+  for (const auto& m : ModelZoo::models()) {
+    models.add_row({m.name, TextTable::num(m.params_millions, 1),
+                    TextTable::num(m.fwd_us_per_sample, 1)});
+  }
+  std::printf("%s\n", models.render().c_str());
+  std::printf("calibrated Table-1 profiles (at 42.5 Gbps effective):\n");
+  TextTable cal({"model", "batch", "compute ms", "comm MB", "solo ms"});
+  const std::pair<const char*, int> entries[] = {
+      {"BERT", 8},      {"VGG19", 1200},      {"DLRM", 2000},
+      {"VGG19", 1400},  {"WideResNet", 800},  {"VGG16", 1400},
+      {"VGG16", 1700},  {"ResNet50", 1600},
+  };
+  for (const auto& [model, batch] : entries) {
+    const auto p = ModelZoo::calibrated(model, batch);
+    if (!p) continue;
+    cal.add_row({model, std::to_string(batch),
+                 TextTable::num(p->fwd_compute.to_millis(), 0),
+                 TextTable::num(p->comm_bytes.to_mb(), 0),
+                 TextTable::num(
+                     p->solo_iteration(Rate::gbps(42.5)).to_millis(), 0)});
+  }
+  std::printf("%s", cal.render().c_str());
+  return 0;
+}
+
+int cmd_profile(const std::map<std::string, std::string>& opts) {
+  std::map<std::string, std::string> kv;
+  if (opts.contains("model")) kv["model"] = opts.at("model");
+  if (opts.contains("batch")) kv["batch"] = opts.at("batch");
+  const JobProfile job = job_profile_from(kv);
+  ProfilerOptions popts;
+  if (opts.contains("iterations")) {
+    popts.iterations = std::atoi(opts.at("iterations").c_str());
+  }
+  if (opts.contains("policy")) {
+    popts.policy = parse_policy_kind(opts.at("policy"));
+  }
+  const MeasuredProfile m = measure_profile(job, popts);
+  std::printf("model %s (batch %d) under %s:\n", job.model.c_str(), job.batch,
+              to_string(popts.policy));
+  std::printf("  mean iteration  %8.2f ms\n", m.mean_iteration.to_millis());
+  std::printf("  p99 iteration   %8.2f ms\n", m.p99_iteration.to_millis());
+  std::printf("  comm goodput    %8.2f Gbps\n", m.mean_comm_rate.to_gbps());
+  std::printf("  comm fraction   %8.2f\n", m.profile.comm_fraction());
+  std::printf("  circle: period %.2f ms, arcs:", m.profile.period.to_millis());
+  for (const Arc& a : m.profile.arcs) {
+    std::printf(" [%.1f, %.1f)", a.start.to_millis(),
+                (a.start + a.length).to_millis());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_solve(const std::vector<std::string>& job_args,
+              const std::map<std::string, std::string>& opts) {
+  if (job_args.size() < 2) usage("solve needs at least two --job");
+  std::vector<CommProfile> profiles;
+  for (const auto& arg : job_args) {
+    const auto kv = parse_kv(arg);
+    if (kv.contains("period_ms")) {
+      const double period = want_num(kv, "period_ms");
+      const double comm = want_num(kv, "comm_ms");
+      profiles.push_back(CommProfile::single_phase(
+          want_str(kv, "name", "job" + std::to_string(profiles.size())),
+          Duration::from_millis_f(period),
+          Duration::from_millis_f(period - comm),
+          Rate::gbps(want_num(kv, "demand_gbps", 42.5))));
+    } else {
+      profiles.push_back(
+          analytic_profile(job_profile_from(kv), Rate::gbps(42.5)));
+    }
+  }
+  SolverOptions sopts;
+  if (opts.contains("sectors")) {
+    sopts.sectors = std::atoi(opts.at("sectors").c_str());
+  }
+  if (opts.contains("capacity-gbps")) {
+    sopts.mode = SolverOptions::Mode::kBandwidth;
+    sopts.link_capacity =
+        Rate::gbps(std::atof(opts.at("capacity-gbps").c_str()));
+  }
+  const SolverResult r = CompatibilitySolver(sopts).solve(profiles);
+  std::printf("verdict: %s%s\n", r.compatible ? "COMPATIBLE" : "incompatible",
+              r.proven ? "" : " (not proven; search budget exhausted)");
+  std::printf("residual violation: %.4f of the unified circle\n",
+              r.violation_fraction);
+  for (std::size_t j = 0; j < profiles.size(); ++j) {
+    std::printf("  %-10s period %8.2f ms  comm %5.1f%%  rotation %8.2f ms\n",
+                profiles[j].name.c_str(), profiles[j].period.to_millis(),
+                100.0 * profiles[j].comm_fraction(),
+                r.rotations[j].to_millis());
+  }
+  return r.compatible ? 0 : 1;
+}
+
+int cmd_scenario(const std::vector<std::string>& job_args,
+                 const std::map<std::string, std::string>& opts) {
+  if (job_args.empty()) usage("scenario needs at least one --job");
+  std::vector<ScenarioJob> jobs;
+  for (const auto& arg : job_args) {
+    const auto kv = parse_kv(arg);
+    ScenarioJob job;
+    job.profile = job_profile_from(kv);
+    job.name = want_str(kv, "name",
+                        job.profile.model.empty()
+                            ? "job" + std::to_string(jobs.size())
+                            : job.profile.model + "#" +
+                                  std::to_string(jobs.size()));
+    if (kv.contains("timer_us")) {
+      job.cc_timer = Duration::from_micros_f(want_num(kv, "timer_us"));
+    }
+    if (kv.contains("rai_mbps")) {
+      job.cc_rai = Rate::mbps(want_num(kv, "rai_mbps"));
+    }
+    job.priority = static_cast<int>(want_num(kv, "priority", 0.0));
+    job.weight = want_num(kv, "weight", 1.0);
+    job.start_offset = Duration::from_millis_f(want_num(kv, "start_ms", 0.0));
+    jobs.push_back(std::move(job));
+  }
+  ScenarioConfig cfg;
+  if (opts.contains("policy")) {
+    cfg.policy = parse_policy_kind(opts.at("policy"));
+  }
+  cfg.duration =
+      Duration::seconds(opts.contains("seconds")
+                            ? std::atoi(opts.at("seconds").c_str())
+                            : 20);
+  const auto result = run_dumbbell_scenario(jobs, cfg);
+
+  std::printf("policy %s, %zu jobs, %.0f s simulated:\n\n",
+              to_string(cfg.policy), jobs.size(), cfg.duration.to_seconds());
+  TextTable table({"job", "iterations", "mean ms", "median ms", "p95 ms",
+                   "solo ms"});
+  const Rate goodput = scenario_goodput(cfg);
+  for (std::size_t i = 0; i < result.jobs.size(); ++i) {
+    const auto& j = result.jobs[i];
+    table.add_row({j.name, std::to_string(j.iterations),
+                   TextTable::num(j.mean_ms, 1), TextTable::num(j.median_ms, 1),
+                   TextTable::num(j.p95_ms, 1),
+                   TextTable::num(
+                       jobs[i].profile.solo_iteration(goodput).to_millis(),
+                       1)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> job_args;
+  std::map<std::string, std::string> opts;
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) usage(("unexpected argument: " + a).c_str());
+    a = a.substr(2);
+    if (i + 1 >= argc) usage(("missing value for --" + a).c_str());
+    const std::string value = argv[++i];
+    if (a == "job") {
+      job_args.push_back(value);
+    } else {
+      opts[a] = value;
+    }
+  }
+  try {
+    if (cmd == "zoo") return cmd_zoo();
+    if (cmd == "profile") return cmd_profile(opts);
+    if (cmd == "solve") return cmd_solve(job_args, opts);
+    if (cmd == "scenario") return cmd_scenario(job_args, opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  usage(("unknown command: " + cmd).c_str());
+}
