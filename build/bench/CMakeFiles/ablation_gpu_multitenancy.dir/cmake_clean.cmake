@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gpu_multitenancy.dir/ablation_gpu_multitenancy.cpp.o"
+  "CMakeFiles/ablation_gpu_multitenancy.dir/ablation_gpu_multitenancy.cpp.o.d"
+  "ablation_gpu_multitenancy"
+  "ablation_gpu_multitenancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gpu_multitenancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_marking_noise.dir/ablation_marking_noise.cpp.o"
+  "CMakeFiles/ablation_marking_noise.dir/ablation_marking_noise.cpp.o.d"
+  "ablation_marking_noise"
+  "ablation_marking_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_marking_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multiphase.dir/ablation_multiphase.cpp.o"
+  "CMakeFiles/ablation_multiphase.dir/ablation_multiphase.cpp.o.d"
+  "ablation_multiphase"
+  "ablation_multiphase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multiphase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_solver_sectors.dir/ablation_solver_sectors.cpp.o"
+  "CMakeFiles/ablation_solver_sectors.dir/ablation_solver_sectors.cpp.o.d"
+  "ablation_solver_sectors"
+  "ablation_solver_sectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_solver_sectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

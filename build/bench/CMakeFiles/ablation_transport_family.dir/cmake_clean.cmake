@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_transport_family.dir/ablation_transport_family.cpp.o"
+  "CMakeFiles/ablation_transport_family.dir/ablation_transport_family.cpp.o.d"
+  "ablation_transport_family"
+  "ablation_transport_family.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_transport_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

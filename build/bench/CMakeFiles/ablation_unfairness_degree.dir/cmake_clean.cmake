@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_unfairness_degree.dir/ablation_unfairness_degree.cpp.o"
+  "CMakeFiles/ablation_unfairness_degree.dir/ablation_unfairness_degree.cpp.o.d"
+  "ablation_unfairness_degree"
+  "ablation_unfairness_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_unfairness_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

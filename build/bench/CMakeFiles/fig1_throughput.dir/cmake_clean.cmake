@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_throughput.dir/fig1_throughput.cpp.o"
+  "CMakeFiles/fig1_throughput.dir/fig1_throughput.cpp.o.d"
+  "fig1_throughput"
+  "fig1_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

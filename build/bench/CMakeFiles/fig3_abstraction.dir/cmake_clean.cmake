@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_abstraction.dir/fig3_abstraction.cpp.o"
+  "CMakeFiles/fig3_abstraction.dir/fig3_abstraction.cpp.o.d"
+  "fig3_abstraction"
+  "fig3_abstraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_abstraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_unified.dir/fig5_unified.cpp.o"
+  "CMakeFiles/fig5_unified.dir/fig5_unified.cpp.o.d"
+  "fig5_unified"
+  "fig5_unified.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_unified.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

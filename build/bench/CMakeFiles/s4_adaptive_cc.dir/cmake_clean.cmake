@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4_adaptive_cc.dir/s4_adaptive_cc.cpp.o"
+  "CMakeFiles/s4_adaptive_cc.dir/s4_adaptive_cc.cpp.o.d"
+  "s4_adaptive_cc"
+  "s4_adaptive_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4_adaptive_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

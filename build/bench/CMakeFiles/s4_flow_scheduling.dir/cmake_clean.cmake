@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4_flow_scheduling.dir/s4_flow_scheduling.cpp.o"
+  "CMakeFiles/s4_flow_scheduling.dir/s4_flow_scheduling.cpp.o.d"
+  "s4_flow_scheduling"
+  "s4_flow_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4_flow_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4_priority_queues.dir/s4_priority_queues.cpp.o"
+  "CMakeFiles/s4_priority_queues.dir/s4_priority_queues.cpp.o.d"
+  "s4_priority_queues"
+  "s4_priority_queues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4_priority_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s5_cluster_placement.dir/s5_cluster_placement.cpp.o"
+  "CMakeFiles/s5_cluster_placement.dir/s5_cluster_placement.cpp.o.d"
+  "s5_cluster_placement"
+  "s5_cluster_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s5_cluster_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_compatibility.dir/table1_compatibility.cpp.o"
+  "CMakeFiles/table1_compatibility.dir/table1_compatibility.cpp.o.d"
+  "table1_compatibility"
+  "table1_compatibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_compatibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_transport.dir/adaptive_transport.cpp.o"
+  "CMakeFiles/adaptive_transport.dir/adaptive_transport.cpp.o.d"
+  "adaptive_transport"
+  "adaptive_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compatibility_explorer.dir/compatibility_explorer.cpp.o"
+  "CMakeFiles/compatibility_explorer.dir/compatibility_explorer.cpp.o.d"
+  "compatibility_explorer"
+  "compatibility_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compatibility_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/dcqcn.cpp" "src/cc/CMakeFiles/ccml_cc.dir/dcqcn.cpp.o" "gcc" "src/cc/CMakeFiles/ccml_cc.dir/dcqcn.cpp.o.d"
+  "/root/repo/src/cc/factory.cpp" "src/cc/CMakeFiles/ccml_cc.dir/factory.cpp.o" "gcc" "src/cc/CMakeFiles/ccml_cc.dir/factory.cpp.o.d"
+  "/root/repo/src/cc/max_min_fair.cpp" "src/cc/CMakeFiles/ccml_cc.dir/max_min_fair.cpp.o" "gcc" "src/cc/CMakeFiles/ccml_cc.dir/max_min_fair.cpp.o.d"
+  "/root/repo/src/cc/priority.cpp" "src/cc/CMakeFiles/ccml_cc.dir/priority.cpp.o" "gcc" "src/cc/CMakeFiles/ccml_cc.dir/priority.cpp.o.d"
+  "/root/repo/src/cc/timely.cpp" "src/cc/CMakeFiles/ccml_cc.dir/timely.cpp.o" "gcc" "src/cc/CMakeFiles/ccml_cc.dir/timely.cpp.o.d"
+  "/root/repo/src/cc/water_fill.cpp" "src/cc/CMakeFiles/ccml_cc.dir/water_fill.cpp.o" "gcc" "src/cc/CMakeFiles/ccml_cc.dir/water_fill.cpp.o.d"
+  "/root/repo/src/cc/wfq.cpp" "src/cc/CMakeFiles/ccml_cc.dir/wfq.cpp.o" "gcc" "src/cc/CMakeFiles/ccml_cc.dir/wfq.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ccml_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccml_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccml_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

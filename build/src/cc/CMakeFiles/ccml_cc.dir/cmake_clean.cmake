@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccml_cc.dir/dcqcn.cpp.o"
+  "CMakeFiles/ccml_cc.dir/dcqcn.cpp.o.d"
+  "CMakeFiles/ccml_cc.dir/factory.cpp.o"
+  "CMakeFiles/ccml_cc.dir/factory.cpp.o.d"
+  "CMakeFiles/ccml_cc.dir/max_min_fair.cpp.o"
+  "CMakeFiles/ccml_cc.dir/max_min_fair.cpp.o.d"
+  "CMakeFiles/ccml_cc.dir/priority.cpp.o"
+  "CMakeFiles/ccml_cc.dir/priority.cpp.o.d"
+  "CMakeFiles/ccml_cc.dir/timely.cpp.o"
+  "CMakeFiles/ccml_cc.dir/timely.cpp.o.d"
+  "CMakeFiles/ccml_cc.dir/water_fill.cpp.o"
+  "CMakeFiles/ccml_cc.dir/water_fill.cpp.o.d"
+  "CMakeFiles/ccml_cc.dir/wfq.cpp.o"
+  "CMakeFiles/ccml_cc.dir/wfq.cpp.o.d"
+  "libccml_cc.a"
+  "libccml_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccml_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

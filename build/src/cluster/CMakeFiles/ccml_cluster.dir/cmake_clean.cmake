@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccml_cluster.dir/experiment.cpp.o"
+  "CMakeFiles/ccml_cluster.dir/experiment.cpp.o.d"
+  "CMakeFiles/ccml_cluster.dir/placement.cpp.o"
+  "CMakeFiles/ccml_cluster.dir/placement.cpp.o.d"
+  "CMakeFiles/ccml_cluster.dir/scenario.cpp.o"
+  "CMakeFiles/ccml_cluster.dir/scenario.cpp.o.d"
+  "libccml_cluster.a"
+  "libccml_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccml_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/profile.cpp" "src/core/CMakeFiles/ccml_core.dir/profile.cpp.o" "gcc" "src/core/CMakeFiles/ccml_core.dir/profile.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/ccml_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/ccml_core.dir/schedule.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "src/core/CMakeFiles/ccml_core.dir/solver.cpp.o" "gcc" "src/core/CMakeFiles/ccml_core.dir/solver.cpp.o.d"
+  "/root/repo/src/core/unified_circle.cpp" "src/core/CMakeFiles/ccml_core.dir/unified_circle.cpp.o" "gcc" "src/core/CMakeFiles/ccml_core.dir/unified_circle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ccml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccml_core.dir/profile.cpp.o"
+  "CMakeFiles/ccml_core.dir/profile.cpp.o.d"
+  "CMakeFiles/ccml_core.dir/schedule.cpp.o"
+  "CMakeFiles/ccml_core.dir/schedule.cpp.o.d"
+  "CMakeFiles/ccml_core.dir/solver.cpp.o"
+  "CMakeFiles/ccml_core.dir/solver.cpp.o.d"
+  "CMakeFiles/ccml_core.dir/unified_circle.cpp.o"
+  "CMakeFiles/ccml_core.dir/unified_circle.cpp.o.d"
+  "libccml_core.a"
+  "libccml_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccml_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

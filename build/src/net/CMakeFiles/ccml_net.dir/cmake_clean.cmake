@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccml_net.dir/network.cpp.o"
+  "CMakeFiles/ccml_net.dir/network.cpp.o.d"
+  "CMakeFiles/ccml_net.dir/routing.cpp.o"
+  "CMakeFiles/ccml_net.dir/routing.cpp.o.d"
+  "CMakeFiles/ccml_net.dir/topology.cpp.o"
+  "CMakeFiles/ccml_net.dir/topology.cpp.o.d"
+  "libccml_net.a"
+  "libccml_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccml_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

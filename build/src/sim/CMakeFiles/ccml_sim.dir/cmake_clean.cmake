@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccml_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/ccml_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/ccml_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ccml_sim.dir/simulator.cpp.o.d"
+  "libccml_sim.a"
+  "libccml_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccml_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

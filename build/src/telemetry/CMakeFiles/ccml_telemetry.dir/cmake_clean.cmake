@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccml_telemetry.dir/plot.cpp.o"
+  "CMakeFiles/ccml_telemetry.dir/plot.cpp.o.d"
+  "CMakeFiles/ccml_telemetry.dir/recorders.cpp.o"
+  "CMakeFiles/ccml_telemetry.dir/recorders.cpp.o.d"
+  "CMakeFiles/ccml_telemetry.dir/table.cpp.o"
+  "CMakeFiles/ccml_telemetry.dir/table.cpp.o.d"
+  "libccml_telemetry.a"
+  "libccml_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccml_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

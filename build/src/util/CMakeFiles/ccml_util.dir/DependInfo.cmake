@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/circular.cpp" "src/util/CMakeFiles/ccml_util.dir/circular.cpp.o" "gcc" "src/util/CMakeFiles/ccml_util.dir/circular.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/util/CMakeFiles/ccml_util.dir/log.cpp.o" "gcc" "src/util/CMakeFiles/ccml_util.dir/log.cpp.o.d"
+  "/root/repo/src/util/math.cpp" "src/util/CMakeFiles/ccml_util.dir/math.cpp.o" "gcc" "src/util/CMakeFiles/ccml_util.dir/math.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/ccml_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/ccml_util.dir/stats.cpp.o.d"
+  "/root/repo/src/util/time.cpp" "src/util/CMakeFiles/ccml_util.dir/time.cpp.o" "gcc" "src/util/CMakeFiles/ccml_util.dir/time.cpp.o.d"
+  "/root/repo/src/util/units.cpp" "src/util/CMakeFiles/ccml_util.dir/units.cpp.o" "gcc" "src/util/CMakeFiles/ccml_util.dir/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccml_util.dir/circular.cpp.o"
+  "CMakeFiles/ccml_util.dir/circular.cpp.o.d"
+  "CMakeFiles/ccml_util.dir/log.cpp.o"
+  "CMakeFiles/ccml_util.dir/log.cpp.o.d"
+  "CMakeFiles/ccml_util.dir/math.cpp.o"
+  "CMakeFiles/ccml_util.dir/math.cpp.o.d"
+  "CMakeFiles/ccml_util.dir/stats.cpp.o"
+  "CMakeFiles/ccml_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ccml_util.dir/time.cpp.o"
+  "CMakeFiles/ccml_util.dir/time.cpp.o.d"
+  "CMakeFiles/ccml_util.dir/units.cpp.o"
+  "CMakeFiles/ccml_util.dir/units.cpp.o.d"
+  "libccml_util.a"
+  "libccml_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccml_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

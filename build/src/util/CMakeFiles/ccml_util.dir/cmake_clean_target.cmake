@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libccml_util.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/allreduce.cpp" "src/workload/CMakeFiles/ccml_workload.dir/allreduce.cpp.o" "gcc" "src/workload/CMakeFiles/ccml_workload.dir/allreduce.cpp.o.d"
+  "/root/repo/src/workload/background.cpp" "src/workload/CMakeFiles/ccml_workload.dir/background.cpp.o" "gcc" "src/workload/CMakeFiles/ccml_workload.dir/background.cpp.o.d"
+  "/root/repo/src/workload/job.cpp" "src/workload/CMakeFiles/ccml_workload.dir/job.cpp.o" "gcc" "src/workload/CMakeFiles/ccml_workload.dir/job.cpp.o.d"
+  "/root/repo/src/workload/model_zoo.cpp" "src/workload/CMakeFiles/ccml_workload.dir/model_zoo.cpp.o" "gcc" "src/workload/CMakeFiles/ccml_workload.dir/model_zoo.cpp.o.d"
+  "/root/repo/src/workload/profiler.cpp" "src/workload/CMakeFiles/ccml_workload.dir/profiler.cpp.o" "gcc" "src/workload/CMakeFiles/ccml_workload.dir/profiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ccml_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccml_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccml_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ccml_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/ccml_cc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccml_workload.dir/allreduce.cpp.o"
+  "CMakeFiles/ccml_workload.dir/allreduce.cpp.o.d"
+  "CMakeFiles/ccml_workload.dir/background.cpp.o"
+  "CMakeFiles/ccml_workload.dir/background.cpp.o.d"
+  "CMakeFiles/ccml_workload.dir/job.cpp.o"
+  "CMakeFiles/ccml_workload.dir/job.cpp.o.d"
+  "CMakeFiles/ccml_workload.dir/model_zoo.cpp.o"
+  "CMakeFiles/ccml_workload.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/ccml_workload.dir/profiler.cpp.o"
+  "CMakeFiles/ccml_workload.dir/profiler.cpp.o.d"
+  "libccml_workload.a"
+  "libccml_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccml_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_policy_test.dir/cc_policy_test.cpp.o"
+  "CMakeFiles/cc_policy_test.dir/cc_policy_test.cpp.o.d"
+  "cc_policy_test"
+  "cc_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_timely_test.dir/cc_timely_test.cpp.o"
+  "CMakeFiles/cc_timely_test.dir/cc_timely_test.cpp.o.d"
+  "cc_timely_test"
+  "cc_timely_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_timely_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_water_fill_test.dir/cc_water_fill_test.cpp.o"
+  "CMakeFiles/cc_water_fill_test.dir/cc_water_fill_test.cpp.o.d"
+  "cc_water_fill_test"
+  "cc_water_fill_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_water_fill_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_experiment_test.dir/cluster_experiment_test.cpp.o"
+  "CMakeFiles/cluster_experiment_test.dir/cluster_experiment_test.cpp.o.d"
+  "cluster_experiment_test"
+  "cluster_experiment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_experiment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_scenario_test.dir/cluster_scenario_test.cpp.o"
+  "CMakeFiles/cluster_scenario_test.dir/cluster_scenario_test.cpp.o.d"
+  "cluster_scenario_test"
+  "cluster_scenario_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_multitenancy_test.dir/core_multitenancy_test.cpp.o"
+  "CMakeFiles/core_multitenancy_test.dir/core_multitenancy_test.cpp.o.d"
+  "core_multitenancy_test"
+  "core_multitenancy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_multitenancy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_unified_circle_test.dir/core_unified_circle_test.cpp.o"
+  "CMakeFiles/core_unified_circle_test.dir/core_unified_circle_test.cpp.o.d"
+  "core_unified_circle_test"
+  "core_unified_circle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_unified_circle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for core_unified_circle_test.
+# This may be replaced when dependencies are built.

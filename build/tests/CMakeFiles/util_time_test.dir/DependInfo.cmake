@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util_time_test.cpp" "tests/CMakeFiles/util_time_test.dir/util_time_test.cpp.o" "gcc" "tests/CMakeFiles/util_time_test.dir/util_time_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/ccml_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/ccml_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ccml_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ccml_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/ccml_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ccml_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccml_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_allreduce_test.dir/workload_allreduce_test.cpp.o"
+  "CMakeFiles/workload_allreduce_test.dir/workload_allreduce_test.cpp.o.d"
+  "workload_allreduce_test"
+  "workload_allreduce_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_allreduce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

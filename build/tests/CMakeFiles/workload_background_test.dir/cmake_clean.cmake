@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_background_test.dir/workload_background_test.cpp.o"
+  "CMakeFiles/workload_background_test.dir/workload_background_test.cpp.o.d"
+  "workload_background_test"
+  "workload_background_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_background_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

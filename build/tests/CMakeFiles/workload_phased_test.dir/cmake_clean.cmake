@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_phased_test.dir/workload_phased_test.cpp.o"
+  "CMakeFiles/workload_phased_test.dir/workload_phased_test.cpp.o.d"
+  "workload_phased_test"
+  "workload_phased_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_phased_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

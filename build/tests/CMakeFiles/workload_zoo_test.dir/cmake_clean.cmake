@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_zoo_test.dir/workload_zoo_test.cpp.o"
+  "CMakeFiles/workload_zoo_test.dir/workload_zoo_test.cpp.o.d"
+  "workload_zoo_test"
+  "workload_zoo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_zoo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

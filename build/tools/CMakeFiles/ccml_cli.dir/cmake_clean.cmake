@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccml_cli.dir/ccml_sim.cpp.o"
+  "CMakeFiles/ccml_cli.dir/ccml_sim.cpp.o.d"
+  "ccml_sim"
+  "ccml_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccml_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
