@@ -11,6 +11,7 @@
 #include "cluster/scenario.h"
 #include "core/schedule.h"
 #include "core/solver.h"
+#include "sim/sweep.h"
 #include "telemetry/table.h"
 #include "workload/profiler.h"
 
@@ -64,19 +65,29 @@ int main(int argc, char** argv) {
               "mechanisms (2 x DLRM(2000); compute 700 ms, solo 1000 ms, "
               "fair plateau 1300 ms)\n\n");
 
+  // Each jitter level is an independent pair of simulations; fan the grid
+  // across cores and render the table from the input-ordered results.
+  const std::vector<double> grid = {0.0, 5.0, 20.0, 50.0, 100.0, 200.0};
+  struct Point {
+    ScenarioResult unfair, sched;
+  };
+  SweepRunner pool;
+  const auto results = pool.run(grid, [&](double jitter_ms, std::size_t) {
+    const Duration jitter = Duration::from_millis_f(jitter_ms);
+    return Point{run_unfair(dlrm, jitter, seconds),
+                 run_scheduled(dlrm, jitter, seconds)};
+  });
+
   TextTable table({"jitter stddev", "unfair DCQCN J1/J2 (ms)",
                    "flow schedule J1/J2 (ms)"});
-  for (const double jitter_ms : {0.0, 5.0, 20.0, 50.0, 100.0, 200.0}) {
-    const Duration jitter = Duration::from_millis_f(jitter_ms);
-    const auto unfair = run_unfair(dlrm, jitter, seconds);
-    const auto sched = run_scheduled(dlrm, jitter, seconds);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto& [unfair, sched] = results[i];
     char buf1[64], buf2[64];
     std::snprintf(buf1, sizeof(buf1), "%.0f / %.0f", unfair.jobs[0].mean_ms,
                   unfair.jobs[1].mean_ms);
     std::snprintf(buf2, sizeof(buf2), "%.0f / %.0f", sched.jobs[0].mean_ms,
                   sched.jobs[1].mean_ms);
-    std::printf("  running jitter=%.0f ms...\n", jitter_ms);
-    table.add_row({TextTable::num(jitter_ms, 0) + " ms", buf1, buf2});
+    table.add_row({TextTable::num(grid[i], 0) + " ms", buf1, buf2});
   }
   std::printf("\n%s\n", table.render().c_str());
   std::printf(

@@ -9,6 +9,7 @@
 
 #include "cluster/scenario.h"
 #include "core/solver.h"
+#include "sim/sweep.h"
 #include "telemetry/table.h"
 #include "workload/profiler.h"
 
@@ -43,10 +44,24 @@ int main(int argc, char** argv) {
   std::printf("Ablation: fabric oversubscription (2 x DLRM(2000), 50 Gbps "
               "NICs)\n\n");
 
+  // The fair/unfair simulations per ratio dominate the runtime and are
+  // independent; sweep them in parallel.  The solver check is cheap and the
+  // shared solver instance stays on this thread.
+  const std::vector<double> ratios = {1.0, 1.5, 2.0, 3.0, 4.0};
+  struct Point {
+    ScenarioResult fair, unfair;
+  };
+  SweepRunner pool;
+  const auto results = pool.run(ratios, [&](double ratio, std::size_t) {
+    const double fabric = 50.0 / ratio;
+    return Point{run(fabric, false, seconds), run(fabric, true, seconds)};
+  });
+
   TextTable table({"oversub", "fabric", "solo ms", "comm fraction",
                    "fair J1/J2", "unfair J1/J2", "solver"});
   CompatibilitySolver solver;
-  for (const double ratio : {1.0, 1.5, 2.0, 3.0, 4.0}) {
+  for (std::size_t i = 0; i < ratios.size(); ++i) {
+    const double ratio = ratios[i];
     const double fabric = 50.0 / ratio;
     const Rate goodput = Rate::gbps(fabric) * 0.85;
     const double solo = dlrm.solo_iteration(goodput).to_millis();
@@ -55,8 +70,8 @@ int main(int argc, char** argv) {
     const std::vector<CommProfile> pair = {p, p};
     const bool compatible = solver.solve(pair).compatible;
 
-    const auto fair = run(fabric, false, seconds);
-    const auto unfair = run(fabric, true, seconds);
+    const auto& fair = results[i].fair;
+    const auto& unfair = results[i].unfair;
     char f[48], u[48];
     std::snprintf(f, sizeof(f), "%.0f / %.0f", fair.jobs[0].mean_ms,
                   fair.jobs[1].mean_ms);

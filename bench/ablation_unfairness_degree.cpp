@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "cluster/scenario.h"
+#include "sim/sweep.h"
 #include "telemetry/table.h"
 
 using namespace ccml;
@@ -34,9 +35,12 @@ int main(int argc, char** argv) {
        Rate::mbps(80), Rate::mbps(40)},
   };
 
-  TextTable table({"unfairness", "J1 mean ms", "J2 mean ms", "both sped up?"});
-  double fair_baseline = 0;
-  for (const Step& s : steps) {
+  // The grid points are independent simulations: fan them across cores and
+  // fold the (order-sensitive) baseline comparison over the input-ordered
+  // results afterwards.
+  SweepRunner pool;
+  const std::vector<Step> grid(std::begin(steps), std::end(steps));
+  const auto results = pool.run(grid, [&](const Step& s, std::size_t) {
     std::vector<ScenarioJob> jobs = {{"J1", dlrm}, {"J2", dlrm}};
     jobs[0].cc_timer = s.t1;
     jobs[0].cc_rai = s.r1;
@@ -46,11 +50,17 @@ int main(int argc, char** argv) {
     cfg.policy = PolicyKind::kDcqcn;
     cfg.duration = Duration::seconds(seconds);
     cfg.warmup_iterations = 10;
-    const auto r = run_dumbbell_scenario(jobs, cfg);
+    return run_dumbbell_scenario(jobs, cfg);
+  });
+
+  TextTable table({"unfairness", "J1 mean ms", "J2 mean ms", "both sped up?"});
+  double fair_baseline = 0;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto& r = results[i];
     if (fair_baseline == 0) fair_baseline = r.jobs[0].mean_ms;
     const bool both = r.jobs[0].mean_ms < fair_baseline * 0.98 &&
                       r.jobs[1].mean_ms < fair_baseline * 0.98;
-    table.add_row({s.label, TextTable::num(r.jobs[0].mean_ms, 0),
+    table.add_row({grid[i].label, TextTable::num(r.jobs[0].mean_ms, 0),
                    TextTable::num(r.jobs[1].mean_ms, 0),
                    fair_baseline == r.jobs[0].mean_ms ? "baseline"
                                                       : (both ? "yes" : "no")});

@@ -14,6 +14,9 @@ DcqcnPolicy::DcqcnPolicy(DcqcnConfig config)
   assert(config_.pmax > 0.0 && config_.pmax <= 1.0);
   assert(config_.timer.is_positive());
   assert(config_.byte_counter.is_positive());
+  kmin_bytes_ = config_.kmin.count();
+  kmax_bytes_ = config_.kmax.count();
+  mark_scale_ = config_.pmax / (kmax_bytes_ - kmin_bytes_);
 }
 
 void DcqcnPolicy::on_flow_started(Network& net, Flow& flow) {
@@ -32,19 +35,16 @@ void DcqcnPolicy::on_flow_started(Network& net, Flow& flow) {
   s.timer = flow.spec.cc_timer.is_positive() ? flow.spec.cc_timer
                                              : config_.timer;
   s.rai = flow.spec.cc_rai.is_positive() ? flow.spec.cc_rai : config_.rai;
-  flows_.emplace(flow.id, s);
+  const std::uint32_t slot = net.slot_of(flow.id);
+  if (state_.size() <= slot) state_.resize(net.slab_size());
+  state_[slot] = s;
+  slots_[flow.id] = slot;
   flow.rate = s.rc;
 }
 
 void DcqcnPolicy::on_flow_finished(Network& /*net*/, const Flow& flow) {
-  flows_.erase(flow.id);
-}
-
-double DcqcnPolicy::red_probability(Bytes queue) const {
-  if (queue <= config_.kmin) return 0.0;
-  if (queue >= config_.kmax) return 1.0;
-  const double t = (queue - config_.kmin) / (config_.kmax - config_.kmin);
-  return t * config_.pmax;
+  // The slot's state is left stale; a reused slot is overwritten on start.
+  slots_.erase(flow.id);
 }
 
 void DcqcnPolicy::apply_decrease(FlowState& s) {
@@ -88,40 +88,67 @@ void DcqcnPolicy::update_rates(Network& net, TimePoint /*now*/, Duration dt) {
   }
 
   // --- CP: integrate egress queues and refresh marking probabilities. -----
-  for (std::size_t l = 0; l < links_.size(); ++l) {
-    const LinkId lid{static_cast<std::int32_t>(l)};
-    const auto& on_link = net.flows_on_link(lid);
-    if (on_link.empty() && links_[l].queue.is_zero()) {
-      links_[l].mark_prob = 0.0;
-      continue;
-    }
-    Rate arrival = Rate::zero();
-    for (const FlowId fid : on_link) arrival += net.flow(fid).rate;
-    const Rate cap = net.effective_capacity(lid);
-    const Bytes delta = (arrival - cap) * dt;
-    Bytes q = links_[l].queue + delta;
+  // Only links carrying flows or still draining backlog from departed flows
+  // are touched; idle links stay at queue == 0, mark_prob == 0.
+  ++step_stamp_;
+  bool queues_clear = true;
+  bool any_marked = false;
+  scratch_wet_.clear();
+  const auto integrate = [&](std::size_t l, Rate arrival)
+      __attribute__((always_inline)) {
+    const Rate cap =
+        net.effective_capacity(LinkId{static_cast<std::int32_t>(l)});
+    Bytes q = links_[l].queue + (arrival - cap) * dt;
     if (q < Bytes::zero()) q = Bytes::zero();
     links_[l].queue = q;
-    links_[l].mark_prob = red_probability(q);
+    const double p = red_probability(q.count());
+    links_[l].mark_prob = p;
+    // Hoists the per-flow libm work: P(packet unmarked on the route) is the
+    // product of per-link (1-p), so each flow only needs the sum of these
+    // logs and a single exp.  log1p(-1) = -inf gives p_any = 1 exactly.
+    links_[l].log_keep = p > 0.0 ? std::log1p(-p) : 0.0;
+    if (p > 0.0) any_marked = true;
+    if (!q.is_zero()) {
+      queues_clear = false;
+      scratch_wet_.push_back(static_cast<std::uint32_t>(l));
+    }
+  };
+  for (const LinkId lid : net.links_in_use()) {
+    const auto l = static_cast<std::size_t>(lid.value);
+    links_[l].stamp = step_stamp_;
+    Rate arrival = Rate::zero();
+    for (const std::uint32_t slot : net.flow_slots_on_link(lid)) {
+      arrival += net.flow_at(slot).rate;
+    }
+    integrate(l, arrival);
   }
+  // Backlog on links whose flows all departed drains at line rate.
+  for (const std::uint32_t l : wet_links_) {
+    if (links_[l].stamp != step_stamp_) integrate(l, Rate::zero());
+  }
+  wet_links_.swap(scratch_wet_);
+  queues_clear_ = queues_clear;
 
   // --- NP + RP: per-flow CNP arrivals and rate machine updates. -----------
-  for (const FlowId fid : net.active_flows()) {
-    Flow& flow = net.flow(fid);
-    auto it = flows_.find(fid);
-    assert(it != flows_.end());
-    FlowState& s = it->second;
+  for (const std::uint32_t slot : net.active_slots()) {
+    Flow& flow = net.flow_at(slot);
+    FlowState& s = state_[slot];
 
     // Probability that at least one of this step's packets is marked on any
-    // traversed link.
-    double p_clean = 1.0;
-    for (const LinkId lid : flow.spec.route.links) {
-      p_clean *= 1.0 - links_[lid.value].mark_prob;
+    // traversed link: 1 - prod_l (1-p_l)^pkts, computed in log space with
+    // the per-link logs cached by the CP pass above.
+    double sum_log = 0.0;
+    if (any_marked) {
+      for (const LinkId lid : flow.spec.route.links) {
+        sum_log += links_[lid.value].log_keep;
+      }
     }
-    const double p_mark = 1.0 - p_clean;
-    const double pkts = std::max(1.0, (flow.rate * dt) / config_.mtu);
-    // P(no packet marked in the step) = (1-p)^pkts.
-    const double p_any = 1.0 - std::pow(1.0 - p_mark, pkts);
+    const Bytes sent = flow.rate * dt;
+    double p_any = 0.0;
+    if (sum_log < 0.0) {
+      const double pkts = std::max(1.0, sent / config_.mtu);
+      p_any = 1.0 - std::exp(pkts * sum_log);
+    }
 
     if (s.since_last_cnp < Duration::max()) s.since_last_cnp += dt;
     s.alpha_clock += dt;
@@ -153,7 +180,7 @@ void DcqcnPolicy::update_rates(Network& net, TimePoint /*now*/, Duration dt) {
       }
       // Timer- and byte-driven increase events.
       s.time_since_increase += dt;
-      s.bytes_since_increase += flow.rate * dt;
+      s.bytes_since_increase += sent;
       while (s.time_since_increase >= s.timer) {
         s.time_since_increase -= s.timer;
         ++s.timer_rounds;
@@ -177,9 +204,9 @@ Bytes DcqcnPolicy::link_queue(LinkId link) const {
 }
 
 DcqcnPolicy::RpState DcqcnPolicy::rp_state(FlowId id) const {
-  const auto it = flows_.find(id);
-  assert(it != flows_.end());
-  const FlowState& s = it->second;
+  const auto it = slots_.find(id);
+  assert(it != slots_.end());
+  const FlowState& s = state_[it->second];
   return {s.rc, s.rt, s.alpha, s.timer_rounds, s.byte_rounds};
 }
 

@@ -86,6 +86,9 @@ class DcqcnPolicy : public BandwidthPolicy {
   void on_flow_finished(Network& net, const Flow& flow) override;
   void update_rates(Network& net, TimePoint now, Duration dt) override;
   Bytes link_queue(LinkId link) const override;
+  /// With all switch queues drained nothing evolves between steps while no
+  /// flow is active, so the kernel may fast-forward across compute phases.
+  bool quiescent() const override { return queues_clear_; }
 
   const DcqcnConfig& config() const { return config_; }
 
@@ -120,16 +123,35 @@ class DcqcnPolicy : public BandwidthPolicy {
   struct LinkState {
     Bytes queue = Bytes::zero();
     double mark_prob = 0.0;
+    double log_keep = 0.0;  ///< log1p(-mark_prob), cached per CP pass
+    std::uint64_t stamp = 0;  ///< last CP pass that touched this link
   };
 
   void apply_decrease(FlowState& s);
   void apply_increase(FlowState& s, const Flow& flow);
-  double red_probability(Bytes queue) const;
+  /// RED/ECN marking probability for a queue of `queue_bytes` bytes, using
+  /// the slope precomputed in the constructor.
+  double red_probability(double queue_bytes) const {
+    if (queue_bytes <= kmin_bytes_) return 0.0;
+    if (queue_bytes >= kmax_bytes_) return 1.0;
+    return (queue_bytes - kmin_bytes_) * mark_scale_;
+  }
 
   DcqcnConfig config_;
   Rng rng_;
-  std::unordered_map<FlowId, FlowState> flows_;
+  // Rate-machine state indexed by the network's stable slab slot so the
+  // per-step RP pass is hash-free; `slots_` maps ids for the diag API and
+  // is only consulted off the hot path.
+  std::vector<FlowState> state_;
+  std::unordered_map<FlowId, std::uint32_t> slots_;
   std::vector<LinkState> links_;
+  double kmin_bytes_ = 0.0;
+  double kmax_bytes_ = 0.0;
+  double mark_scale_ = 0.0;  // pmax / (kmax - kmin), per byte
+  bool queues_clear_ = true;  // refreshed by the CP pass each step
+  std::uint64_t step_stamp_ = 0;
+  std::vector<std::uint32_t> wet_links_;  // links with backlog after the
+  std::vector<std::uint32_t> scratch_wet_;  // previous pass (+ scratch)
 };
 
 }  // namespace ccml

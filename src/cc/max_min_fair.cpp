@@ -7,11 +7,12 @@ namespace ccml {
 void MaxMinFairPolicy::update_rates(Network& net, TimePoint /*now*/,
                                     Duration /*dt*/) {
   const auto flows = net.active_flows();
+  const auto slots = net.active_slots();
   auto residual = full_residual(net);
   const std::unordered_map<FlowId, double> unit_weights;  // default weight 1
   auto rates = water_fill(net, flows, residual, unit_weights);
-  for (const FlowId fid : flows) {
-    net.flow(fid).rate = rates[fid];
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    net.flow_at(slots[i]).rate = rates[flows[i]];
   }
 }
 

@@ -13,6 +13,8 @@ class MaxMinFairPolicy final : public BandwidthPolicy {
  public:
   const char* name() const override { return "max-min-fair"; }
   void update_rates(Network& net, TimePoint now, Duration dt) override;
+  // Allocation is recomputed from scratch each step; nothing decays.
+  bool quiescent() const override { return true; }
 };
 
 }  // namespace ccml

@@ -10,9 +10,10 @@ namespace ccml {
 void PriorityPolicy::update_rates(Network& net, TimePoint /*now*/,
                                   Duration /*dt*/) {
   const auto flows = net.active_flows();
+  const auto slots = net.active_slots();
   std::map<int, std::vector<FlowId>> classes;  // ordered: high priority first
-  for (const FlowId fid : flows) {
-    classes[net.flow(fid).spec.priority].push_back(fid);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    classes[net.flow_at(slots[i]).spec.priority].push_back(flows[i]);
   }
   auto residual = full_residual(net);
   for (auto& [prio, members] : classes) {

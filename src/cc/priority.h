@@ -16,6 +16,8 @@ class PriorityPolicy final : public BandwidthPolicy {
  public:
   const char* name() const override { return "strict-priority"; }
   void update_rates(Network& net, TimePoint now, Duration dt) override;
+  // Allocation is recomputed from scratch each step; nothing decays.
+  bool quiescent() const override { return true; }
 };
 
 }  // namespace ccml

@@ -25,12 +25,16 @@ void TimelyPolicy::on_flow_started(Network& net, Flow& flow) {
   s.line_rate = line;
   s.rate = line;  // RDMA starts at line rate
   s.delta = flow.spec.cc_rai.is_positive() ? flow.spec.cc_rai : config_.delta;
-  flows_.emplace(flow.id, s);
+  const std::uint32_t slot = net.slot_of(flow.id);
+  if (state_.size() <= slot) state_.resize(net.slab_size());
+  state_[slot] = s;
+  slots_[flow.id] = slot;
   flow.rate = s.rate;
 }
 
 void TimelyPolicy::on_flow_finished(Network& /*net*/, const Flow& flow) {
-  flows_.erase(flow.id);
+  // The slot's state is left stale; a reused slot is overwritten on start.
+  slots_.erase(flow.id);
 }
 
 void TimelyPolicy::update_rates(Network& net, TimePoint /*now*/, Duration dt) {
@@ -38,24 +42,41 @@ void TimelyPolicy::update_rates(Network& net, TimePoint /*now*/, Duration dt) {
     links_.resize(net.topology().link_count());
   }
 
-  // Queue integration per link (same fluid model as the DCQCN CP).
-  for (std::size_t l = 0; l < links_.size(); ++l) {
-    const LinkId lid{static_cast<std::int32_t>(l)};
-    const auto& on_link = net.flows_on_link(lid);
-    if (on_link.empty() && links_[l].queue.is_zero()) continue;
-    Rate arrival = Rate::zero();
-    for (const FlowId fid : on_link) arrival += net.flow(fid).rate;
-    const Bytes delta_q = (arrival - net.effective_capacity(lid)) * dt;
-    Bytes q = links_[l].queue + delta_q;
+  // Queue integration per link (same fluid model as the DCQCN CP); only
+  // links carrying flows or draining leftover backlog are touched.
+  ++step_stamp_;
+  bool queues_clear = true;
+  scratch_wet_.clear();
+  const auto integrate = [&](std::size_t l, Rate arrival)
+      __attribute__((always_inline)) {
+    const Rate cap =
+        net.effective_capacity(LinkId{static_cast<std::int32_t>(l)});
+    Bytes q = links_[l].queue + (arrival - cap) * dt;
     if (q < Bytes::zero()) q = Bytes::zero();
     links_[l].queue = q;
+    if (!q.is_zero()) {
+      queues_clear = false;
+      scratch_wet_.push_back(static_cast<std::uint32_t>(l));
+    }
+  };
+  for (const LinkId lid : net.links_in_use()) {
+    const auto l = static_cast<std::size_t>(lid.value);
+    links_[l].stamp = step_stamp_;
+    Rate arrival = Rate::zero();
+    for (const std::uint32_t slot : net.flow_slots_on_link(lid)) {
+      arrival += net.flow_at(slot).rate;
+    }
+    integrate(l, arrival);
   }
+  for (const std::uint32_t l : wet_links_) {
+    if (links_[l].stamp != step_stamp_) integrate(l, Rate::zero());
+  }
+  wet_links_.swap(scratch_wet_);
+  queues_clear_ = queues_clear;
 
-  for (const FlowId fid : net.active_flows()) {
-    Flow& flow = net.flow(fid);
-    auto it = flows_.find(fid);
-    assert(it != flows_.end());
-    FlowState& s = it->second;
+  for (const std::uint32_t slot : net.active_slots()) {
+    Flow& flow = net.flow_at(slot);
+    FlowState& s = state_[slot];
 
     s.since_update += dt;
     if (s.since_update < config_.update_interval) {
@@ -111,9 +132,10 @@ Bytes TimelyPolicy::link_queue(LinkId link) const {
 }
 
 TimelyPolicy::FlowDiag TimelyPolicy::diag(FlowId id) const {
-  const auto it = flows_.find(id);
-  assert(it != flows_.end());
-  return {it->second.rate, it->second.prev_rtt, it->second.last_gradient};
+  const auto it = slots_.find(id);
+  assert(it != slots_.end());
+  const FlowState& s = state_[it->second];
+  return {s.rate, s.prev_rtt, s.last_gradient};
 }
 
 }  // namespace ccml

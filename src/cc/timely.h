@@ -49,6 +49,9 @@ class TimelyPolicy final : public BandwidthPolicy {
   void on_flow_finished(Network& net, const Flow& flow) override;
   void update_rates(Network& net, TimePoint now, Duration dt) override;
   Bytes link_queue(LinkId link) const override;
+  /// With all queues drained nothing evolves between steps while no flow is
+  /// active, so the kernel may fast-forward across compute phases.
+  bool quiescent() const override { return queues_clear_; }
 
   const TimelyConfig& config() const { return config_; }
 
@@ -73,11 +76,19 @@ class TimelyPolicy final : public BandwidthPolicy {
 
   struct LinkState {
     Bytes queue = Bytes::zero();
+    std::uint64_t stamp = 0;  ///< last queue pass that touched this link
   };
 
   TimelyConfig config_;
-  std::unordered_map<FlowId, FlowState> flows_;
+  // Per-flow state indexed by the network's stable slab slot (hash-free on
+  // the per-step path); `slots_` maps ids for the diag API.
+  std::vector<FlowState> state_;
+  std::unordered_map<FlowId, std::uint32_t> slots_;
   std::vector<LinkState> links_;
+  bool queues_clear_ = true;  // refreshed by the queue pass each step
+  std::uint64_t step_stamp_ = 0;
+  std::vector<std::uint32_t> wet_links_;  // links with backlog after the
+  std::vector<std::uint32_t> scratch_wet_;  // previous pass (+ scratch)
 };
 
 }  // namespace ccml

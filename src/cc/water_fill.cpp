@@ -16,34 +16,38 @@ std::vector<Rate> full_residual(const Network& net) {
 }
 
 std::unordered_map<FlowId, Rate> water_fill(
-    const Network& net, const std::vector<FlowId>& flows,
+    const Network& net, std::span<const FlowId> flows,
     std::vector<Rate>& residual,
     const std::unordered_map<FlowId, double>& weights) {
   std::unordered_map<FlowId, Rate> rates;
   rates.reserve(flows.size());
 
-  std::vector<FlowId> unfrozen;
+  // Resolve ids and weights once up front so the fill rounds below touch no
+  // hash table.
+  struct Member {
+    FlowId id;
+    const Flow* flow;
+    double weight;
+  };
+  std::vector<Member> unfrozen;
+  unfrozen.reserve(flows.size());
   for (const FlowId fid : flows) {
     const auto wit = weights.find(fid);
     const double w = wit == weights.end() ? 1.0 : wit->second;
     if (w <= 0.0) {
       rates[fid] = Rate::zero();
     } else {
-      unfrozen.push_back(fid);
+      unfrozen.push_back({fid, &net.flow(fid), w});
     }
   }
 
   // Per-link weight of unfrozen flows crossing it.
   std::vector<double> link_weight(residual.size(), 0.0);
-  auto weight_of = [&](FlowId fid) {
-    const auto wit = weights.find(fid);
-    return wit == weights.end() ? 1.0 : wit->second;
-  };
   auto recompute_link_weights = [&] {
     std::fill(link_weight.begin(), link_weight.end(), 0.0);
-    for (const FlowId fid : unfrozen) {
-      for (const LinkId lid : net.flow(fid).spec.route.links) {
-        link_weight[lid.value] += weight_of(fid);
+    for (const Member& m : unfrozen) {
+      for (const LinkId lid : m.flow->spec.route.links) {
+        link_weight[lid.value] += m.weight;
       }
     }
   };
@@ -64,13 +68,13 @@ std::unordered_map<FlowId, Rate> water_fill(
     // freeze set is decided against the residual as of the start of the
     // round; capacity is only subtracted afterwards (subtracting mid-pass
     // would make later flows in the same round look bottlenecked too).
-    std::vector<FlowId> frozen;
-    std::vector<FlowId> still;
+    std::vector<Member> frozen;
+    std::vector<Member> still;
     still.reserve(unfrozen.size());
     constexpr double kSlack = 1.0 + 1e-12;
-    for (const FlowId fid : unfrozen) {
+    for (const Member& m : unfrozen) {
       bool bottlenecked = false;
-      for (const LinkId lid : net.flow(fid).spec.route.links) {
+      for (const LinkId lid : m.flow->spec.route.links) {
         const double share =
             residual[lid.value].bits_per_sec() / link_weight[lid.value];
         if (share <= theta * kSlack) {
@@ -78,12 +82,12 @@ std::unordered_map<FlowId, Rate> water_fill(
           break;
         }
       }
-      (bottlenecked ? frozen : still).push_back(fid);
+      (bottlenecked ? frozen : still).push_back(m);
     }
-    for (const FlowId fid : frozen) {
-      const Rate r = Rate::bps(weight_of(fid) * theta);
-      rates[fid] = r;
-      for (const LinkId lid : net.flow(fid).spec.route.links) {
+    for (const Member& m : frozen) {
+      const Rate r = Rate::bps(m.weight * theta);
+      rates[m.id] = r;
+      for (const LinkId lid : m.flow->spec.route.links) {
         residual[lid.value] -= r;
         if (residual[lid.value] < Rate::zero()) {
           residual[lid.value] = Rate::zero();

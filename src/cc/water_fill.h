@@ -4,6 +4,7 @@
 // (per-flow weights) and PriorityPolicy (per-class residual filling).
 #pragma once
 
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -20,7 +21,7 @@ namespace ccml {
 ///
 /// Flows whose weight is <= 0 receive zero rate.
 std::unordered_map<FlowId, Rate> water_fill(
-    const Network& net, const std::vector<FlowId>& flows,
+    const Network& net, std::span<const FlowId> flows,
     std::vector<Rate>& residual,
     const std::unordered_map<FlowId, double>& weights);
 

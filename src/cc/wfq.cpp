@@ -6,15 +6,16 @@ namespace ccml {
 
 void WfqPolicy::update_rates(Network& net, TimePoint /*now*/, Duration /*dt*/) {
   const auto flows = net.active_flows();
+  const auto slots = net.active_slots();
   auto residual = full_residual(net);
   std::unordered_map<FlowId, double> weights;
   weights.reserve(flows.size());
-  for (const FlowId fid : flows) {
-    weights[fid] = net.flow(fid).spec.weight;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    weights[flows[i]] = net.flow_at(slots[i]).spec.weight;
   }
   auto rates = water_fill(net, flows, residual, weights);
-  for (const FlowId fid : flows) {
-    net.flow(fid).rate = rates[fid];
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    net.flow_at(slots[i]).rate = rates[flows[i]];
   }
 }
 

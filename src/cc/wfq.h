@@ -12,6 +12,8 @@ class WfqPolicy final : public BandwidthPolicy {
  public:
   const char* name() const override { return "wfq"; }
   void update_rates(Network& net, TimePoint now, Duration dt) override;
+  // Allocation is recomputed from scratch each step; nothing decays.
+  bool quiescent() const override { return true; }
 };
 
 }  // namespace ccml

@@ -12,10 +12,17 @@ Network::Network(Topology topology, std::unique_ptr<BandwidthPolicy> policy,
     : topo_(std::move(topology)),
       policy_(std::move(policy)),
       config_(config),
-      link_flows_(topo_.link_count()) {
+      link_flows_(topo_.link_count()),
+      link_slots_(topo_.link_count()) {
   assert(policy_ != nullptr);
   assert(config_.goodput_factor > 0.0 && config_.goodput_factor <= 1.0);
   assert(config_.step.is_positive());
+  eff_capacity_.reserve(topo_.link_count());
+  for (std::size_t l = 0; l < topo_.link_count(); ++l) {
+    eff_capacity_.push_back(
+        topo_.link(LinkId{static_cast<std::int32_t>(l)}).capacity *
+        config_.goodput_factor);
+  }
 }
 
 void Network::attach(Simulator& sim) {
@@ -24,77 +31,94 @@ void Network::attach(Simulator& sim) {
   sim.add_stepper(*this, config_.step);
 }
 
-Rate Network::effective_capacity(LinkId link) const {
-  return topo_.link(link).capacity * config_.goodput_factor;
-}
-
 FlowId Network::start_flow(FlowSpec spec, FlowCompletionFn on_complete) {
   assert(sim_ != nullptr && "attach() before starting flows");
   assert(!spec.route.empty() && "flows need a route");
   const FlowId id{next_flow_id_++};
-  Flow flow;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+  }
+  Flow& flow = slab_[slot].flow;
   flow.id = id;
   flow.remaining = spec.size;
   flow.spec = std::move(spec);
   flow.start_time = sim_->now();
   flow.rate = Rate::zero();
+  slab_[slot].on_complete = std::move(on_complete);
   for (const LinkId lid : flow.spec.route.links) {
+    if (link_flows_[lid.value].empty()) {
+      used_links_.insert(
+          std::lower_bound(used_links_.begin(), used_links_.end(), lid), lid);
+    }
     link_flows_[lid.value].push_back(id);
+    link_slots_[lid.value].push_back(slot);
   }
-  auto [it, inserted] = flows_.emplace(id, std::move(flow));
-  assert(inserted);
-  if (on_complete) completions_.emplace(id, std::move(on_complete));
-  policy_->on_flow_started(*this, it->second);
+  index_.emplace(id.value, slot);
+  // Ids are handed out monotonically, so appending keeps the cache sorted.
+  active_ids_.push_back(id);
+  active_slots_.push_back(slot);
+  policy_->on_flow_started(*this, flow);
   return id;
 }
 
-void Network::detach_flow_from_links(const Flow& flow) {
-  for (const LinkId lid : flow.spec.route.links) {
-    auto& v = link_flows_[lid.value];
-    v.erase(std::remove(v.begin(), v.end(), flow.id), v.end());
+Network::Slot Network::extract_flow(FlowId id, std::uint32_t slot) {
+  Slot out;
+  out.flow = std::move(slab_[slot].flow);
+  out.on_complete = std::move(slab_[slot].on_complete);
+  slab_[slot].on_complete = nullptr;
+  index_.erase(id.value);
+  const auto pos = std::lower_bound(active_ids_.begin(), active_ids_.end(), id);
+  assert(pos != active_ids_.end() && *pos == id);
+  active_slots_.erase(active_slots_.begin() + (pos - active_ids_.begin()));
+  active_ids_.erase(pos);
+  for (const LinkId lid : out.flow.spec.route.links) {
+    auto& ids = link_flows_[lid.value];
+    ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+    auto& slots = link_slots_[lid.value];
+    slots.erase(std::remove(slots.begin(), slots.end(), slot), slots.end());
+    if (ids.empty()) {
+      used_links_.erase(
+          std::lower_bound(used_links_.begin(), used_links_.end(), lid));
+    }
   }
+  free_slots_.push_back(slot);
+  return out;
 }
 
 void Network::abort_flow(FlowId id) {
-  const auto it = flows_.find(id);
-  if (it == flows_.end()) return;
-  Flow flow = std::move(it->second);
-  flows_.erase(it);
-  completions_.erase(id);
-  detach_flow_from_links(flow);
-  policy_->on_flow_finished(*this, flow);
+  const auto it = index_.find(id.value);
+  if (it == index_.end()) return;
+  const Slot extracted = extract_flow(id, it->second);
+  policy_->on_flow_finished(*this, extracted.flow);
 }
 
 const Flow& Network::flow(FlowId id) const {
-  const auto it = flows_.find(id);
-  assert(it != flows_.end());
-  return it->second;
+  const auto it = index_.find(id.value);
+  assert(it != index_.end());
+  return slab_[it->second].flow;
 }
 
 Flow& Network::flow(FlowId id) {
-  const auto it = flows_.find(id);
-  assert(it != flows_.end());
+  const auto it = index_.find(id.value);
+  assert(it != index_.end());
+  return slab_[it->second].flow;
+}
+
+std::uint32_t Network::slot_of(FlowId id) const {
+  const auto it = index_.find(id.value);
+  assert(it != index_.end());
   return it->second;
-}
-
-std::vector<FlowId> Network::active_flows() const {
-  std::vector<FlowId> ids;
-  ids.reserve(flows_.size());
-  for (const auto& [id, _] : flows_) ids.push_back(id);
-  std::sort(ids.begin(), ids.end());
-  return ids;
-}
-
-const std::vector<FlowId>& Network::flows_on_link(LinkId link) const {
-  assert(link.valid() &&
-         static_cast<std::size_t>(link.value) < link_flows_.size());
-  return link_flows_[link.value];
 }
 
 Rate Network::link_throughput(LinkId link) const {
   Rate total = Rate::zero();
-  for (const FlowId fid : flows_on_link(link)) {
-    total += flows_.at(fid).rate;
+  for (const std::uint32_t slot : flow_slots_on_link(link)) {
+    total += slab_[slot].flow.rate;
   }
   return total;
 }
@@ -110,45 +134,39 @@ void Network::step(TimePoint now, Duration dt) {
   // Integrate byte progress and collect completions with interpolated
   // finish times.  Completions are fired after all integration so that
   // callbacks observe a consistent network state; they are sorted by finish
-  // time for deterministic ordering.
-  struct Done {
-    FlowId id;
-    TimePoint finish;
-  };
-  std::vector<Done> done;
-  for (auto& [id, flow] : flows_) {
+  // time for deterministic ordering.  `done_` is a persistent scratch buffer
+  // so the steady path performs no allocation.
+  done_.clear();
+  for (const std::uint32_t slot : active_slots_) {
+    Flow& flow = slab_[slot].flow;
     if (flow.remaining.is_positive() && flow.rate.is_positive()) {
       const Bytes moved = flow.rate * dt;
       if (moved >= flow.remaining) {
         const double frac = flow.remaining / moved;
         const TimePoint finish = (now - dt) + dt * frac;
         flow.remaining = Bytes::zero();
-        done.push_back({id, finish});
+        done_.push_back({flow.id, finish});
       } else {
         flow.remaining -= moved;
       }
     } else if (!flow.remaining.is_positive()) {
       // Zero-byte (or already drained) flow: completes at this step.
-      done.push_back({id, now});
+      done_.push_back({flow.id, now});
     }
   }
-  std::sort(done.begin(), done.end(), [](const Done& a, const Done& b) {
-    if (a.finish != b.finish) return a.finish < b.finish;
-    return a.id < b.id;
-  });
-  for (const Done& d : done) {
-    const auto it = flows_.find(d.id);
-    if (it == flows_.end()) continue;
-    Flow flow = std::move(it->second);
-    flows_.erase(it);
-    detach_flow_from_links(flow);
-    FlowCompletionFn cb;
-    if (const auto cit = completions_.find(d.id); cit != completions_.end()) {
-      cb = std::move(cit->second);
-      completions_.erase(cit);
-    }
-    policy_->on_flow_finished(*this, flow);
-    if (cb) cb(flow, d.finish);
+  std::sort(done_.begin(), done_.end(),
+            [](const Pending& a, const Pending& b) {
+              if (a.finish != b.finish) return a.finish < b.finish;
+              return a.id < b.id;
+            });
+  for (const Pending& d : done_) {
+    const auto it = index_.find(d.id.value);
+    // A completion callback fired earlier in this loop may have aborted a
+    // flow that also finished this step; skip it.
+    if (it == index_.end()) continue;
+    const Slot extracted = extract_flow(d.id, it->second);
+    policy_->on_flow_finished(*this, extracted.flow);
+    if (extracted.on_complete) extracted.on_complete(extracted.flow, d.finish);
   }
 
   for (const auto& obs : observers_) obs(*this, now);

@@ -3,10 +3,20 @@
 // network integrates byte progress and fires completion callbacks (with
 // sub-step completion-time interpolation so iteration times are not
 // quantized to the step size).
+//
+// Hot-path layout: flows live in a dense slab whose slot indices are stable
+// for the lifetime of the flow (freed slots are recycled via a free-list).
+// A sorted cache of active flow ids and their slab slots is maintained
+// incrementally on start/abort/finish, so per-step iteration — both the
+// Network's own integration and every policy's rate pass — is allocation-
+// free and hash-free on the steady path.
 #pragma once
 
+#include <cassert>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -42,8 +52,13 @@ class Network : public Stepper {
   const BandwidthPolicy& policy() const { return *policy_; }
   Simulator& sim() { return *sim_; }
 
-  /// Capacity available to goodput on `link`.
-  Rate effective_capacity(LinkId link) const;
+  /// Capacity available to goodput on `link` (precomputed per link; the
+  /// topology is immutable after construction).
+  Rate effective_capacity(LinkId link) const {
+    assert(link.valid() &&
+           static_cast<std::size_t>(link.value) < eff_capacity_.size());
+    return eff_capacity_[link.value];
+  }
 
   /// Starts a flow; `on_complete` fires (at the interpolated completion
   /// instant) once all bytes are delivered.  Zero-byte flows complete at the
@@ -53,16 +68,49 @@ class Network : public Stepper {
   /// Drops a flow without firing its completion callback.
   void abort_flow(FlowId id);
 
-  bool is_active(FlowId id) const { return flows_.contains(id); }
+  bool is_active(FlowId id) const { return index_.contains(id.value); }
   const Flow& flow(FlowId id) const;
   Flow& flow(FlowId id);
-  std::size_t active_flow_count() const { return flows_.size(); }
+  std::size_t active_flow_count() const { return active_ids_.size(); }
 
-  /// Stable snapshot of active flow ids (sorted, deterministic).
-  std::vector<FlowId> active_flows() const;
+  /// Sorted view of active flow ids (ascending, deterministic).  The span is
+  /// invalidated by the next flow start/abort/finish; it never allocates.
+  std::span<const FlowId> active_flows() const { return active_ids_; }
+
+  /// Slab slots of the active flows, parallel to active_flows().  Iterating
+  /// ids and slots together lets policies reach flow state without hashing.
+  std::span<const std::uint32_t> active_slots() const { return active_slots_; }
+
+  /// Stable slab slot of an active flow (constant for the flow's lifetime;
+  /// freed slots are recycled for later flows).
+  std::uint32_t slot_of(FlowId id) const;
+
+  /// Direct slab access by slot (from active_slots(), flow_slots_on_link()
+  /// or slot_of()).  Slots of inactive flows are invalid to dereference.
+  Flow& flow_at(std::uint32_t slot) { return slab_[slot].flow; }
+  const Flow& flow_at(std::uint32_t slot) const { return slab_[slot].flow; }
+
+  /// Upper bound on any active slot + 1; sizes per-slot policy side tables.
+  std::size_t slab_size() const { return slab_.size(); }
 
   /// Ids of active flows whose route traverses `link`.
-  const std::vector<FlowId>& flows_on_link(LinkId link) const;
+  const std::vector<FlowId>& flows_on_link(LinkId link) const {
+    assert(link.valid() &&
+           static_cast<std::size_t>(link.value) < link_flows_.size());
+    return link_flows_[link.value];
+  }
+
+  /// Slab slots of active flows on `link`, parallel to flows_on_link().
+  std::span<const std::uint32_t> flow_slots_on_link(LinkId link) const {
+    assert(link.valid() &&
+           static_cast<std::size_t>(link.value) < link_slots_.size());
+    return link_slots_[link.value];
+  }
+
+  /// Links currently carrying at least one active flow, sorted ascending.
+  /// Lets per-link policy passes skip the (typically much larger) set of
+  /// idle links.  Invalidated by the next flow start/abort/finish.
+  std::span<const LinkId> links_in_use() const { return used_links_; }
 
   /// Sum of current flow rates crossing `link`.
   Rate link_throughput(LinkId link) const;
@@ -78,23 +126,42 @@ class Network : public Stepper {
 
   // Stepper:
   void step(TimePoint now, Duration dt) override;
+  /// The fluid step is an identity when no flows are active, the policy has
+  /// no decaying state (queues drained) and no telemetry observer samples
+  /// per-step; the kernel then jumps straight between discrete events.
+  bool idle() const override {
+    return active_ids_.empty() && observers_.empty() && policy_->quiescent();
+  }
 
  private:
+  struct Slot {
+    Flow flow;
+    FlowCompletionFn on_complete;
+  };
   struct Pending {
     FlowId id;
     TimePoint finish;
   };
 
-  void detach_flow_from_links(const Flow& flow);
+  /// Removes `id` from the slab, the active caches and the link lists.
+  /// Returns the extracted slot contents (flow + completion callback).
+  Slot extract_flow(FlowId id, std::uint32_t slot);
 
   Topology topo_;
   std::unique_ptr<BandwidthPolicy> policy_;
   NetworkConfig config_;
   Simulator* sim_ = nullptr;
+  std::vector<Rate> eff_capacity_;  // per link, capacity * goodput_factor
 
-  std::unordered_map<FlowId, Flow> flows_;
-  std::unordered_map<FlowId, FlowCompletionFn> completions_;
-  std::vector<std::vector<FlowId>> link_flows_;  // indexed by LinkId
+  std::vector<Slot> slab_;
+  std::vector<std::uint32_t> free_slots_;
+  std::unordered_map<std::int64_t, std::uint32_t> index_;  // id -> slot
+  std::vector<FlowId> active_ids_;            // sorted ascending
+  std::vector<std::uint32_t> active_slots_;   // parallel to active_ids_
+  std::vector<std::vector<FlowId>> link_flows_;          // indexed by LinkId
+  std::vector<std::vector<std::uint32_t>> link_slots_;   // parallel lists
+  std::vector<LinkId> used_links_;  // links with >=1 active flow, sorted
+  std::vector<Pending> done_;  // scratch reused across steps
   std::vector<StepObserver> observers_;
   std::int64_t next_flow_id_ = 1;
 };

@@ -37,6 +37,13 @@ class BandwidthPolicy {
   /// Writes Flow::rate for every active flow.
   virtual void update_rates(Network& net, TimePoint now, Duration dt) = 0;
 
+  /// True when the policy carries no state that evolves across steps while
+  /// no flows are active (e.g. all queues drained).  Together with an empty
+  /// active-flow set this lets the kernel skip fluid steps entirely between
+  /// communication phases — an exact fast-forward, not an approximation.
+  /// Conservative default: never claim quiescence.
+  virtual bool quiescent() const { return false; }
+
   /// Bytes queued at a link's egress (only meaningful for queue-building
   /// schemes such as DCQCN).
   virtual Bytes link_queue(LinkId link) const {

@@ -1,54 +1,89 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace ccml {
 
 EventId EventQueue::schedule(TimePoint time, std::function<void()> fn) {
-  auto entry = std::make_shared<Entry>();
-  entry->time = time;
-  entry->id = next_id_++;
-  entry->fn = std::move(fn);
-  index_.emplace(entry->id, entry);
-  heap_.push(std::move(entry));
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+  }
+  Entry& e = slab_[slot];
+  e.fn = std::move(fn);
+  e.live = true;
+  heap_.push_back({time, next_seq_++, slot});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_count_;
-  return next_id_ - 1;
+  return make_id(slot, e.generation);
 }
 
 bool EventQueue::cancel(EventId id) {
-  const auto it = index_.find(id);
-  if (it == index_.end()) return false;
-  const auto entry = it->second.lock();
-  index_.erase(it);
-  if (!entry || entry->cancelled) return false;
-  entry->cancelled = true;
-  entry->fn = nullptr;  // release captured state eagerly
+  const std::uint64_t slot_plus_one = id & 0xFFFFFFFFull;
+  if (slot_plus_one == 0 || slot_plus_one > slab_.size()) return false;
+  const auto slot = static_cast<std::uint32_t>(slot_plus_one - 1);
+  Entry& e = slab_[slot];
+  if (!e.live || e.generation != static_cast<std::uint32_t>(id >> 32)) {
+    return false;
+  }
+  e.live = false;
+  e.fn = nullptr;  // release captured state eagerly
   --live_count_;
+  ++cancelled_in_heap_;
+  if (heap_.size() >= kCompactMinHeap &&
+      cancelled_in_heap_ * 2 > heap_.size()) {
+    compact();
+  }
   return true;
 }
 
-void EventQueue::drop_cancelled() const {
-  while (!heap_.empty() && heap_.top()->cancelled) {
-    heap_.pop();
+void EventQueue::release_slot(std::uint32_t slot) {
+  Entry& e = slab_[slot];
+  e.live = false;
+  e.fn = nullptr;
+  ++e.generation;
+  free_slots_.push_back(slot);
+}
+
+void EventQueue::drop_cancelled_slow() {
+  while (!heap_.empty() && !slab_[heap_.front().slot].live) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    release_slot(heap_.back().slot);
+    heap_.pop_back();
+    --cancelled_in_heap_;
   }
 }
 
-TimePoint EventQueue::next_time() const {
-  drop_cancelled();
-  if (heap_.empty()) return TimePoint::max();
-  return heap_.top()->time;
+void EventQueue::compact() {
+  auto out = heap_.begin();
+  for (const HeapItem& item : heap_) {
+    if (slab_[item.slot].live) {
+      *out++ = item;
+    } else {
+      release_slot(item.slot);
+    }
+  }
+  heap_.erase(out, heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  cancelled_in_heap_ = 0;
 }
 
 TimePoint EventQueue::run_next() {
   drop_cancelled();
   assert(!heap_.empty());
-  auto entry = heap_.top();
-  heap_.pop();
-  index_.erase(entry->id);
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const HeapItem item = heap_.back();
+  heap_.pop_back();
+  auto fn = std::move(slab_[item.slot].fn);
+  release_slot(item.slot);
   --live_count_;
-  const TimePoint t = entry->time;
-  entry->fn();
-  return t;
+  fn();
+  return item.time;
 }
 
 }  // namespace ccml

@@ -1,12 +1,22 @@
 // Priority queue of timestamped events with stable FIFO ordering for ties
-// and O(1) lazy cancellation.
+// and O(1) cancellation.
+//
+// Layout: event payloads live in a slab (`std::vector<Entry>` plus a
+// free-list of slot indices) and the heap itself is a flat vector of POD
+// items {time, seq, slot} ordered with std::push_heap/std::pop_heap.  The
+// only per-event heap allocation is the slab's amortized growth (and
+// whatever the scheduled std::function itself captures).  EventIds encode
+// (generation << 32 | slot + 1) so cancellation is a bounds check plus a
+// generation compare — no id -> entry map.
+//
+// Cancellation is lazy: a cancelled entry stays in the heap until it
+// surfaces or until cancelled entries exceed half the heap, at which point
+// the heap is compacted in one pass (keeps cancel-heavy workloads, e.g.
+// solver-gated flow scheduling, from growing the heap unboundedly).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "util/time.h"
@@ -29,8 +39,16 @@ class EventQueue {
   bool empty() const { return live_count_ == 0; }
   std::size_t size() const { return live_count_; }
 
+  /// Heap occupancy including cancelled-but-not-yet-compacted entries;
+  /// exposed for tests and diagnostics.
+  std::size_t heap_size() const { return heap_.size(); }
+
   /// Time of the earliest pending event; TimePoint::max() when empty.
-  TimePoint next_time() const;
+  /// (Inline: this sits on the kernel's per-tick path.)
+  TimePoint next_time() {
+    drop_cancelled();
+    return heap_.empty() ? TimePoint::max() : heap_.front().time;
+  }
 
   /// Pops and runs the earliest pending event; returns its time.
   /// Precondition: !empty().
@@ -38,28 +56,54 @@ class EventQueue {
 
  private:
   struct Entry {
-    TimePoint time;
-    EventId id;
     std::function<void()> fn;
-    bool cancelled = false;
+    std::uint32_t generation = 0;
+    bool live = false;
+  };
+  struct HeapItem {
+    TimePoint time;
+    std::uint64_t seq;  // monotonically increasing => FIFO ties
+    std::uint32_t slot;
   };
   struct Later {
-    bool operator()(const std::shared_ptr<Entry>& a,
-                    const std::shared_ptr<Entry>& b) const {
-      if (a->time != b->time) return a->time > b->time;
-      return a->id > b->id;  // ids increase monotonically => FIFO ties
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
     }
   };
 
-  /// Removes cancelled entries sitting at the top of the heap.
-  void drop_cancelled() const;
+  /// Compaction triggers only above this heap size (small heaps drain fast
+  /// enough that lazy deletion is already bounded).
+  static constexpr std::size_t kCompactMinHeap = 64;
 
-  mutable std::priority_queue<std::shared_ptr<Entry>,
-                              std::vector<std::shared_ptr<Entry>>, Later>
-      heap_;
-  std::unordered_map<EventId, std::weak_ptr<Entry>> index_;
+  static EventId make_id(std::uint32_t slot, std::uint32_t generation) {
+    return (static_cast<EventId>(generation) << 32) |
+           (static_cast<EventId>(slot) + 1);
+  }
+
+  /// Returns the slot to the free-list and bumps its generation so stale
+  /// EventIds can never resolve to the reused slot.
+  void release_slot(std::uint32_t slot);
+
+  /// Removes cancelled entries sitting at the top of the heap.  The common
+  /// case (nothing cancelled, or a live top) is a branch or two.
+  void drop_cancelled() {
+    if (cancelled_in_heap_ != 0 && !heap_.empty() &&
+        !slab_[heap_.front().slot].live) {
+      drop_cancelled_slow();
+    }
+  }
+  void drop_cancelled_slow();
+
+  /// One-pass removal of all cancelled entries, re-heapified.
+  void compact();
+
+  std::vector<Entry> slab_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<HeapItem> heap_;
   std::size_t live_count_ = 0;
-  EventId next_id_ = 1;
+  std::size_t cancelled_in_heap_ = 0;
+  std::uint64_t next_seq_ = 1;
 };
 
 }  // namespace ccml

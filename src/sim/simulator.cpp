@@ -17,18 +17,32 @@ EventId Simulator::schedule_after(Duration d, std::function<void()> fn) {
 
 void Simulator::add_stepper(Stepper& stepper, Duration dt) {
   assert(dt.is_positive());
-  steppers_.push_back({&stepper, dt, now_ + dt});
+  steppers_.push_back({&stepper, dt, now_ + dt, now_});
 }
 
-TimePoint Simulator::next_step_time() const {
+TimePoint Simulator::next_step_time() {
   TimePoint soonest = TimePoint::max();
-  for (const auto& s : steppers_) soonest = std::min(soonest, s.next);
+  for (auto& s : steppers_) {
+    s.idle = s.stepper->idle();
+    if (s.idle) continue;
+    if (s.next <= now_) {
+      // Ticks lapsed while the stepper was idle: resume on the same grid at
+      // the first tick strictly after now (an event at `now` woke the
+      // stepper after this instant's steps had already fired).
+      const std::int64_t k =
+          (now_ - s.anchor).ns() / s.dt.ns() + 1;
+      s.next = s.anchor + Duration::nanos(k * s.dt.ns());
+    }
+    soonest = std::min(soonest, s.next);
+  }
   return soonest;
 }
 
 void Simulator::run_steps_at(TimePoint t) {
+  // `s.idle` was refreshed by next_step_time(), which every run loop calls
+  // immediately before this with no intervening event execution.
   for (auto& s : steppers_) {
-    if (s.next == t) {
+    if (s.next == t && !s.idle) {
       s.stepper->step(t, s.dt);
       s.next = t + s.dt;
     }

@@ -24,6 +24,13 @@ class Stepper {
 
   /// Advances internal state from `now - dt` to `now`.
   virtual void step(TimePoint now, Duration dt) = 0;
+
+  /// True while step() would be an identity (no state to integrate).  The
+  /// kernel then skips this stepper's ticks entirely and the simulation
+  /// jumps straight between discrete events; when the stepper wakes (some
+  /// event changed its state), ticks resume on the same fixed grid, so the
+  /// observable trajectory is bit-identical to having stepped throughout.
+  virtual bool idle() const { return false; }
 };
 
 class Simulator {
@@ -61,10 +68,14 @@ class Simulator {
     Stepper* stepper;
     Duration dt;
     TimePoint next;
+    TimePoint anchor;  ///< registration instant; ticks at anchor + k*dt
+    bool idle = false;  ///< idle() as of the last next_step_time() pass
   };
 
-  /// Time of the soonest stepper tick; TimePoint::max() when none.
-  TimePoint next_step_time() const;
+  /// Time of the soonest tick among non-idle steppers; TimePoint::max() when
+  /// none.  Realigns steppers whose ticks lapsed while idle back onto their
+  /// grid (first tick strictly after now).
+  TimePoint next_step_time();
 
   /// Fires every stepper whose tick is exactly `t`.
   void run_steps_at(TimePoint t);

@@ -1,0 +1,124 @@
+#include "sim/sweep.h"
+
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace ccml {
+
+std::uint64_t sweep_seed(std::uint64_t base, std::uint64_t index) {
+  // splitmix64 (Steele, Lea, Flood 2014) over a mix of base and index.
+  std::uint64_t z = base + 0x9E3779B97F4A7C15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z = z ^ (z >> 31);
+  // Avoid 0: several RNGs treat a zero seed as degenerate.
+  return z != 0 ? z : 0x9E3779B97F4A7C15ull;
+}
+
+// All sweep bookkeeping is mutex-protected: a "task" here is an entire
+// simulation run (milliseconds to seconds), so one lock round-trip per claim
+// is noise, and it keeps the stale-worker interleavings (a thread waking for
+// sweep N while sweep N+1 is being installed) trivially correct.
+struct SweepRunner::Impl {
+  std::mutex mu;
+  std::condition_variable cv_work;  // workers wait here for a new sweep
+  std::condition_variable cv_done;  // run_indexed() waits here for drain
+  const std::function<void(std::size_t)>* task = nullptr;
+  std::size_t count = 0;   // tasks in the current sweep
+  std::size_t next = 0;    // first unclaimed index
+  std::size_t active = 0;  // threads inside drain()
+  std::uint64_t epoch = 0;  // bumped per sweep; the worker wake signal
+  std::exception_ptr error;
+  bool shutdown = false;
+  std::vector<std::thread> workers;
+
+  /// Claims and runs tasks until the sweep that was current on entry has no
+  /// unclaimed work left.
+  void drain() {
+    std::unique_lock<std::mutex> lock(mu);
+    const std::uint64_t my_epoch = epoch;
+    ++active;
+    while (epoch == my_epoch && next < count) {
+      const std::size_t i = next++;
+      const auto* t = task;
+      lock.unlock();
+      std::exception_ptr caught;
+      try {
+        (*t)(i);
+      } catch (...) {
+        caught = std::current_exception();
+      }
+      lock.lock();
+      if (caught) {
+        if (!error) error = caught;
+        next = count;  // abandon the rest: the sweep's result is void anyway
+      }
+    }
+    if (--active == 0) cv_done.notify_all();
+  }
+
+  void worker_main() {
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv_work.wait(lock, [&] { return shutdown || epoch != seen_epoch; });
+        if (shutdown) return;
+        seen_epoch = epoch;
+      }
+      drain();
+    }
+  }
+};
+
+SweepRunner::SweepRunner(SweepOptions options) : impl_(new Impl) {
+  unsigned n = options.threads;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  // The calling thread participates in every sweep, so spawn one fewer.
+  pool_size_ = n - 1;
+  impl_->workers.reserve(pool_size_);
+  for (std::size_t i = 0; i < pool_size_; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_main(); });
+  }
+}
+
+SweepRunner::~SweepRunner() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->shutdown = true;
+  }
+  impl_->cv_work.notify_all();
+  for (auto& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+void SweepRunner::run_indexed(std::size_t count,
+                              const std::function<void(std::size_t)>& task) {
+  if (count == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->task = &task;
+    impl_->count = count;
+    impl_->next = 0;
+    impl_->error = nullptr;
+    ++impl_->epoch;
+  }
+  impl_->cv_work.notify_all();
+  impl_->drain();  // the calling thread works too
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  impl_->cv_done.wait(
+      lock, [&] { return impl_->next >= impl_->count && impl_->active == 0; });
+  if (impl_->error) {
+    std::exception_ptr e = impl_->error;
+    impl_->error = nullptr;
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace ccml

@@ -166,6 +166,110 @@ TEST(Network, ActiveFlowsSortedDeterministic) {
   EXPECT_LT(flows[0], flows[1]);
 }
 
+TEST(Network, SlabSlotsAreRecycledAndIdsStayFresh) {
+  Fixture f;
+  // Churn flows one at a time: the slab must reuse the freed slot instead of
+  // growing, and each new flow gets a distinct id that round-trips through
+  // slot_of()/flow_at().
+  FlowId prev = FlowId{};
+  std::size_t slab_after_first = 0;
+  for (int i = 0; i < 50; ++i) {
+    const FlowId id =
+        f.net->start_flow(f.spec(f.hosts[0], f.hosts[1], Bytes::mega(1)));
+    EXPECT_NE(id, prev);
+    const std::uint32_t slot = f.net->slot_of(id);
+    EXPECT_EQ(f.net->flow_at(slot).id, id);
+    if (i == 0) slab_after_first = f.net->slab_size();
+    f.net->abort_flow(id);
+    prev = id;
+  }
+  EXPECT_EQ(f.net->slab_size(), slab_after_first);  // fully recycled
+  EXPECT_EQ(f.net->active_flow_count(), 0u);
+}
+
+TEST(Network, SlabSizeBoundedUnderOverlappingChurn) {
+  Fixture f;
+  // Keep at most 4 flows alive; after heavy churn the slab should be sized
+  // by the high-water mark of concurrency, not by total flows started.
+  std::vector<FlowId> live;
+  for (int i = 0; i < 200; ++i) {
+    live.push_back(
+        f.net->start_flow(f.spec(f.hosts[0], f.hosts[1], Bytes::mega(10))));
+    if (live.size() == 4) {
+      f.net->abort_flow(live.front());
+      live.erase(live.begin());
+    }
+  }
+  EXPECT_LE(f.net->slab_size(), 4u);
+}
+
+TEST(Network, ActiveSlotsParallelToSortedIds) {
+  Fixture f;
+  std::vector<FlowId> ids;
+  for (int i = 0; i < 6; ++i) {
+    ids.push_back(
+        f.net->start_flow(f.spec(f.hosts[0], f.hosts[1], Bytes::mega(10))));
+  }
+  // Remove from the middle to force cache repair.
+  f.net->abort_flow(ids[2]);
+  f.net->abort_flow(ids[4]);
+  const auto flows = f.net->active_flows();
+  const auto slots = f.net->active_slots();
+  ASSERT_EQ(flows.size(), 4u);
+  ASSERT_EQ(slots.size(), flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LT(flows[i - 1], flows[i]);  // sorted ascending
+    }
+    EXPECT_EQ(f.net->flow_at(slots[i]).id, flows[i]);  // parallel spans
+  }
+}
+
+TEST(Network, LinksInUseTracksOccupancy) {
+  Fixture f;
+  EXPECT_TRUE(f.net->links_in_use().empty());
+  const FlowId a =
+      f.net->start_flow(f.spec(f.hosts[0], f.hosts[1], Bytes::mega(100)));
+  const FlowId b =
+      f.net->start_flow(f.spec(f.hosts[2], f.hosts[3], Bytes::mega(100)));
+  const auto used = f.net->links_in_use();
+  EXPECT_FALSE(used.empty());
+  for (std::size_t i = 0; i + 1 < used.size(); ++i) {
+    EXPECT_LT(used[i].value, used[i + 1].value);  // sorted ascending
+  }
+  // Every in-use link carries at least one flow and every route link of an
+  // active flow is present.
+  for (const LinkId lid : used) {
+    EXPECT_FALSE(f.net->flows_on_link(lid).empty());
+  }
+  for (const FlowId id : {a, b}) {
+    for (const LinkId lid : f.net->flow(id).spec.route.links) {
+      EXPECT_FALSE(f.net->flows_on_link(lid).empty());
+    }
+  }
+  f.net->abort_flow(a);
+  f.net->abort_flow(b);
+  EXPECT_TRUE(f.net->links_in_use().empty());
+}
+
+TEST(Network, CompletionCallbackCanStartFlows) {
+  Fixture f;
+  // A completion callback that immediately launches a successor exercises
+  // slab mutation re-entrancy from inside Network::step's completion loop.
+  int completions = 0;
+  std::function<void(const Flow&, TimePoint)> chain =
+      [&](const Flow&, TimePoint) {
+        if (++completions < 5) {
+          f.net->start_flow(f.spec(f.hosts[0], f.hosts[1], Bytes::mega(1)),
+                            chain);
+        }
+      };
+  f.net->start_flow(f.spec(f.hosts[0], f.hosts[1], Bytes::mega(1)), chain);
+  f.sim.run_for(Duration::millis(10));
+  EXPECT_EQ(completions, 5);
+  EXPECT_EQ(f.net->active_flow_count(), 0u);
+}
+
 TEST(Network, MultiBottleneckFlowLimitedByTightest) {
   // Chain: h0 -> s1 -(30G)-> s2 -(10G)-> s3 -> h1.  The 10 Gbps hop rules.
   Topology t;

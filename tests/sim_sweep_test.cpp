@@ -1,0 +1,143 @@
+#include "sim/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/scenario.h"
+
+namespace ccml {
+namespace {
+
+TEST(SweepSeed, DeterministicAndNonZero) {
+  for (std::uint64_t base : {0ull, 1ull, 0xdeadbeefull}) {
+    for (std::uint64_t i = 0; i < 100; ++i) {
+      const std::uint64_t s = sweep_seed(base, i);
+      EXPECT_NE(s, 0u);
+      EXPECT_EQ(s, sweep_seed(base, i));  // stateless
+    }
+  }
+}
+
+TEST(SweepSeed, IndexAndBaseBothMatter) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base = 0; base < 8; ++base) {
+    for (std::uint64_t i = 0; i < 32; ++i) {
+      seen.insert(sweep_seed(base, i));
+    }
+  }
+  EXPECT_EQ(seen.size(), 8u * 32u);  // no collisions in a small grid
+}
+
+TEST(SweepRunner, MapCollectsInInputOrder) {
+  SweepOptions opts;
+  opts.threads = 4;
+  SweepRunner pool(opts);
+  const auto out =
+      pool.map<std::size_t>(64, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 64u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(SweepRunner, RunPassesItemAndIndex) {
+  SweepOptions opts;
+  opts.threads = 2;
+  SweepRunner pool(opts);
+  const std::vector<std::string> items = {"a", "b", "c"};
+  const auto out = pool.run(items, [](const std::string& s, std::size_t i) {
+    return s + std::to_string(i);
+  });
+  EXPECT_EQ(out, (std::vector<std::string>{"a0", "b1", "c2"}));
+}
+
+TEST(SweepRunner, SingleThreadRunsInline) {
+  SweepOptions opts;
+  opts.threads = 1;
+  SweepRunner pool(opts);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  const auto caller = std::this_thread::get_id();
+  pool.run_indexed(8, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(SweepRunner, RunnerIsReusableAcrossSweeps) {
+  SweepOptions opts;
+  opts.threads = 3;
+  SweepRunner pool(opts);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> hits{0};
+    pool.run_indexed(17, [&](std::size_t) { ++hits; });
+    EXPECT_EQ(hits.load(), 17);
+  }
+}
+
+TEST(SweepRunner, FirstExceptionPropagatesToCaller) {
+  SweepOptions opts;
+  opts.threads = 4;
+  SweepRunner pool(opts);
+  EXPECT_THROW(pool.run_indexed(32,
+                                [](std::size_t i) {
+                                  if (i == 7) {
+                                    throw std::runtime_error("grid point 7");
+                                  }
+                                }),
+               std::runtime_error);
+  // The pool must stay usable after a failed sweep.
+  std::atomic<int> hits{0};
+  pool.run_indexed(4, [&](std::size_t) { ++hits; });
+  EXPECT_EQ(hits.load(), 4);
+}
+
+// The determinism contract of the whole subsystem: a real simulation grid
+// (8 points of the DCQCN unfairness ladder) must produce bit-identical
+// statistics whether it runs serially or fanned across a pool.
+TEST(SweepRunner, ParallelSweepBitIdenticalToSerial) {
+  const std::vector<double> timer_us = {55, 80, 100, 125, 160, 200, 250, 300};
+  const auto point = [](double t_us, std::size_t) {
+    const auto dlrm = *ModelZoo::calibrated("DLRM", 2000);
+    std::vector<ScenarioJob> jobs = {{"J1", dlrm}, {"J2", dlrm}};
+    jobs[0].cc_timer = Duration::from_micros_f(t_us);
+    jobs[1].cc_timer = Duration::micros(300);
+    ScenarioConfig cfg;
+    cfg.policy = PolicyKind::kDcqcn;
+    cfg.duration = Duration::seconds(2);
+    cfg.warmup_iterations = 0;
+    return run_dumbbell_scenario(jobs, cfg);
+  };
+
+  SweepOptions serial_opts;
+  serial_opts.threads = 1;
+  SweepRunner serial(serial_opts);
+  const auto a = serial.run(timer_us, point);
+
+  SweepOptions pool_opts;
+  pool_opts.threads = 4;
+  SweepRunner pool(pool_opts);
+  const auto b = pool.run(timer_us, point);
+
+  ASSERT_EQ(a.size(), timer_us.size());
+  ASSERT_EQ(b.size(), timer_us.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].jobs.size(), b[i].jobs.size());
+    for (std::size_t j = 0; j < a[i].jobs.size(); ++j) {
+      const auto& x = a[i].jobs[j];
+      const auto& y = b[i].jobs[j];
+      EXPECT_EQ(x.iterations, y.iterations);
+      // Bit-identical, not approximately equal: the simulations must not
+      // share any state across threads.
+      EXPECT_EQ(x.mean_ms, y.mean_ms);
+      EXPECT_EQ(x.median_ms, y.median_ms);
+      EXPECT_EQ(x.p95_ms, y.p95_ms);
+      EXPECT_EQ(x.iteration_ms, y.iteration_ms);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccml

@@ -64,6 +64,74 @@ TEST(EventQueue, NextTimeSkipsCancelled) {
   EXPECT_EQ(q.next_time(), TimePoint::from_ns(9));
 }
 
+TEST(EventQueue, IdsAreNotReusedAcrossSlotRecycling) {
+  EventQueue q;
+  // Fire an event so its slab slot returns to the free-list, then schedule
+  // again: the recycled slot must yield a distinct id, and the stale id must
+  // not cancel the new event.
+  const EventId first = q.schedule(TimePoint::from_ns(1), [] {});
+  q.run_next();
+  const EventId second = q.schedule(TimePoint::from_ns(2), [] {});
+  EXPECT_NE(first, second);
+  EXPECT_FALSE(q.cancel(first));  // stale generation
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.cancel(second));
+}
+
+TEST(EventQueue, CancelledEntryNeverFiresAfterSlotReuse) {
+  EventQueue q;
+  std::vector<int> fired;
+  const EventId id = q.schedule(TimePoint::from_ns(5), [&] { fired.push_back(1); });
+  EXPECT_TRUE(q.cancel(id));
+  // The cancelled entry's slot is recycled by this schedule; the heap still
+  // holds the old {time=5} item pointing at the slot.  Firing must run only
+  // the new event.
+  q.schedule(TimePoint::from_ns(6), [&] { fired.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(fired, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, CompactionBoundsHeapUnderCancelChurn) {
+  EventQueue q;
+  // Keep one far-future live event so the heap never fully drains, then
+  // schedule-and-cancel far more events than the compaction threshold.
+  q.schedule(TimePoint::from_ns(1'000'000), [] {});
+  for (int i = 0; i < 10'000; ++i) {
+    const EventId id = q.schedule(TimePoint::from_ns(500'000 + i), [] {});
+    EXPECT_TRUE(q.cancel(id));
+  }
+  EXPECT_EQ(q.size(), 1u);
+  // Lazy deletion alone would leave ~10k dead heap items; compaction must
+  // keep the heap within a small multiple of the live count.
+  EXPECT_LE(q.heap_size(), 128u);
+}
+
+TEST(EventQueue, FifoTiesSurviveCancellationAndCompaction) {
+  EventQueue q;
+  std::vector<int> fired;
+  const TimePoint t = TimePoint::from_ns(1'000);
+  std::vector<EventId> cancels;
+  // Interleave kept and cancelled events at one timestamp, with enough
+  // cancelled bulk elsewhere to trigger compaction in between.
+  for (int i = 0; i < 200; ++i) {
+    if (i % 2 == 0) {
+      q.schedule(t, [&fired, i] { fired.push_back(i); });
+    } else {
+      cancels.push_back(q.schedule(t, [&fired, i] { fired.push_back(i); }));
+    }
+  }
+  for (int i = 0; i < 500; ++i) {
+    const EventId id = q.schedule(TimePoint::from_ns(10 + i), [] {});
+    q.cancel(id);
+  }
+  for (const EventId id : cancels) EXPECT_TRUE(q.cancel(id));
+  while (!q.empty()) q.run_next();
+  ASSERT_EQ(fired.size(), 100u);
+  for (std::size_t i = 0; i + 1 < fired.size(); ++i) {
+    EXPECT_LT(fired[i], fired[i + 1]);  // insertion order among survivors
+  }
+}
+
 TEST(EventQueue, EventsCanScheduleEvents) {
   EventQueue q;
   std::vector<int> fired;

@@ -25,6 +25,7 @@
 
 #include "cluster/scenario.h"
 #include "core/solver.h"
+#include "sim/sweep.h"
 #include "telemetry/table.h"
 #include "workload/profiler.h"
 
@@ -47,6 +48,12 @@ commands:
                               simulate jobs on a shared dumbbell bottleneck
        job keys: model, batch, name, compute_ms, comm_ms, timer_us,
                  rai_mbps, priority, weight, start_ms
+  sweep --job K=V[,K=V...] [--job ...] --param P --values V1,V2,...
+        [--policy P] [--seconds S] [--threads N]
+                              run the scenario once per grid value, fanned
+                              across threads; results print in grid order
+       params: timer_us | rai_mbps | start_ms (applied to the first job)
+               bottleneck_gbps (applied to the fabric)
   policies: maxmin | wfq | priority | dcqcn | dcqcn-adaptive | timely
 )");
   std::exit(2);
@@ -193,9 +200,8 @@ int cmd_solve(const std::vector<std::string>& job_args,
   return r.compatible ? 0 : 1;
 }
 
-int cmd_scenario(const std::vector<std::string>& job_args,
-                 const std::map<std::string, std::string>& opts) {
-  if (job_args.empty()) usage("scenario needs at least one --job");
+std::vector<ScenarioJob> parse_scenario_jobs(
+    const std::vector<std::string>& job_args) {
   std::vector<ScenarioJob> jobs;
   for (const auto& arg : job_args) {
     const auto kv = parse_kv(arg);
@@ -217,6 +223,13 @@ int cmd_scenario(const std::vector<std::string>& job_args,
     job.start_offset = Duration::from_millis_f(want_num(kv, "start_ms", 0.0));
     jobs.push_back(std::move(job));
   }
+  return jobs;
+}
+
+int cmd_scenario(const std::vector<std::string>& job_args,
+                 const std::map<std::string, std::string>& opts) {
+  if (job_args.empty()) usage("scenario needs at least one --job");
+  const std::vector<ScenarioJob> jobs = parse_scenario_jobs(job_args);
   ScenarioConfig cfg;
   if (opts.contains("policy")) {
     cfg.policy = parse_policy_kind(opts.at("policy"));
@@ -240,6 +253,72 @@ int cmd_scenario(const std::vector<std::string>& job_args,
                    TextTable::num(
                        jobs[i].profile.solo_iteration(goodput).to_millis(),
                        1)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_sweep(const std::vector<std::string>& job_args,
+              const std::map<std::string, std::string>& opts) {
+  if (job_args.empty()) usage("sweep needs at least one --job");
+  if (!opts.contains("param")) usage("sweep needs --param");
+  if (!opts.contains("values")) usage("sweep needs --values");
+  const std::string param = opts.at("param");
+  if (param != "timer_us" && param != "rai_mbps" && param != "start_ms" &&
+      param != "bottleneck_gbps") {
+    usage(("unknown sweep param: " + param).c_str());
+  }
+  std::vector<double> values;
+  {
+    std::stringstream ss(opts.at("values"));
+    std::string item;
+    while (std::getline(ss, item, ',')) values.push_back(std::atof(item.c_str()));
+  }
+  if (values.empty()) usage("sweep needs at least one value");
+
+  const std::vector<ScenarioJob> base_jobs = parse_scenario_jobs(job_args);
+  ScenarioConfig base_cfg;
+  if (opts.contains("policy")) {
+    base_cfg.policy = parse_policy_kind(opts.at("policy"));
+  }
+  base_cfg.duration =
+      Duration::seconds(opts.contains("seconds")
+                            ? std::atoi(opts.at("seconds").c_str())
+                            : 20);
+
+  SweepOptions sw;
+  if (opts.contains("threads")) {
+    sw.threads = static_cast<unsigned>(std::atoi(opts.at("threads").c_str()));
+  }
+  SweepRunner pool(sw);
+  // Every grid point simulates from its own copies of the job list and
+  // config; results come back in grid order regardless of thread timing.
+  const auto results = pool.run(values, [&](double v, std::size_t) {
+    std::vector<ScenarioJob> jobs = base_jobs;
+    ScenarioConfig cfg = base_cfg;
+    if (param == "timer_us") {
+      jobs[0].cc_timer = Duration::from_micros_f(v);
+    } else if (param == "rai_mbps") {
+      jobs[0].cc_rai = Rate::mbps(v);
+    } else if (param == "start_ms") {
+      jobs[0].start_offset = Duration::from_millis_f(v);
+    } else {  // bottleneck_gbps
+      cfg.bottleneck = Rate::gbps(v);
+    }
+    return run_dumbbell_scenario(jobs, cfg);
+  });
+
+  std::printf("sweep of %s over %zu values (%s, %.0f s simulated, %u "
+              "threads):\n\n",
+              param.c_str(), values.size(), to_string(base_cfg.policy),
+              base_cfg.duration.to_seconds(), pool.thread_count());
+  std::vector<std::string> headers = {param};
+  for (const auto& j : base_jobs) headers.push_back(j.name + " mean ms");
+  TextTable table(headers);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::vector<std::string> row = {TextTable::num(values[i], 1)};
+    for (const auto& j : results[i].jobs) row.push_back(TextTable::num(j.mean_ms, 1));
+    table.add_row(row);
   }
   std::printf("%s", table.render().c_str());
   return 0;
@@ -269,6 +348,7 @@ int main(int argc, char** argv) {
     if (cmd == "profile") return cmd_profile(opts);
     if (cmd == "solve") return cmd_solve(job_args, opts);
     if (cmd == "scenario") return cmd_scenario(job_args, opts);
+    if (cmd == "sweep") return cmd_sweep(job_args, opts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
