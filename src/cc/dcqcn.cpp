@@ -47,6 +47,24 @@ void DcqcnPolicy::on_flow_finished(Network& /*net*/, const Flow& flow) {
   slots_.erase(flow.id);
 }
 
+void DcqcnPolicy::on_link_capacity_changed(Network& net, LinkId /*link*/) {
+  // Line rates are cached per flow at start; a capacity change (brownout or
+  // restoration) anywhere on a route invalidates them.  Faults are rare, so
+  // refreshing every active flow is fine.
+  for (const std::uint32_t slot : net.active_slots()) {
+    Flow& flow = net.flow_at(slot);
+    FlowState& s = state_[slot];
+    Rate line = Rate::gbps(1e9);
+    for (const LinkId lid : flow.spec.route.links) {
+      line = std::min(line, net.effective_capacity(lid));
+    }
+    s.line_rate = line;
+    s.rc = std::min(s.rc, line);
+    s.rt = std::min(s.rt, line);
+    flow.rate = s.rc;
+  }
+}
+
 void DcqcnPolicy::apply_decrease(FlowState& s) {
   s.rt = s.rc;
   s.alpha = (1.0 - config_.g) * s.alpha + config_.g;

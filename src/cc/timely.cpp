@@ -37,6 +37,22 @@ void TimelyPolicy::on_flow_finished(Network& /*net*/, const Flow& flow) {
   slots_.erase(flow.id);
 }
 
+void TimelyPolicy::on_link_capacity_changed(Network& net, LinkId /*link*/) {
+  // Cached line rates go stale when capacity changes mid-run (brownout or
+  // restoration); refresh every active flow — faults are rare events.
+  for (const std::uint32_t slot : net.active_slots()) {
+    Flow& flow = net.flow_at(slot);
+    FlowState& s = state_[slot];
+    Rate line = Rate::gbps(1e9);
+    for (const LinkId lid : flow.spec.route.links) {
+      line = std::min(line, net.effective_capacity(lid));
+    }
+    s.line_rate = line;
+    s.rate = std::min(s.rate, line);
+    flow.rate = s.rate;
+  }
+}
+
 void TimelyPolicy::update_rates(Network& net, TimePoint /*now*/, Duration dt) {
   if (links_.size() < net.topology().link_count()) {
     links_.resize(net.topology().link_count());

@@ -47,6 +47,7 @@ class TimelyPolicy final : public BandwidthPolicy {
 
   void on_flow_started(Network& net, Flow& flow) override;
   void on_flow_finished(Network& net, const Flow& flow) override;
+  void on_link_capacity_changed(Network& net, LinkId link) override;
   void update_rates(Network& net, TimePoint now, Duration dt) override;
   Bytes link_queue(LinkId link) const override;
   /// With all queues drained nothing evolves between steps while no flow is

@@ -5,6 +5,7 @@
 #include <map>
 #include <numeric>
 
+#include "faults/injector.h"
 #include "sim/simulator.h"
 #include "util/stats.h"
 #include "workload/job.h"
@@ -72,10 +73,16 @@ ExperimentResult run_cluster_experiment(const Topology& topo,
   }
 
   // Optional flow schedule: group jobs transitively by shared links, solve
-  // each group on one unified circle, convert rotations to comm gates.
+  // each group on one unified circle, convert rotations to comm gates.  The
+  // solve is reusable so faults that change the topology or job set can
+  // request a fresh schedule mid-run (epoch'd at the current instant, with
+  // departed jobs excluded).
   std::vector<std::optional<CommGate>> gates(requests.size());
   std::vector<Duration> start_offsets(requests.size(), Duration::zero());
-  if (config.flow_schedule) {
+  std::vector<bool> departed(requests.size(), false);
+  const auto solve_gates = [&](TimePoint epoch,
+                               std::vector<std::optional<CommGate>>& out,
+                               std::vector<Duration>* offsets) {
     UnionFind uf(requests.size());
     for (const auto& sl : result.placement.shared_links) {
       for (std::size_t i = 1; i < sl.jobs.size(); ++i) {
@@ -84,7 +91,7 @@ ExperimentResult run_cluster_experiment(const Topology& topo,
     }
     std::map<std::size_t, std::vector<std::size_t>> groups;
     for (std::size_t j = 0; j < requests.size(); ++j) {
-      if (!result.placement.placements[j].hosts.empty()) {
+      if (!departed[j] && !result.placement.placements[j].hosts.empty()) {
         groups[uf.find(j)].push_back(j);
       }
     }
@@ -102,19 +109,22 @@ ExperimentResult run_cluster_experiment(const Topology& topo,
       // scheduling is only applied where the solver proves compatibility;
       // incompatible groups fall back to ungated transport.
       if (!sr.compatible) continue;
-      const FlowSchedule fs =
-          make_flow_schedule(profiles, sr.rotations, TimePoint::origin());
+      const FlowSchedule fs = make_flow_schedule(profiles, sr.rotations, epoch);
       for (std::size_t k = 0; k < members.size(); ++k) {
         const std::size_t j = members[k];
-        gates[j] = CommGate{fs.epoch, fs.slots[k].start_offset,
-                            fs.slots[k].period, fs.slots[k].phase_offsets,
-                            fs.slots[k].window};
-        start_offsets[j] = fs.slots[k].job_start_offset;
+        out[j] = CommGate{fs.epoch, fs.slots[k].start_offset,
+                          fs.slots[k].period, fs.slots[k].phase_offsets,
+                          fs.slots[k].window};
+        if (offsets) (*offsets)[j] = fs.slots[k].job_start_offset;
       }
     }
+  };
+  if (config.flow_schedule) {
+    solve_gates(TimePoint::origin(), gates, &start_offsets);
   }
 
   std::vector<std::unique_ptr<TrainingJob>> jobs;
+  std::vector<TrainingJob*> by_request(requests.size(), nullptr);
   for (std::size_t j = 0; j < requests.size(); ++j) {
     const Placement& p = result.placement.placements[j];
     if (p.hosts.empty()) continue;
@@ -138,13 +148,73 @@ ExperimentResult run_cluster_experiment(const Topology& topo,
       spec.paths = {JobPath{p.hosts[0], p.hosts[0], Route{}}};
     }
     jobs.push_back(std::make_unique<TrainingJob>(sim, net, std::move(spec)));
+    by_request[j] = jobs.back().get();
+  }
+
+  // --- Fault injection -----------------------------------------------------
+  const bool faulty = !config.faults.empty();
+  std::unique_ptr<FaultInjector> injector;
+  if (faulty) {
+    injector = std::make_unique<FaultInjector>(sim, net, config.faults);
+    for (std::size_t j = 0; j < requests.size(); ++j) {
+      if (by_request[j]) {
+        injector->bind_job(JobId{static_cast<std::int32_t>(j)},
+                           *by_request[j]);
+      }
+    }
+    const auto resolve_now = [&] {
+      if (!config.flow_schedule) return;
+      std::vector<std::optional<CommGate>> fresh(requests.size());
+      solve_gates(sim.now(), fresh, nullptr);
+      for (std::size_t j = 0; j < requests.size(); ++j) {
+        if (by_request[j] && !departed[j]) by_request[j]->set_gate(fresh[j]);
+      }
+    };
+    injector->on_topology_change = [&, resolve_now](const FaultEvent& ev) {
+      if (!config.flow_schedule) return;
+      if (ev.factor <= 0.0) {
+        // Outage: schedules solved for the healthy fabric are stale.
+        for (std::size_t j = 0; j < requests.size(); ++j) {
+          if (by_request[j] && !departed[j]) {
+            by_request[j]->set_gate(std::nullopt);
+          }
+        }
+      } else {
+        resolve_now();
+      }
+    };
+    injector->on_jobset_change = [&, resolve_now](const FaultEvent& ev) {
+      if (ev.kind == FaultKind::kJobDepart) {
+        departed[static_cast<std::size_t>(ev.job.value)] = true;
+      }
+      if (ev.kind == FaultKind::kJobDepart ||
+          ev.kind == FaultKind::kJobArrive) {
+        resolve_now();
+      }
+    };
+  }
+  WatchdogConfig wd = config.watchdog;
+  if (faulty) {
+    if (wd.max_events == 0) wd.max_events = 20'000'000;
+    if (wd.max_sim_time.is_zero()) wd.max_sim_time = config.run_time * 4;
+  }
+  if (wd.max_events != 0 || !wd.max_sim_time.is_zero()) {
+    sim.set_watchdog(wd, [&net, &injector] {
+      std::string out =
+          injector ? injector->diagnose() : std::string("fault state: none\n");
+      out += "  active flows: " + std::to_string(net.active_flows().size()) +
+             ", parked: " + std::to_string(net.parked_flows().size()) + "\n";
+      return out;
+    });
   }
 
   // Single-worker jobs have an empty route, which Network::start_flow
   // rejects; they were given zero comm bytes above, and TrainingJob skips
   // flow creation entirely when comm_bytes is zero.
   for (auto& job : jobs) job->start();
+  if (injector) injector->arm();
   sim.run_for(config.run_time);
+  if (injector) result.faults_applied = injector->applied();
 
   for (std::size_t j = 0, placed_idx = 0; j < requests.size(); ++j) {
     JobOutcome out;

@@ -12,7 +12,9 @@
 #include "cluster/placement.h"
 #include "core/schedule.h"
 #include "core/solver.h"
+#include "faults/fault_plan.h"
 #include "net/network.h"
+#include "sim/simulator.h"
 
 namespace ccml {
 
@@ -28,6 +30,14 @@ struct ExperimentConfig {
   /// compatibility) and each group is solved on one unified circle.
   bool flow_schedule = false;
   SolverOptions solver;
+  /// Scripted faults (src/faults).  JobIds in the plan are request indices.
+  /// Link failures reroute flows over the surviving fabric (ECMP) or park
+  /// them until restoration; with `flow_schedule` set, gates are re-solved
+  /// whenever the topology or job set changes.
+  FaultPlan faults;
+  /// Abort-wedged-run guards; zero fields get defaults scaled to `run_time`
+  /// whenever a fault plan is present.
+  WatchdogConfig watchdog;
 };
 
 struct JobOutcome {
@@ -45,6 +55,8 @@ struct JobOutcome {
 struct ExperimentResult {
   std::vector<JobOutcome> outcomes;
   PlacementReport placement;
+  /// Fault events that executed during the run, with links resolved.
+  std::vector<FaultEvent> faults_applied;
   /// Mean slowdown across placed jobs (the scheduler-quality scalar).
   double mean_slowdown() const;
   /// Worst per-job slowdown.

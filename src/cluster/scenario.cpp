@@ -1,9 +1,13 @@
 #include "cluster/scenario.h"
 
 #include <memory>
+#include <stdexcept>
 
+#include "core/schedule.h"
+#include "faults/injector.h"
 #include "net/routing.h"
 #include "sim/simulator.h"
+#include "workload/profiler.h"
 
 namespace ccml {
 
@@ -25,6 +29,52 @@ Rate scenario_goodput(const ScenarioConfig& config) {
   return config.nic * config.goodput_factor;
 }
 
+void validate_scenario(const std::vector<ScenarioJob>& jobs,
+                       const ScenarioConfig& config) {
+  if (jobs.empty()) {
+    throw std::invalid_argument("scenario: needs at least one job");
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const ScenarioJob& j = jobs[i];
+    if (j.name.empty()) {
+      throw std::invalid_argument("scenario: job " + std::to_string(i) +
+                                  " has an empty name");
+    }
+    if (j.weight <= 0.0) {
+      throw std::invalid_argument("scenario: job '" + j.name +
+                                  "' weight must be positive");
+    }
+    if (j.start_offset.is_negative()) {
+      throw std::invalid_argument("scenario: job '" + j.name +
+                                  "' start offset must be non-negative");
+    }
+    if (j.compute_jitter.is_negative()) {
+      throw std::invalid_argument("scenario: job '" + j.name +
+                                  "' compute jitter must be non-negative");
+    }
+    if (j.gate && !j.gate->period.is_positive()) {
+      throw std::invalid_argument("scenario: job '" + j.name +
+                                  "' gate period must be positive");
+    }
+  }
+  if (!config.duration.is_positive()) {
+    throw std::invalid_argument("scenario: duration must be positive");
+  }
+  if (!config.nic.is_positive()) {
+    throw std::invalid_argument("scenario: NIC rate must be positive");
+  }
+  if (!config.bottleneck.is_positive()) {
+    throw std::invalid_argument("scenario: bottleneck rate must be positive");
+  }
+  if (config.goodput_factor <= 0.0 || config.goodput_factor > 1.0) {
+    throw std::invalid_argument("scenario: goodput factor must be in (0,1]");
+  }
+  if (config.fault_tolerance < 0.0) {
+    throw std::invalid_argument(
+        "scenario: fault tolerance must be non-negative");
+  }
+}
+
 std::size_t ScenarioJobStats::converged_after(double target_ms,
                                               double tolerance) const {
   std::size_t first = iteration_ms.size();
@@ -40,6 +90,8 @@ std::size_t ScenarioJobStats::converged_after(double target_ms,
 
 ScenarioResult run_dumbbell_scenario(const std::vector<ScenarioJob>& setups,
                                      const ScenarioConfig& config) {
+  validate_scenario(setups, config);
+
   Simulator sim;
   const Topology topo = Topology::dumbbell(static_cast<int>(setups.size()),
                                            config.nic, config.bottleneck);
@@ -69,7 +121,98 @@ ScenarioResult run_dumbbell_scenario(const std::vector<ScenarioJob>& setups,
     spec.start = TimePoint::origin() + setups[i].start_offset;
     jobs.push_back(std::make_unique<TrainingJob>(sim, net, std::move(spec)));
   }
+
+  // --- Fault injection -----------------------------------------------------
+  const bool faulty = !config.faults.empty();
+  std::unique_ptr<FaultInjector> injector;
+  std::vector<bool> departed(setups.size(), false);
+  if (faulty) {
+    injector = std::make_unique<FaultInjector>(sim, net, config.faults);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      injector->bind_job(jobs[i]->id(), *jobs[i]);
+    }
+  }
+
+  // Mid-run gate re-solve: when a fault perturbs a *gated* scenario, the old
+  // time-shifts are stale (severed links stall phases; a changed job set has
+  // a different unified circle).  Drop gates while a link is down and
+  // re-solve a fresh schedule, epoch'd at the current instant, on every
+  // restoration or job-set change.
+  bool any_gated = false;
+  for (const ScenarioJob& s : setups) any_gated |= s.gate.has_value();
+  const auto resolve_gates = [&] {
+    std::vector<std::size_t> members;
+    std::vector<CommProfile> profiles;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (departed[i]) continue;
+      members.push_back(i);
+      profiles.push_back(
+          analytic_profile(setups[i].profile, scenario_goodput(config)));
+    }
+    const auto clear_all = [&] {
+      for (const std::size_t i : members) jobs[i]->set_gate(std::nullopt);
+    };
+    if (members.size() < 2) {
+      clear_all();
+      return;
+    }
+    CompatibilitySolver solver(config.solver);
+    const SolverResult sr = solver.solve(profiles);
+    if (!sr.compatible) {
+      clear_all();
+      return;
+    }
+    const FlowSchedule fs =
+        make_flow_schedule(profiles, sr.rotations, sim.now());
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      jobs[members[k]]->set_gate(CommGate{fs.epoch, fs.slots[k].start_offset,
+                                          fs.slots[k].period,
+                                          fs.slots[k].phase_offsets,
+                                          fs.slots[k].window});
+    }
+  };
+  if (injector) {
+    injector->on_topology_change = [&](const FaultEvent& ev) {
+      if (!any_gated || !config.resolve_gates_on_fault) return;
+      if (ev.factor <= 0.0) {
+        // Outage: a schedule solved for the healthy topology only hurts now.
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+          if (!departed[i]) jobs[i]->set_gate(std::nullopt);
+        }
+      } else {
+        resolve_gates();
+      }
+    };
+    injector->on_jobset_change = [&](const FaultEvent& ev) {
+      if (ev.kind == FaultKind::kJobDepart) {
+        departed[static_cast<std::size_t>(ev.job.value)] = true;
+      }
+      if (!any_gated || !config.resolve_gates_on_fault) return;
+      if (ev.kind == FaultKind::kJobDepart ||
+          ev.kind == FaultKind::kJobArrive) {
+        resolve_gates();
+      }
+    };
+  }
+
+  // --- Watchdog ------------------------------------------------------------
+  WatchdogConfig wd = config.watchdog;
+  if (faulty) {
+    if (wd.max_events == 0) wd.max_events = 20'000'000;
+    if (wd.max_sim_time.is_zero()) wd.max_sim_time = config.duration * 4;
+  }
+  if (wd.max_events != 0 || !wd.max_sim_time.is_zero()) {
+    sim.set_watchdog(wd, [&net, &injector] {
+      std::string out =
+          injector ? injector->diagnose() : std::string("fault state: none\n");
+      out += "  active flows: " + std::to_string(net.active_flows().size()) +
+             ", parked: " + std::to_string(net.parked_flows().size()) + "\n";
+      return out;
+    });
+  }
+
   for (auto& j : jobs) j->start();
+  if (injector) injector->arm();
   sim.run_for(config.duration);
 
   ScenarioResult result;
@@ -89,6 +232,23 @@ ScenarioResult run_dumbbell_scenario(const std::vector<ScenarioJob>& setups,
       stats.p95_ms = stats.cdf.percentile(95);
     }
     result.jobs.push_back(std::move(stats));
+  }
+  if (injector) {
+    result.faults_applied = injector->applied();
+    std::vector<JobTrace> traces;
+    traces.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      JobTrace t;
+      t.name = setups[i].name;
+      t.starts = jobs[i]->iteration_starts();
+      t.durations = jobs[i]->iteration_times();
+      t.comm_mb_per_iter = setups[i].profile.total_comm_bytes().count() / 1e6;
+      t.departed = departed[i];
+      t.warmup = config.warmup_iterations;
+      traces.push_back(std::move(t));
+    }
+    result.recovery =
+        compute_recovery(config.faults, traces, config.fault_tolerance);
   }
   return result;
 }

@@ -1,6 +1,12 @@
 // A ready-made dumbbell "testbed": the paper's §2 setup — N training jobs,
 // one job per sender/receiver host pair, all crossing one 50 Gbps bottleneck
 // link.  Used by the benches, the examples and the integration tests.
+//
+// Scenarios optionally carry a FaultPlan (src/faults): scripted link flaps,
+// brownouts, stragglers and job churn are injected mid-run, flows reroute or
+// park-and-requeue, communication gates are re-solved when the topology or
+// job set changes, and the result reports recovery metrics (time to
+// reconverge, iterations disrupted, goodput lost).
 #pragma once
 
 #include <optional>
@@ -8,7 +14,11 @@
 #include <vector>
 
 #include "cc/factory.h"
+#include "core/solver.h"
+#include "faults/fault_plan.h"
+#include "faults/recovery.h"
 #include "net/network.h"
+#include "sim/simulator.h"
 #include "util/stats.h"
 #include "workload/job.h"
 #include "workload/model_zoo.h"
@@ -37,7 +47,27 @@ struct ScenarioConfig {
   double goodput_factor = 0.85;
   /// Optional observer attached to the network before the run (telemetry).
   std::function<void(Network&)> instrument;
+
+  /// Scripted faults to inject; empty = fault-free run.  The §2 bottleneck
+  /// cable is named "swL->swR" in the dumbbell topology.
+  FaultPlan faults;
+  /// Abort-wedged-run guards.  Zero fields are filled with defaults scaled
+  /// to `duration` whenever a fault plan is present.
+  WatchdogConfig watchdog;
+  /// Re-solve communication gates when a fault changes the topology or job
+  /// set (only takes effect when at least one job is gated).
+  bool resolve_gates_on_fault = true;
+  /// Solver options used for mid-run gate re-solves.
+  SolverOptions solver;
+  /// Relative slack on iteration time for recovery convergence checks.
+  double fault_tolerance = 0.08;
 };
+
+/// Throws std::invalid_argument with a descriptive message when the job list
+/// or config is malformed (no jobs, unnamed job, non-positive duration or
+/// rates, goodput factor outside (0,1], negative start offset, ...).
+void validate_scenario(const std::vector<ScenarioJob>& jobs,
+                       const ScenarioConfig& config);
 
 struct ScenarioJobStats {
   std::string name;
@@ -56,6 +86,10 @@ struct ScenarioJobStats {
 
 struct ScenarioResult {
   std::vector<ScenarioJobStats> jobs;
+  /// Recovery metrics; present when the config carried a fault plan.
+  std::optional<RecoveryReport> recovery;
+  /// The fault events that actually executed, with links resolved.
+  std::vector<FaultEvent> faults_applied;
 };
 
 /// Canonical aggressiveness presets for the "unfair DCQCN" scenarios; the
@@ -72,7 +106,8 @@ Aggressiveness meek_knobs();
 Aggressiveness ranked_knobs(int rank);
 
 /// Runs the jobs on a shared dumbbell bottleneck and reports per-job
-/// iteration statistics.
+/// iteration statistics.  Throws std::invalid_argument on malformed input
+/// (see validate_scenario) and SimulatorWedged when the watchdog trips.
 ScenarioResult run_dumbbell_scenario(const std::vector<ScenarioJob>& jobs,
                                      const ScenarioConfig& config = {});
 

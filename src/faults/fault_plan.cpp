@@ -1,0 +1,140 @@
+#include "faults/fault_plan.h"
+
+#include <algorithm>
+
+namespace ccml {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkDown:
+      return "link-down";
+    case FaultKind::kLinkUp:
+      return "link-up";
+    case FaultKind::kLinkDegrade:
+      return "link-degrade";
+    case FaultKind::kStragglerOn:
+      return "straggler-on";
+    case FaultKind::kStragglerOff:
+      return "straggler-off";
+    case FaultKind::kJobPause:
+      return "job-pause";
+    case FaultKind::kJobResume:
+      return "job-resume";
+    case FaultKind::kJobArrive:
+      return "job-arrive";
+    case FaultKind::kJobDepart:
+      return "job-depart";
+  }
+  return "unknown";
+}
+
+namespace {
+
+FaultEvent link_event(TimePoint at, FaultKind kind, std::string link,
+                      bool duplex, double factor = 0.0) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = kind;
+  ev.link_name = std::move(link);
+  ev.duplex = duplex;
+  ev.factor = factor;
+  return ev;
+}
+
+FaultEvent job_event(TimePoint at, FaultKind kind, JobId job,
+                     double factor = 0.0) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = kind;
+  ev.job = job;
+  ev.factor = factor;
+  return ev;
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::link_down(TimePoint at, std::string link, bool duplex) {
+  events.push_back(link_event(at, FaultKind::kLinkDown, std::move(link),
+                              duplex));
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_up(TimePoint at, std::string link, bool duplex) {
+  events.push_back(link_event(at, FaultKind::kLinkUp, std::move(link),
+                              duplex));
+  return *this;
+}
+
+FaultPlan& FaultPlan::flap(TimePoint at, Duration outage, std::string link,
+                           bool duplex) {
+  link_down(at, link, duplex);
+  link_up(at + outage, std::move(link), duplex);
+  return *this;
+}
+
+FaultPlan& FaultPlan::brownout(TimePoint at, Duration length, std::string link,
+                               double factor, bool duplex) {
+  events.push_back(link_event(at, FaultKind::kLinkDegrade, link, duplex,
+                              factor));
+  link_up(at + length, std::move(link), duplex);
+  return *this;
+}
+
+FaultPlan& FaultPlan::straggler(TimePoint at, Duration length, JobId job,
+                                double slowdown) {
+  events.push_back(job_event(at, FaultKind::kStragglerOn, job, slowdown));
+  events.push_back(job_event(at + length, FaultKind::kStragglerOff, job));
+  return *this;
+}
+
+FaultPlan& FaultPlan::pause(TimePoint at, Duration length, JobId job) {
+  events.push_back(job_event(at, FaultKind::kJobPause, job));
+  events.push_back(job_event(at + length, FaultKind::kJobResume, job));
+  return *this;
+}
+
+FaultPlan& FaultPlan::arrive(TimePoint at, JobId job) {
+  events.push_back(job_event(at, FaultKind::kJobArrive, job));
+  return *this;
+}
+
+FaultPlan& FaultPlan::depart(TimePoint at, JobId job) {
+  events.push_back(job_event(at, FaultKind::kJobDepart, job));
+  return *this;
+}
+
+void FaultPlan::normalize() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+TimePoint FaultPlan::first_event() const {
+  TimePoint t = TimePoint::origin();
+  bool first = true;
+  for (const FaultEvent& ev : events) {
+    if (first || ev.at < t) t = ev.at;
+    first = false;
+  }
+  return t;
+}
+
+TimePoint FaultPlan::last_event() const {
+  TimePoint t = TimePoint::origin();
+  for (const FaultEvent& ev : events) {
+    if (ev.at > t) t = ev.at;
+  }
+  return t;
+}
+
+bool FaultPlan::churns_jobs() const {
+  for (const FaultEvent& ev : events) {
+    if (ev.kind == FaultKind::kJobArrive || ev.kind == FaultKind::kJobDepart) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ccml

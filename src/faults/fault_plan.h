@@ -1,0 +1,104 @@
+// A deterministic, seeded script of faults to inject into a running
+// simulation: link failures/restorations/brownouts, per-job straggler onset,
+// and job churn (pause/resume, mid-run arrival and departure).
+//
+// The plan is pure data — time-ordered events plus a seed that salts the
+// ECMP hash used when flows are rerouted around failures — so the same plan
+// replayed against the same scenario yields a bit-identical trajectory, on
+// one sweep thread or many.  FaultInjector (injector.h) binds a plan to a
+// live Simulator/Network/job set and schedules the events.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/types.h"
+#include "util/time.h"
+
+namespace ccml {
+
+enum class FaultKind {
+  kLinkDown,      ///< capacity factor -> 0 (flows park or reroute)
+  kLinkUp,        ///< capacity factor -> 1 (parked flows requeue)
+  kLinkDegrade,   ///< capacity factor -> `factor` in (0,1): brownout
+  kStragglerOn,   ///< job's compute phases stretch by `factor`
+  kStragglerOff,  ///< job's compute returns to nominal speed
+  kJobPause,      ///< job suspends (flows aborted, timers cancelled)
+  kJobResume,     ///< job resumes its interrupted phase
+  kJobArrive,     ///< held-back job enters the cluster mid-run
+  kJobDepart,     ///< job tears down permanently
+};
+
+const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  TimePoint at;
+  FaultKind kind = FaultKind::kLinkDown;
+
+  // Link events: either a resolved id or a name ("swL->swR") looked up in
+  // the topology when the injector arms.  `duplex` applies the change to
+  // both directions of the cable.
+  LinkId link;
+  std::string link_name;
+  bool duplex = true;
+
+  // Job events.
+  JobId job;
+
+  /// kLinkDegrade: capacity factor in (0,1).  kStragglerOn: compute-time
+  /// multiplier (> 1 slows the job down).
+  double factor = 0.0;
+
+  bool is_link_event() const {
+    return kind == FaultKind::kLinkDown || kind == FaultKind::kLinkUp ||
+           kind == FaultKind::kLinkDegrade;
+  }
+  bool is_job_event() const { return !is_link_event(); }
+};
+
+struct FaultPlan {
+  /// Salts the ECMP hash used for reroute-on-failure path selection.
+  std::uint64_t seed = 1;
+
+  std::vector<FaultEvent> events;
+
+  // --- Fluent builders -----------------------------------------------------
+  // Each appends the corresponding event(s); chain freely and call
+  // normalize() (or let the injector do it) before use.
+
+  FaultPlan& link_down(TimePoint at, std::string link, bool duplex = true);
+  FaultPlan& link_up(TimePoint at, std::string link, bool duplex = true);
+  /// Down at `at`, restored `outage` later.
+  FaultPlan& flap(TimePoint at, Duration outage, std::string link,
+                  bool duplex = true);
+  /// Brownout: capacity multiplied by `factor` for `length`, then restored.
+  FaultPlan& brownout(TimePoint at, Duration length, std::string link,
+                      double factor, bool duplex = true);
+  /// Compute phases stretch by `slowdown` (e.g. 1.5) for `length`.
+  FaultPlan& straggler(TimePoint at, Duration length, JobId job,
+                       double slowdown);
+  /// Job suspends for `length`, then resumes its interrupted phase.
+  FaultPlan& pause(TimePoint at, Duration length, JobId job);
+  /// Job held out of the initial set enters the cluster at `at`.
+  FaultPlan& arrive(TimePoint at, JobId job);
+  /// Job leaves the cluster permanently at `at`.
+  FaultPlan& depart(TimePoint at, JobId job);
+
+  bool empty() const { return events.empty(); }
+
+  /// Stable-sorts events by time (equal-time events keep insertion order, so
+  /// plans replay identically).
+  void normalize();
+
+  /// Earliest / latest event time; origin when the plan is empty.  Together
+  /// they bound the disruption window recovery metrics measure against.
+  TimePoint first_event() const;
+  TimePoint last_event() const;
+
+  /// True when some event arrives (or departs) a job, i.e. the job set is
+  /// not static.
+  bool churns_jobs() const;
+};
+
+}  // namespace ccml

@@ -1,0 +1,186 @@
+#include "faults/injector.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace ccml {
+
+FaultInjector::FaultInjector(Simulator& sim, Network& net, FaultPlan plan)
+    : sim_(sim), net_(net), router_(net.topology()), plan_(std::move(plan)) {
+  plan_.normalize();
+  for (const FaultEvent& ev : plan_.events) {
+    if (ev.kind == FaultKind::kLinkDegrade &&
+        !(ev.factor > 0.0 && ev.factor < 1.0)) {
+      throw std::invalid_argument(
+          "fault plan: degrade factor must be in (0,1), got " +
+          std::to_string(ev.factor));
+    }
+    if (ev.kind == FaultKind::kStragglerOn && !(ev.factor > 0.0)) {
+      throw std::invalid_argument(
+          "fault plan: straggler slowdown must be positive, got " +
+          std::to_string(ev.factor));
+    }
+    if (ev.is_job_event() && !ev.job.valid()) {
+      throw std::invalid_argument(std::string("fault plan: ") +
+                                  to_string(ev.kind) +
+                                  " event carries an invalid job id");
+    }
+    if (ev.is_link_event() && !ev.link.valid() && ev.link_name.empty()) {
+      throw std::invalid_argument(std::string("fault plan: ") +
+                                  to_string(ev.kind) +
+                                  " event names no link");
+    }
+  }
+}
+
+void FaultInjector::bind_job(JobId id, TrainingJob& job) {
+  jobs_[id.value] = &job;
+}
+
+bool FaultInjector::arrives_later(JobId id) const {
+  for (const FaultEvent& ev : plan_.events) {
+    if (ev.kind == FaultKind::kJobArrive && ev.job == id) return true;
+  }
+  return false;
+}
+
+std::pair<LinkId, LinkId> FaultInjector::resolve_link(
+    const FaultEvent& ev) const {
+  const Topology& topo = net_.topology();
+  LinkId forward = ev.link;
+  if (!forward.valid()) {
+    for (const LinkInfo& li : topo.links()) {
+      if (li.name == ev.link_name) {
+        forward = li.id;
+        break;
+      }
+    }
+    if (!forward.valid()) {
+      throw std::invalid_argument("fault plan: no link named '" +
+                                  ev.link_name + "' in the topology");
+    }
+  }
+  LinkId reverse;
+  if (ev.duplex) {
+    const LinkInfo& li = topo.link(forward);
+    reverse = topo.find_link(li.dst, li.src);
+  }
+  return {forward, reverse};
+}
+
+void FaultInjector::arm() {
+  if (armed_) throw std::logic_error("FaultInjector::arm called twice");
+  armed_ = true;
+
+  // Validate up front: every link name resolves, every job id is bound.
+  for (const FaultEvent& ev : plan_.events) {
+    if (ev.is_link_event()) {
+      (void)resolve_link(ev);
+    } else if (jobs_.find(ev.job.value) == jobs_.end()) {
+      throw std::invalid_argument(
+          std::string("fault plan: ") + to_string(ev.kind) +
+          " event references job " + std::to_string(ev.job.value) +
+          ", which is not bound to the injector");
+    }
+  }
+
+  // Reroute-on-failure: ECMP over the surviving links, salted with the plan
+  // seed and the flow id so the choice is deterministic per flow.
+  net_.set_reroute_provider([this](const Flow& flow) {
+    const auto usable = [this](LinkId l) { return net_.link_is_up(l); };
+    const std::uint64_t hash = Router::flow_hash(
+        flow.spec.src, flow.spec.dst,
+        plan_.seed ^ static_cast<std::uint64_t>(flow.id.value));
+    return router_.pick(flow.spec.src, flow.spec.dst, hash, usable);
+  });
+
+  // Mid-run arrivals: suspend the job now (its start timer is cancelled);
+  // the kJobArrive event resumes it.
+  for (const FaultEvent& ev : plan_.events) {
+    if (ev.kind == FaultKind::kJobArrive) job_for(ev).pause();
+  }
+
+  for (const FaultEvent& ev : plan_.events) {
+    sim_.schedule_at(ev.at, [this, ev] { apply(ev); });
+  }
+}
+
+TrainingJob& FaultInjector::job_for(const FaultEvent& ev) {
+  const auto it = jobs_.find(ev.job.value);
+  if (it == jobs_.end()) {
+    throw std::invalid_argument("fault plan: unbound job " +
+                                std::to_string(ev.job.value));
+  }
+  return *it->second;
+}
+
+void FaultInjector::apply(const FaultEvent& ev) {
+  FaultEvent executed = ev;
+  switch (ev.kind) {
+    case FaultKind::kLinkDown:
+      executed.factor = 0.0;
+      apply_link_event(executed);
+      break;
+    case FaultKind::kLinkUp:
+      executed.factor = 1.0;
+      apply_link_event(executed);
+      break;
+    case FaultKind::kLinkDegrade:
+      apply_link_event(executed);
+      break;
+    case FaultKind::kStragglerOn:
+      job_for(ev).set_compute_scale(ev.factor);
+      break;
+    case FaultKind::kStragglerOff:
+      job_for(ev).set_compute_scale(1.0);
+      break;
+    case FaultKind::kJobPause:
+      job_for(ev).pause();
+      break;
+    case FaultKind::kJobResume:
+    case FaultKind::kJobArrive:
+      job_for(ev).resume();
+      break;
+    case FaultKind::kJobDepart:
+      job_for(ev).stop();
+      break;
+  }
+  applied_.push_back(executed);
+  if (executed.is_link_event()) {
+    if (on_topology_change) on_topology_change(executed);
+  } else {
+    if (on_jobset_change) on_jobset_change(executed);
+  }
+}
+
+void FaultInjector::apply_link_event(FaultEvent& ev) {
+  const auto [forward, reverse] = resolve_link(ev);
+  ev.link = forward;
+  if (ev.link_name.empty()) ev.link_name = net_.topology().link(forward).name;
+  net_.set_link_capacity_factor(forward, ev.factor);
+  if (reverse.valid()) net_.set_link_capacity_factor(reverse, ev.factor);
+}
+
+std::string FaultInjector::diagnose() const {
+  std::string out;
+  const Topology& topo = net_.topology();
+  for (const LinkInfo& li : topo.links()) {
+    const double f = net_.link_capacity_factor(li.id);
+    if (f >= 1.0) continue;
+    out += "  link ";
+    out += li.name;
+    out += f <= 0.0 ? " DOWN" : (" at factor " + std::to_string(f));
+    out += '\n';
+  }
+  for (const FlowId fid : net_.parked_flows()) {
+    const Flow& flow = net_.flow(fid);
+    out += "  parked flow #" + std::to_string(fid.value);
+    if (!flow.spec.label.empty()) out += " (" + flow.spec.label + ")";
+    out += " " + topo.node(flow.spec.src).name + "->" +
+           topo.node(flow.spec.dst).name + "\n";
+  }
+  if (out.empty()) out = "  no degraded links or parked flows\n";
+  return "fault state:\n" + out;
+}
+
+}  // namespace ccml

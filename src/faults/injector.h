@@ -1,0 +1,81 @@
+// Binds a FaultPlan to a live simulation and executes it.
+//
+// arm() resolves link names against the topology, validates that every job
+// event has a bound TrainingJob, installs a link-state-aware reroute
+// provider on the network (ECMP over the surviving topology, hashed with the
+// plan seed so path choices are reproducible), holds back jobs that arrive
+// mid-run, and schedules one simulator event per fault.
+//
+// Each executed event lands in applied() — the audit trail tests and
+// telemetry read back — and fires the corresponding hook so the scenario
+// layer can re-solve communication gates when the topology or job set
+// changes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "faults/fault_plan.h"
+#include "net/network.h"
+#include "net/routing.h"
+#include "sim/simulator.h"
+#include "workload/job.h"
+
+namespace ccml {
+
+class FaultInjector {
+ public:
+  /// Throws std::invalid_argument when a plan event is malformed (degrade
+  /// factor outside (0,1), straggler slowdown not positive, invalid job id).
+  FaultInjector(Simulator& sim, Network& net, FaultPlan plan);
+
+  /// Registers the TrainingJob behind `id` so job events can reach it.  The
+  /// job must outlive the injector's run.
+  void bind_job(JobId id, TrainingJob& job);
+
+  /// Fired after a link event was applied (topology changed).  The scenario
+  /// layer uses this to drop or re-solve communication gates.
+  std::function<void(const FaultEvent&)> on_topology_change;
+
+  /// Fired after a job event was applied (job set or job behavior changed).
+  std::function<void(const FaultEvent&)> on_jobset_change;
+
+  /// Resolves, validates and schedules the plan.  Call once, after every
+  /// job referenced by the plan is bound and started.  Jobs with a
+  /// kJobArrive event are paused here and resume at their arrival time.
+  /// Throws std::invalid_argument on unresolvable link names or unbound
+  /// job ids.
+  void arm();
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Events executed so far, in execution order, with links resolved.
+  const std::vector<FaultEvent>& applied() const { return applied_; }
+
+  /// Jobs the plan holds back for mid-run arrival.
+  bool arrives_later(JobId id) const;
+
+  /// Human-readable diagnostic naming every down/degraded link and parked
+  /// flow; suitable as a Simulator watchdog diagnostic provider.
+  std::string diagnose() const;
+
+ private:
+  void apply(const FaultEvent& ev);
+  void apply_link_event(FaultEvent& ev);
+  /// Resolves ev.link (and the reverse direction for duplex events) from
+  /// ev.link_name; throws on unknown names.
+  std::pair<LinkId, LinkId> resolve_link(const FaultEvent& ev) const;
+  TrainingJob& job_for(const FaultEvent& ev);
+
+  Simulator& sim_;
+  Network& net_;
+  Router router_;
+  FaultPlan plan_;
+  std::unordered_map<std::int32_t, TrainingJob*> jobs_;
+  std::vector<FaultEvent> applied_;
+  bool armed_ = false;
+};
+
+}  // namespace ccml

@@ -17,12 +17,14 @@ Network::Network(Topology topology, std::unique_ptr<BandwidthPolicy> policy,
   assert(policy_ != nullptr);
   assert(config_.goodput_factor > 0.0 && config_.goodput_factor <= 1.0);
   assert(config_.step.is_positive());
-  eff_capacity_.reserve(topo_.link_count());
+  nominal_capacity_.reserve(topo_.link_count());
   for (std::size_t l = 0; l < topo_.link_count(); ++l) {
-    eff_capacity_.push_back(
+    nominal_capacity_.push_back(
         topo_.link(LinkId{static_cast<std::int32_t>(l)}).capacity *
         config_.goodput_factor);
   }
+  eff_capacity_ = nominal_capacity_;
+  capacity_factor_.assign(topo_.link_count(), 1.0);
 }
 
 void Network::attach(Simulator& sim) {
@@ -50,6 +52,37 @@ FlowId Network::start_flow(FlowSpec spec, FlowCompletionFn on_complete) {
   flow.start_time = sim_->now();
   flow.rate = Rate::zero();
   slab_[slot].on_complete = std::move(on_complete);
+  slab_[slot].parked = false;
+  index_.emplace(id.value, slot);
+  if (route_severed(flow.spec.route) && reroute_) {
+    Route alt = reroute_(flow);
+    if (!alt.empty() && !route_severed(alt)) flow.spec.route = std::move(alt);
+  }
+  if (route_severed(flow.spec.route)) {
+    // No usable path right now: park until a link-up requeues the flow.
+    slab_[slot].parked = true;
+    // Ids are handed out monotonically, so appending keeps the list sorted.
+    parked_ids_.push_back(id);
+  } else {
+    activate_flow(id, slot);
+  }
+  return id;
+}
+
+bool Network::route_severed(const Route& route) const {
+  for (const LinkId lid : route.links) {
+    if (capacity_factor_[lid.value] <= 0.0) return true;
+  }
+  return false;
+}
+
+bool Network::is_parked(FlowId id) const {
+  const auto it = index_.find(id.value);
+  return it != index_.end() && slab_[it->second].parked;
+}
+
+void Network::activate_flow(FlowId id, std::uint32_t slot) {
+  Flow& flow = slab_[slot].flow;
   for (const LinkId lid : flow.spec.route.links) {
     if (link_flows_[lid.value].empty()) {
       used_links_.insert(
@@ -58,20 +91,102 @@ FlowId Network::start_flow(FlowSpec spec, FlowCompletionFn on_complete) {
     link_flows_[lid.value].push_back(id);
     link_slots_[lid.value].push_back(slot);
   }
-  index_.emplace(id.value, slot);
-  // Ids are handed out monotonically, so appending keeps the cache sorted.
-  active_ids_.push_back(id);
-  active_slots_.push_back(slot);
+  // Unparked flows may carry ids smaller than the newest active ones, so
+  // insert at the sorted position rather than appending.
+  const auto pos = std::lower_bound(active_ids_.begin(), active_ids_.end(), id);
+  active_slots_.insert(active_slots_.begin() + (pos - active_ids_.begin()),
+                       slot);
+  active_ids_.insert(pos, id);
   policy_->on_flow_started(*this, flow);
-  return id;
+}
+
+void Network::park_flow(FlowId id, std::uint32_t slot) {
+  Flow& flow = slab_[slot].flow;
+  const auto pos = std::lower_bound(active_ids_.begin(), active_ids_.end(), id);
+  assert(pos != active_ids_.end() && *pos == id);
+  active_slots_.erase(active_slots_.begin() + (pos - active_ids_.begin()));
+  active_ids_.erase(pos);
+  for (const LinkId lid : flow.spec.route.links) {
+    auto& ids = link_flows_[lid.value];
+    ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+    auto& slots = link_slots_[lid.value];
+    slots.erase(std::remove(slots.begin(), slots.end(), slot), slots.end());
+    if (ids.empty()) {
+      used_links_.erase(
+          std::lower_bound(used_links_.begin(), used_links_.end(), lid));
+    }
+  }
+  flow.rate = Rate::zero();
+  slab_[slot].parked = true;
+  parked_ids_.insert(
+      std::lower_bound(parked_ids_.begin(), parked_ids_.end(), id), id);
+  // The policy drops its per-flow state; the eventual requeue looks like a
+  // fresh flow start (an RDMA connection re-established after path loss).
+  policy_->on_flow_finished(*this, flow);
+}
+
+bool Network::try_unpark_flow(FlowId id, std::uint32_t slot) {
+  Flow& flow = slab_[slot].flow;
+  if (route_severed(flow.spec.route)) {
+    if (!reroute_) return false;
+    Route alt = reroute_(flow);
+    if (alt.empty() || route_severed(alt)) return false;
+    flow.spec.route = std::move(alt);
+  }
+  const auto pos =
+      std::lower_bound(parked_ids_.begin(), parked_ids_.end(), id);
+  assert(pos != parked_ids_.end() && *pos == id);
+  parked_ids_.erase(pos);
+  slab_[slot].parked = false;
+  activate_flow(id, slot);
+  return true;
+}
+
+void Network::set_link_capacity_factor(LinkId link, double factor) {
+  assert(link.valid() &&
+         static_cast<std::size_t>(link.value) < capacity_factor_.size());
+  assert(factor >= 0.0 && factor <= 1.0);
+  const double old = capacity_factor_[link.value];
+  if (old == factor) return;
+  capacity_factor_[link.value] = factor;
+  eff_capacity_[link.value] = nominal_capacity_[link.value] * factor;
+  if (old > 0.0 && factor <= 0.0) {
+    // Link went down: every flow crossing it is rerouted (when the provider
+    // finds a surviving path) or parked until repair.  Snapshot the list —
+    // parking mutates it.
+    const std::vector<FlowId> affected = link_flows_[link.value];
+    for (const FlowId id : affected) {
+      const std::uint32_t slot = index_.find(id.value)->second;
+      park_flow(id, slot);
+      try_unpark_flow(id, slot);
+    }
+  } else if (old <= 0.0 && factor > 0.0) {
+    // Link restored: requeue parked flows whose route (or a reroute) is
+    // whole again.  Snapshot — unparking mutates the list.
+    const std::vector<FlowId> parked = parked_ids_;
+    for (const FlowId id : parked) {
+      try_unpark_flow(id, index_.find(id.value)->second);
+    }
+  }
+  policy_->on_link_capacity_changed(*this, link);
 }
 
 Network::Slot Network::extract_flow(FlowId id, std::uint32_t slot) {
   Slot out;
   out.flow = std::move(slab_[slot].flow);
   out.on_complete = std::move(slab_[slot].on_complete);
+  out.parked = slab_[slot].parked;
   slab_[slot].on_complete = nullptr;
+  slab_[slot].parked = false;
   index_.erase(id.value);
+  if (out.parked) {
+    const auto pos =
+        std::lower_bound(parked_ids_.begin(), parked_ids_.end(), id);
+    assert(pos != parked_ids_.end() && *pos == id);
+    parked_ids_.erase(pos);
+    free_slots_.push_back(slot);
+    return out;
+  }
   const auto pos = std::lower_bound(active_ids_.begin(), active_ids_.end(), id);
   assert(pos != active_ids_.end() && *pos == id);
   active_slots_.erase(active_slots_.begin() + (pos - active_ids_.begin()));
@@ -94,7 +209,8 @@ void Network::abort_flow(FlowId id) {
   const auto it = index_.find(id.value);
   if (it == index_.end()) return;
   const Slot extracted = extract_flow(id, it->second);
-  policy_->on_flow_finished(*this, extracted.flow);
+  // A parked flow's policy state was already dropped when it parked.
+  if (!extracted.parked) policy_->on_flow_finished(*this, extracted.flow);
 }
 
 const Flow& Network::flow(FlowId id) const {

@@ -10,6 +10,15 @@
 // incrementally on start/abort/finish, so per-step iteration — both the
 // Network's own integration and every policy's rate pass — is allocation-
 // free and hash-free on the steady path.
+//
+// Link state: the topology's wiring is immutable, but each link carries a
+// runtime capacity factor in [0, 1] (1 = healthy, (0, 1) = brownout,
+// 0 = down).  When a link goes down, flows routed over it are rerouted via
+// the installed reroute provider when an alternate path exists, and *parked*
+// otherwise: a parked flow keeps its byte progress and completion callback
+// but is invisible to the policy and the integrator until the route heals,
+// at which point it is requeued (policy sees a fresh flow start).  Flows
+// started while their route is severed park immediately.
 #pragma once
 
 #include <cassert>
@@ -52,13 +61,46 @@ class Network : public Stepper {
   const BandwidthPolicy& policy() const { return *policy_; }
   Simulator& sim() { return *sim_; }
 
-  /// Capacity available to goodput on `link` (precomputed per link; the
-  /// topology is immutable after construction).
+  /// Capacity available to goodput on `link`: nominal capacity scaled by the
+  /// goodput factor and the link's runtime capacity factor.
   Rate effective_capacity(LinkId link) const {
     assert(link.valid() &&
            static_cast<std::size_t>(link.value) < eff_capacity_.size());
     return eff_capacity_[link.value];
   }
+
+  // --- Runtime link state (fault injection) --------------------------------
+
+  /// Sets `link`'s capacity factor: 1 restores nominal capacity, values in
+  /// (0, 1) model a brownout, 0 takes the link down.  Taking a link down
+  /// reroutes or parks the flows crossing it; bringing one up requeues any
+  /// parked flow whose route (or a reroute) is whole again.  The policy is
+  /// notified via on_link_capacity_changed after flows are reshuffled.
+  void set_link_capacity_factor(LinkId link, double factor);
+
+  double link_capacity_factor(LinkId link) const {
+    assert(link.valid() &&
+           static_cast<std::size_t>(link.value) < capacity_factor_.size());
+    return capacity_factor_[link.value];
+  }
+  bool link_is_up(LinkId link) const {
+    return link_capacity_factor(link) > 0.0;
+  }
+
+  /// True if any link of `route` is down.
+  bool route_severed(const Route& route) const;
+
+  /// Installs the reroute provider consulted when a flow's route is severed
+  /// (at start, on link failure, and again on restoration).  It returns the
+  /// replacement route, or an empty route when none exists.  Typically backed
+  /// by a Router with a link-state filter; see faults/injector.
+  using RerouteFn = std::function<Route(const Flow&)>;
+  void set_reroute_provider(RerouteFn fn) { reroute_ = std::move(fn); }
+
+  /// Flows currently parked (severed route, waiting for repair), sorted
+  /// ascending.  Invalidated by the next park/unpark/abort.
+  std::span<const FlowId> parked_flows() const { return parked_ids_; }
+  bool is_parked(FlowId id) const;
 
   /// Starts a flow; `on_complete` fires (at the interpolated completion
   /// instant) once all bytes are delivered.  Zero-byte flows complete at the
@@ -68,6 +110,8 @@ class Network : public Stepper {
   /// Drops a flow without firing its completion callback.
   void abort_flow(FlowId id);
 
+  /// True while the flow is alive (running or parked); false once finished
+  /// or aborted.
   bool is_active(FlowId id) const { return index_.contains(id.value); }
   const Flow& flow(FlowId id) const;
   Flow& flow(FlowId id);
@@ -137,21 +181,40 @@ class Network : public Stepper {
   struct Slot {
     Flow flow;
     FlowCompletionFn on_complete;
+    bool parked = false;
   };
   struct Pending {
     FlowId id;
     TimePoint finish;
   };
 
-  /// Removes `id` from the slab, the active caches and the link lists.
-  /// Returns the extracted slot contents (flow + completion callback).
+  /// Removes `id` from the slab, the active caches and the link lists (or
+  /// the parked list, for parked flows).  Returns the extracted slot
+  /// contents (flow + completion callback).
   Slot extract_flow(FlowId id, std::uint32_t slot);
+
+  /// Inserts an already-slabbed flow into the active caches and link lists
+  /// and notifies the policy.  `id` may be smaller than existing active ids
+  /// (unparking), so insertion is by lower_bound.
+  void activate_flow(FlowId id, std::uint32_t slot);
+
+  /// Removes an active flow from the active caches and link lists, zeroes
+  /// its rate and moves it to the parked list; the policy sees a finish.
+  void park_flow(FlowId id, std::uint32_t slot);
+
+  /// Re-admits a parked flow whose route healed (possibly after a reroute);
+  /// returns false when still severed and no reroute exists.
+  bool try_unpark_flow(FlowId id, std::uint32_t slot);
 
   Topology topo_;
   std::unique_ptr<BandwidthPolicy> policy_;
   NetworkConfig config_;
   Simulator* sim_ = nullptr;
-  std::vector<Rate> eff_capacity_;  // per link, capacity * goodput_factor
+  std::vector<Rate> nominal_capacity_;  // per link, capacity * goodput_factor
+  std::vector<Rate> eff_capacity_;      // nominal * capacity_factor
+  std::vector<double> capacity_factor_;  // per link, runtime health in [0, 1]
+  RerouteFn reroute_;
+  std::vector<FlowId> parked_ids_;  // sorted ascending
 
   std::vector<Slot> slab_;
   std::vector<std::uint32_t> free_slots_;

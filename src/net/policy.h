@@ -34,6 +34,15 @@ class BandwidthPolicy {
     (void)flow;
   }
 
+  /// Called after `link`'s effective capacity changed at runtime (failure,
+  /// brownout, restoration).  Policies that cache per-flow line rates or
+  /// per-link state derived from capacity must refresh it here; stateless
+  /// policies that re-read capacities every step need not override.
+  virtual void on_link_capacity_changed(Network& net, LinkId link) {
+    (void)net;
+    (void)link;
+  }
+
   /// Writes Flow::rate for every active flow.
   virtual void update_rates(Network& net, TimePoint now, Duration dt) = 0;
 

@@ -13,9 +13,12 @@ bool Route::traverses(LinkId id) const {
   return false;
 }
 
-std::vector<Route> Router::equal_cost_paths(NodeId src, NodeId dst) const {
+std::vector<Route> Router::equal_cost_paths(NodeId src, NodeId dst,
+                                            const LinkFilter& usable) const {
   assert(src.valid() && dst.valid());
   if (src == dst) return {Route{}};
+
+  const auto admits = [&](LinkId lid) { return !usable || usable(lid); };
 
   const std::size_t n = topo_->node_count();
   std::vector<int> dist(n, std::numeric_limits<int>::max());
@@ -26,6 +29,7 @@ std::vector<Route> Router::equal_cost_paths(NodeId src, NodeId dst) const {
     const NodeId u = frontier.front();
     frontier.pop();
     for (const LinkId lid : topo_->links_from(u)) {
+      if (!admits(lid)) continue;
       const NodeId v = topo_->link(lid).dst;
       if (dist[v.value] == std::numeric_limits<int>::max()) {
         dist[v.value] = dist[u.value] + 1;
@@ -51,6 +55,7 @@ std::vector<Route> Router::equal_cost_paths(NodeId src, NodeId dst) const {
       continue;
     }
     for (const LinkId lid : topo_->links_from(p.at)) {
+      if (!admits(lid)) continue;
       const NodeId v = topo_->link(lid).dst;
       if (dist[v.value] == dist[p.at.value] + 1 &&
           dist[v.value] <= dist[dst.value]) {
@@ -64,8 +69,9 @@ std::vector<Route> Router::equal_cost_paths(NodeId src, NodeId dst) const {
   return done;
 }
 
-Route Router::pick(NodeId src, NodeId dst, std::uint64_t flow_hash) const {
-  auto paths = equal_cost_paths(src, dst);
+Route Router::pick(NodeId src, NodeId dst, std::uint64_t flow_hash,
+                   const LinkFilter& usable) const {
+  auto paths = equal_cost_paths(src, dst, usable);
   if (paths.empty()) return Route{};
   return paths[flow_hash % paths.size()];
 }

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "net/topology.h"
@@ -27,12 +28,20 @@ class Router {
  public:
   explicit Router(const Topology& topo) : topo_(&topo) {}
 
+  /// Predicate deciding whether a link may carry traffic (link-state aware
+  /// routing around failures).  An empty filter admits every link.
+  using LinkFilter = std::function<bool(LinkId)>;
+
   /// All minimum-hop paths from src to dst, in a deterministic order.
-  /// Returns an empty vector when dst is unreachable.
-  std::vector<Route> equal_cost_paths(NodeId src, NodeId dst) const;
+  /// Links rejected by `usable` are excluded (reroute-on-failure: paths are
+  /// shortest within the surviving topology).  Returns an empty vector when
+  /// dst is unreachable.
+  std::vector<Route> equal_cost_paths(NodeId src, NodeId dst,
+                                      const LinkFilter& usable = {}) const;
 
   /// ECMP selection: picks among equal-cost paths by `flow_hash`.
-  Route pick(NodeId src, NodeId dst, std::uint64_t flow_hash) const;
+  Route pick(NodeId src, NodeId dst, std::uint64_t flow_hash,
+             const LinkFilter& usable = {}) const;
 
   /// Deterministic hash for 5-tuple-like inputs.
   static std::uint64_t flow_hash(NodeId src, NodeId dst, std::uint64_t salt);

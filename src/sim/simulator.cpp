@@ -49,6 +49,32 @@ void Simulator::run_steps_at(TimePoint t) {
   }
 }
 
+void Simulator::wedged(const std::string& reason) const {
+  std::string msg = "simulation watchdog: " + reason + " (now=" +
+                    now_.to_string() + ", events=" +
+                    std::to_string(events_executed_) + ")";
+  if (watchdog_diagnostic_) {
+    const std::string diag = watchdog_diagnostic_();
+    if (!diag.empty()) msg += "; " + diag;
+  }
+  throw SimulatorWedged(msg);
+}
+
+void Simulator::check_time_budget(TimePoint t) const {
+  if (watchdog_.max_sim_time.is_positive() &&
+      t > TimePoint::origin() + watchdog_.max_sim_time) {
+    wedged("sim-time budget of " + watchdog_.max_sim_time.to_string() +
+           " exhausted");
+  }
+}
+
+void Simulator::check_event_budget() const {
+  if (watchdog_.max_events != 0 && events_executed_ > watchdog_.max_events) {
+    wedged("event budget of " + std::to_string(watchdog_.max_events) +
+           " exhausted");
+  }
+}
+
 void Simulator::run_until(TimePoint deadline) {
   stopped_ = false;
   while (!stopped_) {
@@ -56,12 +82,15 @@ void Simulator::run_until(TimePoint deadline) {
     const TimePoint ts = next_step_time();
     const TimePoint t = std::min(te, ts);
     if (t > deadline) break;
+    check_time_budget(t);
     now_ = t;
     // Steps fire before events at the same instant so that events observe
     // integrated state up to their own timestamp.
     if (ts == t) run_steps_at(t);
     while (!stopped_ && !events_.empty() && events_.next_time() == t) {
       events_.run_next();
+      ++events_executed_;
+      check_event_budget();
     }
   }
   if (!stopped_) now_ = std::max(now_, deadline);
@@ -73,15 +102,19 @@ void Simulator::run_until_idle() {
     const TimePoint te = events_.next_time();
     TimePoint ts = next_step_time();
     while (ts < te) {
+      check_time_budget(ts);
       now_ = ts;
       run_steps_at(ts);
       ts = next_step_time();
     }
     if (stopped_) break;
+    check_time_budget(te);
     now_ = te;
     if (ts == te) run_steps_at(te);
     while (!stopped_ && !events_.empty() && events_.next_time() == te) {
       events_.run_next();
+      ++events_executed_;
+      check_event_budget();
     }
   }
 }

@@ -8,14 +8,34 @@
 // both: it always advances to the earlier of (next event, next step tick).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "sim/event_queue.h"
 #include "util/time.h"
 
 namespace ccml {
+
+/// Thrown by the watchdog when a run exceeds its event or sim-time budget
+/// (e.g. a flow stranded on a zero-capacity link keeps the clock crawling
+/// forever).  The message includes the diagnostic provider's output, which
+/// names the stuck flows/links.
+class SimulatorWedged : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Guards against wedged runs.  Zero means "no limit" for either field.
+struct WatchdogConfig {
+  /// Maximum number of discrete events executed across run_* calls.
+  std::uint64_t max_events = 0;
+  /// Maximum simulated time (measured from the origin) the clock may reach.
+  Duration max_sim_time = Duration::zero();
+};
 
 /// A component whose state is integrated at a fixed time step.
 class Stepper {
@@ -63,6 +83,19 @@ class Simulator {
 
   std::size_t pending_events() const { return events_.size(); }
 
+  /// Arms the watchdog.  `diagnostic`, when set, is invoked as the run is
+  /// aborted and its output appended to the SimulatorWedged message (use it
+  /// to name the stuck flows/links).
+  void set_watchdog(WatchdogConfig config,
+                    std::function<std::string()> diagnostic = {}) {
+    watchdog_ = config;
+    watchdog_diagnostic_ = std::move(diagnostic);
+  }
+  const WatchdogConfig& watchdog() const { return watchdog_; }
+
+  /// Discrete events executed so far (across all run_* calls).
+  std::uint64_t events_executed() const { return events_executed_; }
+
  private:
   struct SteppedEntry {
     Stepper* stepper;
@@ -80,10 +113,20 @@ class Simulator {
   /// Fires every stepper whose tick is exactly `t`.
   void run_steps_at(TimePoint t);
 
+  /// Throws SimulatorWedged if advancing the clock to `t` would exceed the
+  /// sim-time budget.
+  void check_time_budget(TimePoint t) const;
+  /// Throws SimulatorWedged if the event budget is exhausted.
+  void check_event_budget() const;
+  [[noreturn]] void wedged(const std::string& reason) const;
+
   EventQueue events_;
   std::vector<SteppedEntry> steppers_;
   TimePoint now_ = TimePoint::origin();
   bool stopped_ = false;
+  WatchdogConfig watchdog_;
+  std::function<std::string()> watchdog_diagnostic_;
+  std::uint64_t events_executed_ = 0;
 };
 
 }  // namespace ccml

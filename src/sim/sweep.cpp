@@ -1,5 +1,6 @@
 #include "sim/sweep.h"
 
+#include <algorithm>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
@@ -17,6 +18,32 @@ std::uint64_t sweep_seed(std::uint64_t base, std::uint64_t index) {
   return z != 0 ? z : 0x9E3779B97F4A7C15ull;
 }
 
+namespace {
+
+std::string sweep_error_message(std::size_t total,
+                                const std::vector<SweepTaskError>& errors) {
+  std::string msg = std::to_string(errors.size()) + " of " +
+                    std::to_string(total) + " sweep tasks failed:";
+  // Cap the rendered list; the full set stays accessible via errors().
+  const std::size_t shown = std::min<std::size_t>(errors.size(), 8);
+  for (std::size_t i = 0; i < shown; ++i) {
+    msg += " [" + std::to_string(errors[i].index) + "] " + errors[i].message +
+           (i + 1 < shown ? ";" : "");
+  }
+  if (shown < errors.size()) {
+    msg += " ... and " + std::to_string(errors.size() - shown) + " more";
+  }
+  return msg;
+}
+
+}  // namespace
+
+SweepError::SweepError(std::size_t total_tasks,
+                       std::vector<SweepTaskError> errors)
+    : std::runtime_error(sweep_error_message(total_tasks, errors)),
+      errors_(std::move(errors)),
+      total_tasks_(total_tasks) {}
+
 // All sweep bookkeeping is mutex-protected: a "task" here is an entire
 // simulation run (milliseconds to seconds), so one lock round-trip per claim
 // is noise, and it keeps the stale-worker interleavings (a thread waking for
@@ -30,12 +57,14 @@ struct SweepRunner::Impl {
   std::size_t next = 0;    // first unclaimed index
   std::size_t active = 0;  // threads inside drain()
   std::uint64_t epoch = 0;  // bumped per sweep; the worker wake signal
-  std::exception_ptr error;
+  std::vector<SweepTaskError> errors;  // failed grid points of this sweep
   bool shutdown = false;
   std::vector<std::thread> workers;
 
   /// Claims and runs tasks until the sweep that was current on entry has no
-  /// unclaimed work left.
+  /// unclaimed work left.  A throwing task is recorded (index + message) and
+  /// the drain continues with the next grid point — one bad parameter
+  /// combination must not abandon the rest of the grid.
   void drain() {
     std::unique_lock<std::mutex> lock(mu);
     const std::uint64_t my_epoch = epoch;
@@ -44,17 +73,19 @@ struct SweepRunner::Impl {
       const std::size_t i = next++;
       const auto* t = task;
       lock.unlock();
-      std::exception_ptr caught;
+      SweepTaskError err;
+      bool failed = false;
       try {
         (*t)(i);
+      } catch (const std::exception& e) {
+        failed = true;
+        err = {i, e.what()};
       } catch (...) {
-        caught = std::current_exception();
+        failed = true;
+        err = {i, "non-standard exception"};
       }
       lock.lock();
-      if (caught) {
-        if (!error) error = caught;
-        next = count;  // abandon the rest: the sweep's result is void anyway
-      }
+      if (failed && epoch == my_epoch) errors.push_back(std::move(err));
     }
     if (--active == 0) cv_done.notify_all();
   }
@@ -105,7 +136,7 @@ void SweepRunner::run_indexed(std::size_t count,
     impl_->task = &task;
     impl_->count = count;
     impl_->next = 0;
-    impl_->error = nullptr;
+    impl_->errors.clear();
     ++impl_->epoch;
   }
   impl_->cv_work.notify_all();
@@ -113,11 +144,16 @@ void SweepRunner::run_indexed(std::size_t count,
   std::unique_lock<std::mutex> lock(impl_->mu);
   impl_->cv_done.wait(
       lock, [&] { return impl_->next >= impl_->count && impl_->active == 0; });
-  if (impl_->error) {
-    std::exception_ptr e = impl_->error;
-    impl_->error = nullptr;
+  if (!impl_->errors.empty()) {
+    std::vector<SweepTaskError> errors = std::move(impl_->errors);
+    impl_->errors.clear();
     lock.unlock();
-    std::rethrow_exception(e);
+    // Claim order is nondeterministic across threads; report in grid order.
+    std::sort(errors.begin(), errors.end(),
+              [](const SweepTaskError& a, const SweepTaskError& b) {
+                return a.index < b.index;
+              });
+    throw SweepError(count, std::move(errors));
   }
 }
 

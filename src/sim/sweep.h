@@ -13,9 +13,10 @@
 //   * Per-task randomness must come from sweep_seed(base, index), never from
 //     shared RNG state, so the result of grid point i is bit-identical
 //     whether the sweep runs on 1 thread or 64.
-//   * Exceptions thrown by tasks are captured; the first one is rethrown on
-//     the calling thread after the sweep drains (remaining tasks are
-//     abandoned, not silently dropped mid-run).
+//   * Exceptions thrown by tasks are captured per task (index + message) and
+//     do NOT abandon the rest of the grid: every remaining task still runs,
+//     the pool stays alive, and a SweepError aggregating all failures is
+//     thrown on the calling thread after an orderly drain.
 //
 // The calling thread participates in the work loop, so SweepRunner with
 // `threads = 1` costs no context switches and runs tasks inline.
@@ -25,6 +26,8 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -33,6 +36,26 @@ namespace ccml {
 struct SweepOptions {
   /// Worker count; 0 means std::thread::hardware_concurrency() (at least 1).
   unsigned threads = 0;
+};
+
+/// One failed grid point.
+struct SweepTaskError {
+  std::size_t index = 0;   ///< grid index of the task that threw
+  std::string message;     ///< exception what() (or a placeholder)
+};
+
+/// Aggregate failure of a sweep: thrown after every task has either finished
+/// or failed, carrying one entry per failed grid point (ascending index).
+class SweepError : public std::runtime_error {
+ public:
+  SweepError(std::size_t total_tasks, std::vector<SweepTaskError> errors);
+
+  const std::vector<SweepTaskError>& errors() const { return errors_; }
+  std::size_t total_tasks() const { return total_tasks_; }
+
+ private:
+  std::vector<SweepTaskError> errors_;
+  std::size_t total_tasks_;
 };
 
 /// Stateless per-task seed derivation (splitmix64 over base ^ f(index)).
@@ -51,8 +74,9 @@ class SweepRunner {
   unsigned thread_count() const { return static_cast<unsigned>(pool_size_) + 1; }
 
   /// Runs task(0) ... task(count-1), distributing across the pool; returns
-  /// when all claimed tasks finished.  Rethrows the first task exception.
-  /// Not reentrant: one sweep at a time per runner.
+  /// when every task has finished.  Task exceptions are collected per grid
+  /// point (the remaining grid still runs) and rethrown as one SweepError
+  /// after the drain.  Not reentrant: one sweep at a time per runner.
   void run_indexed(std::size_t count,
                    const std::function<void(std::size_t)>& task);
 

@@ -1,6 +1,8 @@
 #include "workload/job.h"
 
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 #include "util/log.h"
 
@@ -11,11 +13,43 @@ TrainingJob::TrainingJob(Simulator& sim, Network& net, JobSpec spec)
       net_(net),
       spec_(std::move(spec)),
       jitter_rng_(spec_.jitter_seed + 0x5bd1e995u) {
-  assert(!spec_.paths.empty() && "a job needs at least one network path");
   phases_ = spec_.profile.iteration_phases();
-  assert(!phases_.empty());
+  validate_spec();
+}
+
+void TrainingJob::validate_spec() const {
+  const auto fail = [this](const std::string& what) {
+    throw std::invalid_argument("job '" + spec_.name + "': " + what);
+  };
+  if (spec_.paths.empty()) fail("needs at least one network path");
+  for (std::size_t i = 0; i < spec_.paths.size(); ++i) {
+    if (spec_.paths[i].route.links.empty()) {
+      fail("path " + std::to_string(i) + " has an empty route");
+    }
+  }
+  if (phases_.empty()) fail("profile yields no iteration phases");
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    if (phases_[i].compute.is_negative()) {
+      fail("phase " + std::to_string(i) + " has negative compute time");
+    }
+    if (phases_[i].comm < Bytes::zero()) {
+      fail("phase " + std::to_string(i) + " has negative comm bytes");
+    }
+  }
+  if (spec_.max_iterations < 0) fail("max_iterations must be >= 0");
+  if (spec_.weight <= 0.0) fail("weight must be positive");
+  if (spec_.compute_jitter.is_negative()) {
+    fail("compute_jitter must be non-negative");
+  }
   if (spec_.gate) {
-    assert(spec_.gate->period.is_positive());
+    const CommGate& g = *spec_.gate;
+    if (!g.period.is_positive()) fail("gate period must be positive");
+    if (g.window.is_negative()) fail("gate window must be non-negative");
+    if (g.window > g.period) {
+      fail("gate window exceeds the gate period (window " +
+           std::to_string(g.window.to_micros()) + " us > period " +
+           std::to_string(g.period.to_micros()) + " us)");
+    }
   }
 }
 
@@ -28,7 +62,94 @@ TrainingJob::~TrainingJob() {
 
 void TrainingJob::start() {
   assert(phase_ == Phase::kIdle);
-  sim_.schedule_at(spec_.start, [this] { begin_iteration(sim_.now()); });
+  pending_event_ = sim_.schedule_at(spec_.start, [this] {
+    pending_event_ = kInvalidEventId;
+    begin_iteration(sim_.now());
+  });
+}
+
+void TrainingJob::set_compute_scale(double scale) {
+  if (!(scale > 0.0)) {
+    throw std::invalid_argument("job '" + spec_.name +
+                                "': compute scale must be positive");
+  }
+  compute_scale_ = scale;
+}
+
+void TrainingJob::set_gate(std::optional<CommGate> gate) {
+  if (gate && !gate->period.is_positive()) {
+    throw std::invalid_argument("job '" + spec_.name +
+                                "': gate period must be positive");
+  }
+  spec_.gate = std::move(gate);
+  if (phase_ == Phase::kWaitingGate) {
+    // Re-evaluate the wait against the new schedule (or launch immediately
+    // when the gate was removed).
+    cancel_pending();
+    on_compute_done();
+  }
+}
+
+void TrainingJob::pause() {
+  if (phase_ == Phase::kPaused || phase_ == Phase::kDone) return;
+  paused_phase_ = phase_;
+  cancel_pending();
+  abort_live_flows();
+  phase_ = Phase::kPaused;
+}
+
+void TrainingJob::resume() {
+  if (phase_ != Phase::kPaused) return;
+  const TimePoint now = sim_.now();
+  switch (paused_phase_) {
+    case Phase::kIdle:
+      // Paused before the first iteration; re-arm the start timer.
+      phase_ = Phase::kIdle;
+      if (spec_.start > now) {
+        pending_event_ = sim_.schedule_at(spec_.start, [this] {
+          pending_event_ = kInvalidEventId;
+          begin_iteration(sim_.now());
+        });
+      } else {
+        begin_iteration(now);
+      }
+      break;
+    case Phase::kComputing:
+      // The interrupted compute phase restarts from its beginning.
+      begin_phase(now);
+      break;
+    case Phase::kWaitingGate:
+    case Phase::kCommunicating:
+      // Aborted transfers are requeued in full; the gate is re-evaluated.
+      on_compute_done();
+      break;
+    case Phase::kPaused:
+    case Phase::kDone:
+      assert(false && "unreachable paused phase");
+      break;
+  }
+}
+
+void TrainingJob::stop() {
+  if (phase_ == Phase::kDone) return;
+  cancel_pending();
+  abort_live_flows();
+  phase_ = Phase::kDone;
+}
+
+void TrainingJob::cancel_pending() {
+  if (pending_event_ != kInvalidEventId) {
+    sim_.cancel(pending_event_);
+    pending_event_ = kInvalidEventId;
+  }
+}
+
+void TrainingJob::abort_live_flows() {
+  for (const FlowId fid : live_flows_) {
+    net_.abort_flow(fid);
+  }
+  live_flows_.clear();
+  flows_in_flight_ = 0;
 }
 
 void TrainingJob::begin_iteration(TimePoint t) {
@@ -41,6 +162,7 @@ void TrainingJob::begin_iteration(TimePoint t) {
 void TrainingJob::begin_phase(TimePoint t) {
   phase_ = Phase::kComputing;
   Duration compute = phases_[phase_index_].compute;
+  if (compute_scale_ != 1.0) compute = compute * compute_scale_;
   if (spec_.compute_jitter.is_positive() && compute.is_positive()) {
     const double noise =
         jitter_rng_.gaussian(0.0, spec_.compute_jitter.to_seconds());
@@ -53,7 +175,10 @@ void TrainingJob::begin_phase(TimePoint t) {
     // from `t` so iteration accounting stays exact.
     TimePoint deadline = t + compute;
     if (deadline < sim_.now()) deadline = sim_.now();
-    sim_.schedule_at(deadline, [this] { on_compute_done(); });
+    pending_event_ = sim_.schedule_at(deadline, [this] {
+      pending_event_ = kInvalidEventId;
+      on_compute_done();
+    });
   } else {
     on_compute_done();
   }
@@ -82,7 +207,10 @@ void TrainingJob::on_compute_done() {
     }
     if (slot > now) {
       phase_ = Phase::kWaitingGate;
-      sim_.schedule_at(slot, [this] { launch_comm_phase(sim_.now()); });
+      pending_event_ = sim_.schedule_at(slot, [this] {
+        pending_event_ = kInvalidEventId;
+        launch_comm_phase(sim_.now());
+      });
       return;
     }
   }

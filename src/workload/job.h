@@ -76,6 +76,9 @@ struct JobSpec {
 
 class TrainingJob {
  public:
+  /// Throws std::invalid_argument when `spec` is malformed (empty path list,
+  /// non-positive gate period, gate window longer than the period, negative
+  /// jitter or phase durations, ...).
   TrainingJob(Simulator& sim, Network& net, JobSpec spec);
   TrainingJob(const TrainingJob&) = delete;
   TrainingJob& operator=(const TrainingJob&) = delete;
@@ -87,8 +90,44 @@ class TrainingJob {
   const JobSpec& spec() const { return spec_; }
   JobId id() const { return spec_.id; }
 
-  enum class Phase { kIdle, kComputing, kWaitingGate, kCommunicating, kDone };
+  enum class Phase {
+    kIdle,
+    kComputing,
+    kWaitingGate,
+    kCommunicating,
+    kPaused,
+    kDone,
+  };
   Phase phase() const { return phase_; }
+
+  // --- Fault-injection hooks (see src/faults) ------------------------------
+
+  /// Multiplies every compute-phase duration (persistent straggler onset —
+  /// distinct from the Gaussian `compute_jitter` noise).  Takes effect at
+  /// the next phase start; 1.0 restores nominal speed.
+  void set_compute_scale(double scale);
+  double compute_scale() const { return compute_scale_; }
+
+  /// Replaces the communication gate (solver re-solve after topology or job
+  /// set changed).  Consulted at the next compute->communicate transition;
+  /// a job currently waiting on the old gate re-evaluates against the new
+  /// one immediately.
+  void set_gate(std::optional<CommGate> gate);
+
+  /// Suspends the job mid-run: in-flight flows are aborted and pending phase
+  /// timers cancelled.  The iteration clock keeps running, so the outage
+  /// shows up in the disrupted iteration's duration.  No-op when done.
+  void pause();
+
+  /// Resumes a paused job: the interrupted phase restarts from its beginning
+  /// (aborted transfers are requeued in full).  No-op unless paused.
+  void resume();
+  bool paused() const { return phase_ == Phase::kPaused; }
+
+  /// Permanently tears the job down mid-run (departure): aborts flows,
+  /// cancels timers and marks the job done.  Completed iterations remain
+  /// observable.  Idempotent.
+  void stop();
 
   std::size_t completed_iterations() const { return iteration_times_.size(); }
 
@@ -110,6 +149,7 @@ class TrainingJob {
   std::function<void(std::size_t, Duration)> on_iteration;
 
  private:
+  void validate_spec() const;
   void begin_iteration(TimePoint t);
   void begin_phase(TimePoint t);
   void on_compute_done();
@@ -117,6 +157,8 @@ class TrainingJob {
   void on_flow_complete(TimePoint finish);
   void phase_done(TimePoint t);
   void finish_iteration(TimePoint t);
+  void abort_live_flows();
+  void cancel_pending();
 
   Simulator& sim_;
   Network& net_;
@@ -125,12 +167,17 @@ class TrainingJob {
   std::vector<PhaseSpec> phases_;       // normalized iteration structure
   std::size_t phase_index_ = 0;         // current phase within the iteration
   Phase phase_ = Phase::kIdle;
+  Phase paused_phase_ = Phase::kIdle;   // phase interrupted by pause()
   TimePoint iter_start_;
   std::size_t flows_in_flight_ = 0;
   TimePoint last_flow_finish_;
   std::vector<FlowId> live_flows_;
   std::vector<Duration> iteration_times_;
   std::vector<TimePoint> iteration_starts_;
+  double compute_scale_ = 1.0;
+  /// The one outstanding timer (start, compute deadline, or gate slot);
+  /// tracked so pause()/stop() can cancel it.
+  EventId pending_event_ = kInvalidEventId;
   bool destroyed_guard_ = false;
 };
 

@@ -139,5 +139,69 @@ TEST(SweepRunner, ParallelSweepBitIdenticalToSerial) {
   }
 }
 
+TEST(SweepRunner, AggregatesAllTaskErrorsSortedByIndex) {
+  SweepOptions opts;
+  opts.threads = 4;
+  SweepRunner pool(opts);
+  try {
+    pool.map<int>(10, [](std::size_t i) -> int {
+      if (i % 3 == 0) {
+        throw std::runtime_error("task " + std::to_string(i) + " boom");
+      }
+      return static_cast<int>(i);
+    });
+    FAIL() << "expected SweepError";
+  } catch (const SweepError& e) {
+    EXPECT_EQ(e.total_tasks(), 10u);
+    ASSERT_EQ(e.errors().size(), 4u);  // indices 0, 3, 6, 9
+    for (std::size_t k = 0; k + 1 < e.errors().size(); ++k) {
+      EXPECT_LT(e.errors()[k].index, e.errors()[k + 1].index);
+    }
+    EXPECT_EQ(e.errors()[0].index, 0u);
+    EXPECT_EQ(e.errors()[3].index, 9u);
+    EXPECT_NE(e.errors()[1].message.find("task 3 boom"), std::string::npos);
+    // The aggregate what() names the failure count.
+    EXPECT_NE(std::string(e.what()).find("4 of 10"), std::string::npos);
+  }
+}
+
+TEST(SweepRunner, PoolSurvivesTaskErrorsAndRunsAgain) {
+  SweepOptions opts;
+  opts.threads = 2;
+  SweepRunner pool(opts);
+  EXPECT_THROW(
+      pool.map<int>(4, [](std::size_t) -> int {
+        throw std::runtime_error("always fails");
+      }),
+      SweepError);
+  // The same pool must drain cleanly and remain usable.
+  const auto ok = pool.map<int>(4, [](std::size_t i) {
+    return static_cast<int>(i * i);
+  });
+  ASSERT_EQ(ok.size(), 4u);
+  EXPECT_EQ(ok[3], 9);
+}
+
+TEST(SweepRunner, SuccessfulTasksCompleteDespiteFailures) {
+  SweepOptions opts;
+  opts.threads = 3;
+  SweepRunner pool(opts);
+  std::atomic<int> completed{0};
+  try {
+    pool.map<int>(12, [&](std::size_t i) -> int {
+      if (i == 5) throw std::invalid_argument("bad grid point");
+      completed.fetch_add(1, std::memory_order_relaxed);
+      return static_cast<int>(i);
+    });
+    FAIL() << "expected SweepError";
+  } catch (const SweepError& e) {
+    ASSERT_EQ(e.errors().size(), 1u);
+    EXPECT_EQ(e.errors()[0].index, 5u);
+  }
+  // Every non-throwing task ran to completion; the error did not cancel the
+  // rest of the grid.
+  EXPECT_EQ(completed.load(), 11);
+}
+
 }  // namespace
 }  // namespace ccml

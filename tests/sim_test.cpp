@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -264,6 +266,50 @@ TEST(Simulator, CancelScheduledEvent) {
   EXPECT_TRUE(sim.cancel(id));
   sim.run_until(TimePoint::from_ns(100));
   EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorWatchdog, EventBudgetTripsOnSelfRescheduling) {
+  Simulator sim;
+  WatchdogConfig wd;
+  wd.max_events = 100;
+  sim.set_watchdog(wd, [] { return std::string("stuck: flow f0"); });
+  std::function<void()> respawn = [&] {
+    sim.schedule_after(Duration::nanos(1), respawn);
+  };
+  sim.schedule_at(TimePoint::from_ns(1), respawn);
+  try {
+    sim.run_for(Duration::seconds(1));
+    FAIL() << "expected SimulatorWedged";
+  } catch (const SimulatorWedged& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("watchdog"), std::string::npos) << what;
+    EXPECT_NE(what.find("stuck: flow f0"), std::string::npos) << what;
+  }
+  EXPECT_GE(sim.events_executed(), 100u);
+}
+
+TEST(SimulatorWatchdog, SimTimeBudgetTrips) {
+  Simulator sim;
+  WatchdogConfig wd;
+  wd.max_sim_time = Duration::millis(1);
+  sim.set_watchdog(wd);
+  sim.schedule_at(TimePoint::origin() + Duration::seconds(10), [] {});
+  EXPECT_THROW(sim.run_until_idle(), SimulatorWedged);
+}
+
+TEST(SimulatorWatchdog, QuietRunStaysUnderBudget) {
+  Simulator sim;
+  WatchdogConfig wd;
+  wd.max_events = 100;
+  wd.max_sim_time = Duration::seconds(1);
+  sim.set_watchdog(wd);
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(TimePoint::from_ns(i + 1), [&] { ++fired; });
+  }
+  EXPECT_NO_THROW(sim.run_for(Duration::millis(1)));
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(sim.events_executed(), 10u);
 }
 
 }  // namespace

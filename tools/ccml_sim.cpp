@@ -5,6 +5,7 @@
 //   profile                  profile one job in isolation
 //   solve                    run the compatibility solver on job profiles
 //   scenario                 simulate jobs sharing a dumbbell bottleneck
+//   faults                   scenario + scripted faults and recovery report
 //
 // Examples:
 //   ccml_sim zoo
@@ -54,6 +55,19 @@ commands:
                               across threads; results print in grid order
        params: timer_us | rai_mbps | start_ms (applied to the first job)
                bottleneck_gbps (applied to the fabric)
+  faults --job K=V[,K=V...] [--job ...] [--policy P] [--seconds S]
+         [--seed N] [--flap K=V,...] [--brownout K=V,...]
+         [--straggler K=V,...] [--pause K=V,...] [--depart K=V,...]
+         [--arrive K=V,...]
+                              scenario with scripted faults; reports per-job
+                              stats, the applied events and recovery metrics
+       flap keys:      at_ms, for_ms, [link]   (default link: the bottleneck
+                                               cable swL->swR, both ways)
+       brownout keys:  at_ms, for_ms, factor, [link]
+       straggler keys: at_ms, for_ms, job, slowdown
+       pause keys:     at_ms, for_ms, job
+       depart keys:    at_ms, job
+       arrive keys:    at_ms, job
   policies: maxmin | wfq | priority | dcqcn | dcqcn-adaptive | timely
 )");
   std::exit(2);
@@ -258,6 +272,94 @@ int cmd_scenario(const std::vector<std::string>& job_args,
   return 0;
 }
 
+FaultPlan parse_fault_plan(
+    const std::vector<std::pair<std::string, std::string>>& fault_args,
+    std::size_t job_count, const std::map<std::string, std::string>& opts) {
+  FaultPlan plan;
+  if (opts.contains("seed")) {
+    plan.seed = static_cast<std::uint64_t>(std::atoll(opts.at("seed").c_str()));
+  }
+  const auto at = [](const std::map<std::string, std::string>& kv) {
+    return TimePoint::origin() + Duration::from_millis_f(want_num(kv, "at_ms"));
+  };
+  const auto job_id = [&](const std::map<std::string, std::string>& kv) {
+    const int j = static_cast<int>(want_num(kv, "job"));
+    if (j < 0 || static_cast<std::size_t>(j) >= job_count) {
+      usage(("fault references job " + std::to_string(j) + ", but only " +
+             std::to_string(job_count) + " jobs are defined")
+                .c_str());
+    }
+    return JobId{j};
+  };
+  for (const auto& [kind, arg] : fault_args) {
+    const auto kv = parse_kv(arg);
+    const std::string link = want_str(kv, "link", "swL->swR");
+    if (kind == "flap") {
+      plan.flap(at(kv), Duration::from_millis_f(want_num(kv, "for_ms")), link);
+    } else if (kind == "brownout") {
+      plan.brownout(at(kv), Duration::from_millis_f(want_num(kv, "for_ms")),
+                    link, want_num(kv, "factor"));
+    } else if (kind == "straggler") {
+      plan.straggler(at(kv), Duration::from_millis_f(want_num(kv, "for_ms")),
+                     job_id(kv), want_num(kv, "slowdown", 1.5));
+    } else if (kind == "pause") {
+      plan.pause(at(kv), Duration::from_millis_f(want_num(kv, "for_ms")),
+                 job_id(kv));
+    } else if (kind == "depart") {
+      plan.depart(at(kv), job_id(kv));
+    } else if (kind == "arrive") {
+      plan.arrive(at(kv), job_id(kv));
+    }
+  }
+  return plan;
+}
+
+int cmd_faults(
+    const std::vector<std::string>& job_args,
+    const std::vector<std::pair<std::string, std::string>>& fault_args,
+    const std::map<std::string, std::string>& opts) {
+  if (job_args.empty()) usage("faults needs at least one --job");
+  if (fault_args.empty()) usage("faults needs at least one fault flag");
+  const std::vector<ScenarioJob> jobs = parse_scenario_jobs(job_args);
+  ScenarioConfig cfg;
+  if (opts.contains("policy")) {
+    cfg.policy = parse_policy_kind(opts.at("policy"));
+  }
+  cfg.duration =
+      Duration::seconds(opts.contains("seconds")
+                            ? std::atoi(opts.at("seconds").c_str())
+                            : 20);
+  cfg.faults = parse_fault_plan(fault_args, jobs.size(), opts);
+
+  const auto result = run_dumbbell_scenario(jobs, cfg);
+
+  std::printf("policy %s, %zu jobs, %.0f s simulated, %zu fault events:\n\n",
+              to_string(cfg.policy), jobs.size(), cfg.duration.to_seconds(),
+              cfg.faults.events.size());
+  TextTable table({"job", "iterations", "mean ms", "median ms", "p95 ms"});
+  for (const auto& j : result.jobs) {
+    table.add_row({j.name, std::to_string(j.iterations),
+                   TextTable::num(j.mean_ms, 1), TextTable::num(j.median_ms, 1),
+                   TextTable::num(j.p95_ms, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("applied events:\n");
+  for (const FaultEvent& ev : result.faults_applied) {
+    std::printf("  %8.1f ms  %-13s %s\n",
+                (ev.at - TimePoint::origin()).to_millis(), to_string(ev.kind),
+                ev.is_link_event()
+                    ? ev.link_name.c_str()
+                    : jobs[static_cast<std::size_t>(ev.job.value)]
+                          .name.c_str());
+  }
+  if (result.recovery) {
+    std::printf("\n%s", result.recovery->summary().c_str());
+    return result.recovery->all_converged() ? 0 : 1;
+  }
+  return 0;
+}
+
 int cmd_sweep(const std::vector<std::string>& job_args,
               const std::map<std::string, std::string>& opts) {
   if (job_args.empty()) usage("sweep needs at least one --job");
@@ -330,6 +432,7 @@ int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
   std::vector<std::string> job_args;
+  std::vector<std::pair<std::string, std::string>> fault_args;
   std::map<std::string, std::string> opts;
   for (int i = 2; i < argc; ++i) {
     std::string a = argv[i];
@@ -339,6 +442,10 @@ int main(int argc, char** argv) {
     const std::string value = argv[++i];
     if (a == "job") {
       job_args.push_back(value);
+    } else if (a == "flap" || a == "brownout" || a == "straggler" ||
+               a == "pause" || a == "depart" || a == "arrive") {
+      // Fault flags repeat; order within the command line is preserved.
+      fault_args.emplace_back(a, value);
     } else {
       opts[a] = value;
     }
@@ -349,6 +456,7 @@ int main(int argc, char** argv) {
     if (cmd == "solve") return cmd_solve(job_args, opts);
     if (cmd == "scenario") return cmd_scenario(job_args, opts);
     if (cmd == "sweep") return cmd_sweep(job_args, opts);
+    if (cmd == "faults") return cmd_faults(job_args, fault_args, opts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
