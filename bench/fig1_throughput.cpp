@@ -38,12 +38,13 @@ Observed run(bool unfair) {
   cfg.policy = PolicyKind::kDcqcn;
   cfg.duration = Duration::millis(1200);  // ~4 iterations
   cfg.warmup_iterations = 0;
-  auto recorder = std::make_shared<LinkThroughputRecorder>(
-      LinkId{0}, Duration::millis(5));
-  cfg.instrument = [recorder](Network& net) { recorder->attach(net); };
+  TraceBus bus;
+  LinkThroughputRecorder recorder(LinkId{0}, Duration::millis(5));
+  recorder.attach(bus);
+  cfg.trace = &bus;
   Observed out;
   out.result = run_dumbbell_scenario(jobs, cfg);
-  out.samples = recorder->samples();
+  out.samples = recorder.samples();
   return out;
 }
 

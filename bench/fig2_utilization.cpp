@@ -26,9 +26,10 @@ void run_and_plot(bool unfair) {
   cfg.policy = PolicyKind::kDcqcn;
   cfg.duration = Duration::millis(5600);  // ~4-5 iterations
   cfg.warmup_iterations = 0;
-  auto recorder = std::make_shared<LinkThroughputRecorder>(
-      LinkId{0}, Duration::millis(10));
-  cfg.instrument = [recorder](Network& net) { recorder->attach(net); };
+  TraceBus bus;
+  LinkThroughputRecorder recorder(LinkId{0}, Duration::millis(10));
+  recorder.attach(bus);
+  cfg.trace = &bus;
   const auto result = run_dumbbell_scenario(jobs, cfg);
 
   std::printf("---- Fig 2%c: %s ----\n", unfair ? 'b' : 'a',
@@ -36,7 +37,7 @@ void run_and_plot(bool unfair) {
                      : "fair bandwidth allocation");
   Series s1{"J1 share of link", {}}, s2{"J2 share of link", {}};
   const double cap = scenario_goodput().to_gbps();
-  for (const auto& s : recorder->samples()) {
+  for (const auto& s : recorder.samples()) {
     const double t = (s.time - TimePoint::origin()).to_millis() / 1000.0;
     const auto i1 = s.per_job.find(JobId{0});
     const auto i2 = s.per_job.find(JobId{1});
@@ -53,7 +54,7 @@ void run_and_plot(bool unfair) {
   // Quantify the sliding: fraction of busy time with both jobs active, per
   // 1-second window.
   std::printf("contention ratio (both jobs sending / any job sending):\n");
-  const auto& samples = recorder->samples();
+  const auto& samples = recorder.samples();
   const double window_s = 1.0;
   double t0 = 0;
   int both = 0, any = 0;

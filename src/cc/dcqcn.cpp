@@ -5,8 +5,31 @@
 #include <cmath>
 
 #include "net/network.h"
+#include "obs/trace_bus.h"
 
 namespace ccml {
+
+namespace {
+
+// Kept out of line so the per-flow rate loop stays tight when tracing is
+// off — inlining the event construction into update_rates costs measurable
+// time even when the branch never fires.
+[[gnu::noinline]] void emit_rate_event(TraceBus& bus, Counter& counter,
+                                       TraceEventKind kind, TimePoint now,
+                                       const Flow& flow, double rate_bps,
+                                       double value2) {
+  TraceEvent ev;
+  ev.time = now;
+  ev.kind = kind;
+  ev.job = flow.spec.job;
+  ev.flow = flow.id;
+  ev.value = rate_bps;
+  ev.value2 = value2;
+  bus.emit(ev);
+  counter.add();
+}
+
+}  // namespace
 
 DcqcnPolicy::DcqcnPolicy(DcqcnConfig config)
     : config_(config), rng_(config.seed) {
@@ -100,9 +123,15 @@ void DcqcnPolicy::apply_increase(FlowState& s, const Flow& flow) {
   s.rt = std::min(s.rt, s.line_rate);
 }
 
-void DcqcnPolicy::update_rates(Network& net, TimePoint /*now*/, Duration dt) {
+void DcqcnPolicy::update_rates(Network& net, TimePoint now, Duration dt) {
   if (links_.size() < net.topology().link_count()) {
     links_.resize(net.topology().link_count());
+  }
+  TraceBus* bus = net.trace_bus();
+  if (bus != bus_cache_) {
+    bus_cache_ = bus;
+    c_cnp_ = bus ? &bus->counter("dcqcn.cnp") : nullptr;
+    c_timer_fires_ = bus ? &bus->counter("dcqcn.timer_fires") : nullptr;
   }
 
   // --- CP: integrate egress queues and refresh marking probabilities. -----
@@ -148,6 +177,16 @@ void DcqcnPolicy::update_rates(Network& net, TimePoint /*now*/, Duration dt) {
   queues_clear_ = queues_clear;
 
   // --- NP + RP: per-flow CNP arrivals and rate machine updates. -----------
+  if (bus != nullptr) {
+    rp_pass<true>(net, now, dt, any_marked);
+  } else {
+    rp_pass<false>(net, now, dt, any_marked);
+  }
+}
+
+template <bool Traced>
+void DcqcnPolicy::rp_pass(Network& net, TimePoint now, Duration dt,
+                          bool any_marked) {
   for (const std::uint32_t slot : net.active_slots()) {
     Flow& flow = net.flow_at(slot);
     FlowState& s = state_[slot];
@@ -190,6 +229,10 @@ void DcqcnPolicy::update_rates(Network& net, TimePoint /*now*/, Duration dt) {
     }
     if (cnp) {
       apply_decrease(s);
+      if constexpr (Traced) {
+        emit_rate_event(*bus_cache_, *c_cnp_, TraceEventKind::kRateDecrease,
+                        now, flow, s.rc.bits_per_sec(), s.alpha);
+      }
     } else {
       // Alpha decay while uncongested.
       while (s.alpha_clock >= config_.alpha_update) {
@@ -203,6 +246,11 @@ void DcqcnPolicy::update_rates(Network& net, TimePoint /*now*/, Duration dt) {
         s.time_since_increase -= s.timer;
         ++s.timer_rounds;
         apply_increase(s, flow);
+        if constexpr (Traced) {
+          emit_rate_event(*bus_cache_, *c_timer_fires_,
+                          TraceEventKind::kRateTimer, now, flow,
+                          s.rc.bits_per_sec(), s.timer_rounds);
+        }
       }
       while (s.bytes_since_increase >= config_.byte_counter) {
         s.bytes_since_increase -= config_.byte_counter;

@@ -35,6 +35,9 @@
 
 namespace ccml {
 
+class Counter;
+class TraceBus;
+
 struct DcqcnConfig {
   // CP (switch) marking.
   Bytes kmin = Bytes::kilo(50);
@@ -130,6 +133,13 @@ class DcqcnPolicy : public BandwidthPolicy {
 
   void apply_decrease(FlowState& s);
   void apply_increase(FlowState& s, const Flow& flow);
+  /// NP + RP pass over the active flows.  Compiled twice: the Traced
+  /// instantiation emits TraceEvents through `bus_cache_`, the untraced one
+  /// contains no trace code at all so the no-sink hot loop stays identical
+  /// to an uninstrumented build (even a never-taken branch around an emit
+  /// call costs measurable time here).
+  template <bool Traced>
+  void rp_pass(Network& net, TimePoint now, Duration dt, bool any_marked);
   /// RED/ECN marking probability for a queue of `queue_bytes` bytes, using
   /// the slope precomputed in the constructor.
   double red_probability(double queue_bytes) const {
@@ -153,6 +163,11 @@ class DcqcnPolicy : public BandwidthPolicy {
   std::uint64_t step_stamp_ = 0;
   std::vector<std::uint32_t> wet_links_;  // links with backlog after the
   std::vector<std::uint32_t> scratch_wet_;  // previous pass (+ scratch)
+
+  // Cached per-bus counter handles (re-resolved when the bound bus changes).
+  TraceBus* bus_cache_ = nullptr;
+  Counter* c_cnp_ = nullptr;
+  Counter* c_timer_fires_ = nullptr;
 };
 
 }  // namespace ccml

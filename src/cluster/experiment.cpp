@@ -6,7 +6,9 @@
 #include <numeric>
 
 #include "faults/injector.h"
+#include "obs/trace_bus.h"
 #include "sim/simulator.h"
+#include "telemetry/recorders.h"
 #include "util/stats.h"
 #include "workload/job.h"
 #include "workload/profiler.h"
@@ -63,6 +65,14 @@ ExperimentResult run_cluster_experiment(const Topology& topo,
   Simulator sim;
   Network net(topo, make_policy(config.policy, config.dcqcn), config.net);
   net.attach(sim);
+  std::unique_ptr<TraceThroughputSampler> sampler;
+  if (config.trace != nullptr) {
+    for (std::size_t j = 0; j < requests.size(); ++j) {
+      config.trace->register_job(JobId{static_cast<std::int32_t>(j)},
+                                 requests[j].name);
+    }
+    sampler = bind_trace_bus(*config.trace, net);
+  }
   const Router router(topo);
 
   // Host NIC effective goodput, for solo baselines.
@@ -103,6 +113,15 @@ ExperimentResult run_cluster_experiment(const Topology& topo,
         profiles.push_back(requests[j].comm_profile);
       }
       const SolverResult sr = solver.solve(profiles);
+      if (config.trace != nullptr) {
+        TraceEvent ev;
+        ev.time = epoch;
+        ev.kind = TraceEventKind::kSolve;
+        ev.value = sr.compatible ? 1.0 : 0.0;
+        ev.value2 = sr.violation_fraction;
+        config.trace->emit(ev);
+        config.trace->counter("solver.solves").add();
+      }
       // Gating an incompatible group is actively harmful: contention
       // stretches a communication phase past its slot, the job waits a full
       // period for the next one, and iteration times balloon.  Precise flow
@@ -214,6 +233,7 @@ ExperimentResult run_cluster_experiment(const Topology& topo,
   for (auto& job : jobs) job->start();
   if (injector) injector->arm();
   sim.run_for(config.run_time);
+  net.flush_observers();
   if (injector) result.faults_applied = injector->applied();
 
   for (std::size_t j = 0, placed_idx = 0; j < requests.size(); ++j) {

@@ -38,6 +38,10 @@ struct ExperimentConfig {
   /// Abort-wedged-run guards; zero fields get defaults scaled to `run_time`
   /// whenever a fault plan is present.
   WatchdogConfig watchdog;
+  /// Optional observability bus (src/obs); same contract as
+  /// ScenarioConfig::trace — when set, the run publishes the full TraceEvent
+  /// stream to the bus's sinks and registers request names for display.
+  TraceBus* trace = nullptr;
 };
 
 struct JobOutcome {

@@ -6,7 +6,9 @@
 #include "core/schedule.h"
 #include "faults/injector.h"
 #include "net/routing.h"
+#include "obs/trace_bus.h"
 #include "sim/simulator.h"
+#include "telemetry/recorders.h"
 #include "workload/profiler.h"
 
 namespace ccml {
@@ -99,6 +101,14 @@ ScenarioResult run_dumbbell_scenario(const std::vector<ScenarioJob>& setups,
   ncfg.goodput_factor = config.goodput_factor;
   Network net(topo, make_policy(config.policy, config.dcqcn), ncfg);
   net.attach(sim);
+  std::unique_ptr<TraceThroughputSampler> sampler;
+  if (config.trace != nullptr) {
+    for (std::size_t i = 0; i < setups.size(); ++i) {
+      config.trace->register_job(JobId{static_cast<std::int32_t>(i)},
+                                 setups[i].name);
+    }
+    sampler = bind_trace_bus(*config.trace, net);
+  }
   if (config.instrument) config.instrument(net);
   const Router router(topo);
   const auto hosts = topo.hosts();
@@ -158,6 +168,15 @@ ScenarioResult run_dumbbell_scenario(const std::vector<ScenarioJob>& setups,
     }
     CompatibilitySolver solver(config.solver);
     const SolverResult sr = solver.solve(profiles);
+    if (config.trace != nullptr) {
+      TraceEvent ev;
+      ev.time = sim.now();
+      ev.kind = TraceEventKind::kSolve;
+      ev.value = sr.compatible ? 1.0 : 0.0;
+      ev.value2 = sr.violation_fraction;
+      config.trace->emit(ev);
+      config.trace->counter("solver.solves").add();
+    }
     if (!sr.compatible) {
       clear_all();
       return;
@@ -214,6 +233,7 @@ ScenarioResult run_dumbbell_scenario(const std::vector<ScenarioJob>& setups,
   for (auto& j : jobs) j->start();
   if (injector) injector->arm();
   sim.run_for(config.duration);
+  net.flush_observers();
 
   ScenarioResult result;
   for (std::size_t i = 0; i < jobs.size(); ++i) {

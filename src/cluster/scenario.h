@@ -45,8 +45,17 @@ struct ScenarioConfig {
   Rate nic = Rate::gbps(50);
   Rate bottleneck = Rate::gbps(50);
   double goodput_factor = 0.85;
-  /// Optional observer attached to the network before the run (telemetry).
+  /// Optional observer attached to the network before the run (ad-hoc
+  /// telemetry probes; see also `trace` for the structured path).
   std::function<void(Network&)> instrument;
+
+  /// Optional observability bus (src/obs).  When set, the run publishes the
+  /// full TraceEvent stream — flow lifecycles, DCQCN rate events, job
+  /// phases/iterations, faults, solver runs — to the bus's sinks, registers
+  /// job names for display, attaches a throughput sampler when any sink
+  /// declares a sample cadence, and flushes trailing samples at run end.
+  /// Quiescence-compatible sinks keep the kernel's idle fast-forward.
+  TraceBus* trace = nullptr;
 
   /// Scripted faults to inject; empty = fault-free run.  The §2 bottleneck
   /// cable is named "swL->swR" in the dumbbell topology.

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/trace_bus.h"
+
 namespace ccml {
 
 FaultInjector::FaultInjector(Simulator& sim, Network& net, FaultPlan plan)
@@ -146,6 +148,22 @@ void FaultInjector::apply(const FaultEvent& ev) {
       break;
   }
   applied_.push_back(executed);
+  if (TraceBus* bus = net_.trace_bus()) {
+    const bool recovers = ev.kind == FaultKind::kLinkUp ||
+                          ev.kind == FaultKind::kStragglerOff ||
+                          ev.kind == FaultKind::kJobResume ||
+                          ev.kind == FaultKind::kJobArrive;
+    TraceEvent tev;
+    tev.time = sim_.now();
+    tev.kind = recovers ? TraceEventKind::kFaultRecover
+                        : TraceEventKind::kFaultApply;
+    tev.job = executed.is_job_event() ? executed.job : JobId{};
+    tev.link = executed.is_link_event() ? executed.link : LinkId{};
+    tev.value = executed.factor;
+    tev.detail = to_string(executed.kind);
+    bus->emit(tev);
+    bus->counter(recovers ? "faults.recovered" : "faults.applied").add();
+  }
   if (executed.is_link_event()) {
     if (on_topology_change) on_topology_change(executed);
   } else {

@@ -3,9 +3,34 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace_bus.h"
 #include "util/log.h"
 
 namespace ccml {
+
+namespace {
+
+TraceEvent flow_event(TraceEventKind kind, TimePoint t, const Flow& flow) {
+  TraceEvent ev;
+  ev.time = t;
+  ev.kind = kind;
+  ev.job = flow.spec.job;
+  ev.flow = flow.id;
+  return ev;
+}
+
+// Out of line so the completion loop in step() stays tight when tracing is
+// off (the event construction otherwise inflates the hot function).
+[[gnu::noinline]] void emit_finish_event(TraceBus& bus, Counter& counter,
+                                         TimePoint finish, const Flow& flow) {
+  TraceEvent ev = flow_event(TraceEventKind::kFlowFinish, finish, flow);
+  ev.value = flow.spec.size.count();
+  ev.value2 = (finish - flow.start_time).to_millis();
+  bus.emit(ev);
+  counter.add();
+}
+
+}  // namespace
 
 Network::Network(Topology topology, std::unique_ptr<BandwidthPolicy> policy,
                  NetworkConfig config)
@@ -30,7 +55,45 @@ Network::Network(Topology topology, std::unique_ptr<BandwidthPolicy> policy,
 void Network::attach(Simulator& sim) {
   assert(sim_ == nullptr && "attach() must be called once");
   sim_ = &sim;
+  anchor_ = sim.now();
+  last_step_ = anchor_;
   sim.add_stepper(*this, config_.step);
+}
+
+void Network::add_observer(NetObserver& obs) {
+  if (observers_.empty() && sim_ != nullptr) {
+    // Align the observer clock to the last grid tick at or before now, so
+    // gap arithmetic stays exact for observers attached mid-run.  (When
+    // observers already exist, realigning would swallow their pending gap.)
+    const std::int64_t k = (sim_->now() - anchor_).ns() / config_.step.ns();
+    const TimePoint tick = anchor_ + config_.step * k;
+    if (tick > last_step_) last_step_ = tick;
+  }
+  observers_.push_back(&obs);
+  if (!obs.quiescence_compatible()) ++blocking_observers_;
+}
+
+void Network::flush_observers() {
+  if (observers_.empty() || sim_ == nullptr) return;
+  const std::int64_t k = (sim_->now() - anchor_).ns() / config_.step.ns();
+  const TimePoint tick = anchor_ + config_.step * k;
+  if (tick > last_step_) {
+    for (NetObserver* obs : observers_) {
+      obs->on_idle_gap(*this, last_step_, tick);
+    }
+    last_step_ = tick;
+  }
+}
+
+void Network::set_trace_bus(TraceBus* bus) {
+  bus_ = bus;
+  if (bus_ != nullptr) {
+    c_flows_started_ = &bus_->counter("net.flows_started");
+    c_flows_finished_ = &bus_->counter("net.flows_finished");
+    c_flows_aborted_ = &bus_->counter("net.flows_aborted");
+    c_flows_parked_ = &bus_->counter("net.flows_parked");
+    c_reroutes_ = &bus_->counter("net.reroutes");
+  }
 }
 
 FlowId Network::start_flow(FlowSpec spec, FlowCompletionFn on_complete) {
@@ -54,17 +117,36 @@ FlowId Network::start_flow(FlowSpec spec, FlowCompletionFn on_complete) {
   slab_[slot].on_complete = std::move(on_complete);
   slab_[slot].parked = false;
   index_.emplace(id.value, slot);
+  bool rerouted = false;
   if (route_severed(flow.spec.route) && reroute_) {
     Route alt = reroute_(flow);
-    if (!alt.empty() && !route_severed(alt)) flow.spec.route = std::move(alt);
+    if (!alt.empty() && !route_severed(alt)) {
+      flow.spec.route = std::move(alt);
+      rerouted = true;
+    }
   }
-  if (route_severed(flow.spec.route)) {
+  const bool parked = route_severed(flow.spec.route);
+  if (parked) {
     // No usable path right now: park until a link-up requeues the flow.
     slab_[slot].parked = true;
     // Ids are handed out monotonically, so appending keeps the list sorted.
     parked_ids_.push_back(id);
   } else {
     activate_flow(id, slot);
+  }
+  if (bus_ != nullptr) {
+    TraceEvent ev = flow_event(TraceEventKind::kFlowStart, sim_->now(), flow);
+    ev.value = flow.spec.size.count();
+    bus_->emit(ev);
+    c_flows_started_->add();
+    if (rerouted) {
+      bus_->emit(flow_event(TraceEventKind::kFlowReroute, sim_->now(), flow));
+      c_reroutes_->add();
+    }
+    if (parked) {
+      bus_->emit(flow_event(TraceEventKind::kFlowPark, sim_->now(), flow));
+      c_flows_parked_->add();
+    }
   }
   return id;
 }
@@ -123,15 +205,21 @@ void Network::park_flow(FlowId id, std::uint32_t slot) {
   // The policy drops its per-flow state; the eventual requeue looks like a
   // fresh flow start (an RDMA connection re-established after path loss).
   policy_->on_flow_finished(*this, flow);
+  if (bus_ != nullptr) {
+    bus_->emit(flow_event(TraceEventKind::kFlowPark, sim_->now(), flow));
+    c_flows_parked_->add();
+  }
 }
 
 bool Network::try_unpark_flow(FlowId id, std::uint32_t slot) {
   Flow& flow = slab_[slot].flow;
+  bool rerouted = false;
   if (route_severed(flow.spec.route)) {
     if (!reroute_) return false;
     Route alt = reroute_(flow);
     if (alt.empty() || route_severed(alt)) return false;
     flow.spec.route = std::move(alt);
+    rerouted = true;
   }
   const auto pos =
       std::lower_bound(parked_ids_.begin(), parked_ids_.end(), id);
@@ -139,6 +227,13 @@ bool Network::try_unpark_flow(FlowId id, std::uint32_t slot) {
   parked_ids_.erase(pos);
   slab_[slot].parked = false;
   activate_flow(id, slot);
+  if (bus_ != nullptr) {
+    bus_->emit(flow_event(TraceEventKind::kFlowUnpark, sim_->now(), flow));
+    if (rerouted) {
+      bus_->emit(flow_event(TraceEventKind::kFlowReroute, sim_->now(), flow));
+      c_reroutes_->add();
+    }
+  }
   return true;
 }
 
@@ -211,6 +306,11 @@ void Network::abort_flow(FlowId id) {
   const Slot extracted = extract_flow(id, it->second);
   // A parked flow's policy state was already dropped when it parked.
   if (!extracted.parked) policy_->on_flow_finished(*this, extracted.flow);
+  if (bus_ != nullptr) {
+    bus_->emit(
+        flow_event(TraceEventKind::kFlowAbort, sim_->now(), extracted.flow));
+    c_flows_aborted_->add();
+  }
 }
 
 const Flow& Network::flow(FlowId id) const {
@@ -245,6 +345,17 @@ double Network::link_utilization(LinkId link) const {
 }
 
 void Network::step(TimePoint now, Duration dt) {
+  if (!observers_.empty()) {
+    // If the kernel fast-forwarded an idle stretch, the grid ticks in
+    // (last_step_, now - dt] never executed; report them before this step.
+    const TimePoint prev = now - dt;
+    if (prev > last_step_) {
+      for (NetObserver* obs : observers_) {
+        obs->on_idle_gap(*this, last_step_, prev);
+      }
+    }
+  }
+
   policy_->update_rates(*this, now, dt);
 
   // Integrate byte progress and collect completions with interpolated
@@ -282,10 +393,16 @@ void Network::step(TimePoint now, Duration dt) {
     if (it == index_.end()) continue;
     const Slot extracted = extract_flow(d.id, it->second);
     policy_->on_flow_finished(*this, extracted.flow);
+    if (bus_ != nullptr) [[unlikely]] {
+      emit_finish_event(*bus_, *c_flows_finished_, d.finish, extracted.flow);
+    }
     if (extracted.on_complete) extracted.on_complete(extracted.flow, d.finish);
   }
 
-  for (const auto& obs : observers_) obs(*this, now);
+  if (!observers_.empty()) {
+    for (NetObserver* obs : observers_) obs->on_step(*this, now);
+    last_step_ = now;
+  }
 }
 
 }  // namespace ccml

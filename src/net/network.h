@@ -37,6 +37,45 @@
 
 namespace ccml {
 
+class Counter;
+class Network;
+class TraceBus;
+
+/// Observer of the network's fluid steps (telemetry hooks).
+///
+/// The contract is quiescence-aware.  The kernel skips fluid steps entirely
+/// while the network is idle (no active flows, policy queues drained), and
+/// during such a gap the network state is constant by definition: every
+/// link carries zero flows and zero queue.  An observer whose output is a
+/// pure function of that (constant) state can therefore reconstruct its
+/// skipped samples exactly; it declares `quiescence_compatible()` and
+/// receives one `on_idle_gap()` call describing the skipped grid ticks
+/// before the next real step.  Observers that do NOT declare compatibility
+/// force the network to step through idle stretches (the pre-bus behavior,
+/// still available for ad-hoc probes).
+class NetObserver {
+ public:
+  virtual ~NetObserver() = default;
+
+  /// Called after each executed fluid step.
+  virtual void on_step(const Network& net, TimePoint now) = 0;
+
+  /// Called when grid ticks were skipped by an idle fast-forward: the steps
+  /// at `from + k*dt` for k = 1 .. (to-from)/dt did not execute, and the
+  /// network state over (from, to] was the idle state (no flows, zero
+  /// rates, drained queues).  Fired before the first post-gap on_step(),
+  /// and by Network::flush_observers() for a trailing gap at run end.
+  virtual void on_idle_gap(const Network& net, TimePoint from, TimePoint to) {
+    (void)net;
+    (void)from;
+    (void)to;
+  }
+
+  /// True when the observer's output is identical whether idle stretches
+  /// are stepped through or reported via on_idle_gap().
+  virtual bool quiescence_compatible() const { return false; }
+};
+
 struct NetworkConfig {
   /// Fraction of raw link capacity usable as application goodput (headers,
   /// RDMA overheads, PFC pauses).  The paper's 50 Gbps NICs delivered
@@ -162,19 +201,32 @@ class Network : public Stepper {
   /// Utilization of `link` relative to effective capacity, in [0, ~1+].
   double link_utilization(LinkId link) const;
 
-  /// Observer invoked after each fluid step (telemetry hooks).
-  using StepObserver = std::function<void(const Network&, TimePoint)>;
-  void add_step_observer(StepObserver obs) {
-    observers_.push_back(std::move(obs));
-  }
+  /// Registers a step observer (non-owning; must outlive the run).  The
+  /// first registration aligns the observer clock onto the step grid so
+  /// idle-gap reporting stays exact for mid-run attachment.
+  void add_observer(NetObserver& obs);
+
+  /// Reports the trailing idle gap — grid ticks between the last executed
+  /// step and the simulator clock — to every observer.  Call after the run
+  /// (the scenario/experiment harnesses do); idempotent.
+  void flush_observers();
+
+  /// Binds the observability bus this network (and the policy and jobs
+  /// driving it) publishes TraceEvents to; nullptr detaches.  Producers
+  /// skip all event construction while no bus is bound, so un-instrumented
+  /// runs pay nothing.
+  void set_trace_bus(TraceBus* bus);
+  TraceBus* trace_bus() const { return bus_; }
 
   // Stepper:
   void step(TimePoint now, Duration dt) override;
   /// The fluid step is an identity when no flows are active, the policy has
-  /// no decaying state (queues drained) and no telemetry observer samples
-  /// per-step; the kernel then jumps straight between discrete events.
+  /// no decaying state (queues drained) and every attached observer is
+  /// quiescence-compatible; the kernel then jumps straight between discrete
+  /// events and observers learn about the gap via on_idle_gap().
   bool idle() const override {
-    return active_ids_.empty() && observers_.empty() && policy_->quiescent();
+    return active_ids_.empty() && blocking_observers_ == 0 &&
+           policy_->quiescent();
   }
 
  private:
@@ -225,7 +277,19 @@ class Network : public Stepper {
   std::vector<std::vector<std::uint32_t>> link_slots_;   // parallel lists
   std::vector<LinkId> used_links_;  // links with >=1 active flow, sorted
   std::vector<Pending> done_;  // scratch reused across steps
-  std::vector<StepObserver> observers_;
+
+  std::vector<NetObserver*> observers_;
+  int blocking_observers_ = 0;  // observers that are not quiescence-compatible
+  TimePoint last_step_;  // last grid tick observers were told about
+  TimePoint anchor_;     // the step grid's origin (set at attach)
+
+  TraceBus* bus_ = nullptr;
+  Counter* c_flows_started_ = nullptr;
+  Counter* c_flows_finished_ = nullptr;
+  Counter* c_flows_aborted_ = nullptr;
+  Counter* c_flows_parked_ = nullptr;
+  Counter* c_reroutes_ = nullptr;
+
   std::int64_t next_flow_id_ = 1;
 };
 

@@ -1,0 +1,41 @@
+// Run-level scalar metrics: monotonically increasing Counters and
+// last/peak-tracking Gauges, owned by the TraceBus registry and handed out
+// as stable references so hot paths pay one map lookup per run, not per
+// increment.
+#pragma once
+
+#include <cstdint>
+
+namespace ccml {
+
+/// A monotonically increasing event count (CNPs delivered, flows finished,
+/// faults applied, ...).
+class Counter {
+ public:
+  void add(std::int64_t n = 1) { value_ += n; }
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// A sampled scalar; remembers the latest value and the peak ever set
+/// (queue depths, parked-flow population, ...).
+class Gauge {
+ public:
+  void set(double v) {
+    value_ = v;
+    if (!set_ || v > max_) max_ = v;
+    set_ = true;
+  }
+  double value() const { return value_; }
+  double max() const { return max_; }
+  bool ever_set() const { return set_; }
+
+ private:
+  double value_ = 0.0;
+  double max_ = 0.0;
+  bool set_ = false;
+};
+
+}  // namespace ccml

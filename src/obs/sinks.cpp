@@ -1,0 +1,270 @@
+#include "obs/sinks.h"
+
+#include <cstdio>
+#include <string_view>
+
+namespace ccml {
+
+namespace {
+
+// Chrome trace process ids: one "process" per layer keeps Perfetto's track
+// tree tidy.
+constexpr int kSimPid = 1;    // job threads: phases, iterations, flows, CC
+constexpr int kLinksPid = 2;  // counter tracks: sampled link series
+constexpr int kCtrlPid = 3;   // control plane: faults, solver runs
+
+// Thread id for events carrying no job attribution (background traffic).
+constexpr int kUnattributedTid = 999;
+
+int track_of(JobId job) { return job.valid() ? job.value : kUnattributedTid; }
+
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) continue;
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+// --- RingBufferSink --------------------------------------------------------
+
+RingBufferSink::RingBufferSink(std::size_t capacity)
+    : ring_(capacity > 0 ? capacity : 1) {}
+
+void RingBufferSink::on_event(const TraceEvent& ev) {
+  if (wrapped_) ++dropped_;
+  ring_[head_] = ev;
+  if (++head_ == ring_.size()) {
+    head_ = 0;
+    wrapped_ = true;
+  }
+}
+
+std::vector<TraceEvent> RingBufferSink::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size());
+  if (wrapped_) {
+    out.insert(out.end(), ring_.begin() + head_, ring_.end());
+  }
+  out.insert(out.end(), ring_.begin(), ring_.begin() + head_);
+  return out;
+}
+
+// --- JsonlSink -------------------------------------------------------------
+
+JsonlSink::JsonlSink(std::ostream& out, JsonlSinkOptions opts)
+    : out_(out), opts_(opts) {}
+
+void JsonlSink::on_event(const TraceEvent& ev) {
+  char buf[256];
+  int n = std::snprintf(buf, sizeof(buf), "{\"t_us\":%.3f,\"kind\":\"%s\"",
+                        ev.time.since_origin().to_micros(),
+                        to_string(ev.kind));
+  const auto add = [&](const char* fmt, auto v) {
+    n += std::snprintf(buf + n, sizeof(buf) - n, fmt, v);
+  };
+  if (ev.job.valid()) add(",\"job\":%d", ev.job.value);
+  if (ev.flow.valid()) {
+    add(",\"flow\":%lld", static_cast<long long>(ev.flow.value));
+  }
+  if (ev.link.valid()) add(",\"link\":%d", ev.link.value);
+  if (ev.value != 0.0) add(",\"value\":%.17g", ev.value);
+  if (ev.value2 != 0.0) add(",\"value2\":%.17g", ev.value2);
+  if (ev.detail != nullptr) add(",\"detail\":\"%s\"", ev.detail);
+  out_ << buf << "}\n";
+}
+
+// --- ChromeTraceSink -------------------------------------------------------
+
+ChromeTraceSink::ChromeTraceSink(std::ostream& out,
+                                 ChromeTraceSinkOptions opts)
+    : out_(out), opts_(opts) {}
+
+std::string ChromeTraceSink::job_label(JobId job) const {
+  if (bus_ != nullptr) {
+    if (const std::string* name = bus_->job_name(job)) {
+      return escape_json(*name);
+    }
+  }
+  return job.valid() ? "job " + std::to_string(job.value) : "background";
+}
+
+std::string ChromeTraceSink::series_label(const TraceEvent& ev) const {
+  return ev.job.valid() ? job_label(ev.job) : std::string("total");
+}
+
+void ChromeTraceSink::on_event(const TraceEvent& ev) {
+  const double ts = ev.time.since_origin().to_micros();
+  if (ts > last_ts_) last_ts_ = ts;
+  char buf[320];
+  const int tid = track_of(ev.job);
+  const auto add = [&] { events_.emplace_back(buf); };
+  switch (ev.kind) {
+    case TraceEventKind::kPhase: {
+      job_tracks_.insert(tid);
+      const auto open = open_phase_.find(tid);
+      if (open != open_phase_.end() && open->second != nullptr) {
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"%s\",\"ph\":\"E\",\"pid\":%d,\"tid\":%d,"
+                      "\"ts\":%.3f}",
+                      open->second, kSimPid, tid, ts);
+        add();
+      }
+      const char* name = ev.detail != nullptr ? ev.detail : "phase";
+      if (ev.detail != nullptr && std::string_view(ev.detail) != "done") {
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"%s\",\"ph\":\"B\",\"pid\":%d,\"tid\":%d,"
+                      "\"ts\":%.3f}",
+                      name, kSimPid, tid, ts);
+        add();
+        open_phase_[tid] = name;
+      } else {
+        open_phase_[tid] = nullptr;
+      }
+      break;
+    }
+    case TraceEventKind::kIteration:
+      job_tracks_.insert(tid);
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"iteration\",\"ph\":\"i\",\"s\":\"t\","
+                    "\"pid\":%d,\"tid\":%d,\"ts\":%.3f,"
+                    "\"args\":{\"ms\":%.3f,\"index\":%.0f}}",
+                    kSimPid, tid, ts, ev.value, ev.value2);
+      add();
+      break;
+    case TraceEventKind::kGateOpen:
+      job_tracks_.insert(tid);
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"gate-open\",\"ph\":\"i\",\"s\":\"t\","
+                    "\"pid\":%d,\"tid\":%d,\"ts\":%.3f,"
+                    "\"args\":{\"waited_ms\":%.3f}}",
+                    kSimPid, tid, ts, ev.value);
+      add();
+      break;
+    case TraceEventKind::kFlowStart:
+      job_tracks_.insert(tid);
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"flow\",\"cat\":\"flow\",\"ph\":\"b\","
+                    "\"id\":%lld,\"pid\":%d,\"tid\":%d,\"ts\":%.3f,"
+                    "\"args\":{\"bytes\":%.0f}}",
+                    static_cast<long long>(ev.flow.value), kSimPid, tid, ts,
+                    ev.value);
+      add();
+      break;
+    case TraceEventKind::kFlowFinish:
+    case TraceEventKind::kFlowAbort:
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"flow\",\"cat\":\"flow\",\"ph\":\"e\","
+                    "\"id\":%lld,\"pid\":%d,\"tid\":%d,\"ts\":%.3f,"
+                    "\"args\":{\"%s\":%.3f}}",
+                    static_cast<long long>(ev.flow.value), kSimPid, tid, ts,
+                    ev.kind == TraceEventKind::kFlowAbort ? "aborted"
+                                                          : "duration_ms",
+                    ev.kind == TraceEventKind::kFlowAbort ? 1.0 : ev.value2);
+      add();
+      break;
+    case TraceEventKind::kFlowReroute:
+    case TraceEventKind::kFlowPark:
+    case TraceEventKind::kFlowUnpark:
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"%s\",\"cat\":\"flow\",\"ph\":\"n\","
+                    "\"id\":%lld,\"pid\":%d,\"tid\":%d,\"ts\":%.3f}",
+                    to_string(ev.kind),
+                    static_cast<long long>(ev.flow.value), kSimPid, tid, ts);
+      add();
+      break;
+    case TraceEventKind::kRateDecrease:
+      job_tracks_.insert(tid);
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"CNP\",\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,"
+                    "\"tid\":%d,\"ts\":%.3f,"
+                    "\"args\":{\"rate_gbps\":%.3f,\"alpha\":%.4f}}",
+                    kSimPid, tid, ts, ev.value * 1e-9, ev.value2);
+      add();
+      break;
+    case TraceEventKind::kRateTimer:
+      job_tracks_.insert(tid);
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"rate-timer\",\"ph\":\"i\",\"s\":\"t\","
+                    "\"pid\":%d,\"tid\":%d,\"ts\":%.3f,"
+                    "\"args\":{\"rate_gbps\":%.3f}}",
+                    kSimPid, tid, ts, ev.value * 1e-9);
+      add();
+      break;
+    case TraceEventKind::kLinkThroughput: {
+      const std::string series = series_label(ev);
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"link%d %s (Gbps)\",\"ph\":\"C\",\"pid\":%d,"
+                    "\"tid\":0,\"ts\":%.3f,\"args\":{\"Gbps\":%.4f}}",
+                    ev.link.value, series.c_str(), kLinksPid, ts,
+                    ev.value * 1e-9);
+      add();
+      break;
+    }
+    case TraceEventKind::kLinkQueue:
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"link%d queue (KB)\",\"ph\":\"C\",\"pid\":%d,"
+                    "\"tid\":0,\"ts\":%.3f,\"args\":{\"KB\":%.3f}}",
+                    ev.link.value, kLinksPid, ts, ev.value * 1e-3);
+      add();
+      break;
+    case TraceEventKind::kFaultApply:
+    case TraceEventKind::kFaultRecover:
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"g\",\"pid\":%d,"
+                    "\"tid\":0,\"ts\":%.3f,\"args\":{\"factor\":%.3f}}",
+                    ev.detail != nullptr ? ev.detail : to_string(ev.kind),
+                    kCtrlPid, ts, ev.value);
+      add();
+      break;
+    case TraceEventKind::kSolve:
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"solve\",\"ph\":\"i\",\"s\":\"g\",\"pid\":%d,"
+                    "\"tid\":0,\"ts\":%.3f,"
+                    "\"args\":{\"compatible\":%.0f,\"violation\":%.4f}}",
+                    kCtrlPid, ts, ev.value, ev.value2);
+      add();
+      break;
+  }
+}
+
+void ChromeTraceSink::flush() {
+  if (flushed_) return;
+  flushed_ = true;
+  // Close phase slices still open at the end of the run.
+  char buf[320];
+  for (const auto& [tid, name] : open_phase_) {
+    if (name == nullptr) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"ph\":\"E\",\"pid\":%d,\"tid\":%d,"
+                  "\"ts\":%.3f}",
+                  name, kSimPid, tid, last_ts_);
+    events_.emplace_back(buf);
+  }
+  out_ << "{\"traceEvents\":[\n";
+  // Metadata first: process / thread display names.
+  out_ << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << kSimPid
+       << ",\"tid\":0,\"args\":{\"name\":\"sim\"}},\n";
+  out_ << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << kLinksPid
+       << ",\"tid\":0,\"args\":{\"name\":\"links\"}},\n";
+  out_ << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << kCtrlPid
+       << ",\"tid\":0,\"args\":{\"name\":\"control\"}}";
+  for (const int tid : job_tracks_) {
+    const JobId job{tid == kUnattributedTid ? -1 : tid};
+    out_ << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << kSimPid
+         << ",\"tid\":" << tid << ",\"args\":{\"name\":\""
+         << job_label(job) << "\"}}";
+  }
+  for (const std::string& ev : events_) {
+    out_ << ",\n" << ev;
+  }
+  out_ << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  out_.flush();
+}
+
+}  // namespace ccml

@@ -1,0 +1,72 @@
+#include "obs/trace_bus.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ccml {
+
+void TraceBus::add_sink(TraceSink& sink) {
+  sinks_.push_back(&sink);
+  sink.attached(*this);
+}
+
+Duration TraceBus::sample_cadence() const {
+  Duration min = Duration::zero();
+  for (const TraceSink* s : sinks_) {
+    const Duration c = s->sample_cadence();
+    if (!c.is_positive()) continue;
+    if (!min.is_positive() || c < min) min = c;
+  }
+  return min;
+}
+
+std::vector<LinkId> TraceBus::sampled_links() const {
+  std::vector<LinkId> out;
+  for (const TraceSink* s : sinks_) {
+    const std::vector<LinkId> links = s->sampled_links();
+    out.insert(out.end(), links.begin(), links.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool TraceBus::sinks_quiescence_compatible() const {
+  for (const TraceSink* s : sinks_) {
+    if (!s->quiescence_compatible()) return false;
+  }
+  return true;
+}
+
+void TraceBus::register_job(JobId id, std::string name) {
+  job_names_[id.value] = std::move(name);
+}
+
+const std::string* TraceBus::job_name(JobId id) const {
+  const auto it = job_names_.find(id.value);
+  return it == job_names_.end() ? nullptr : &it->second;
+}
+
+std::string TraceBus::metrics_summary() const {
+  std::string out = "run metrics:\n";
+  char line[160];
+  bool any = false;
+  for (const auto& [name, c] : counters_) {
+    if (c.value() == 0) continue;
+    std::snprintf(line, sizeof(line), "  %-36s %12lld\n", name.c_str(),
+                  static_cast<long long>(c.value()));
+    out += line;
+    any = true;
+  }
+  for (const auto& [name, g] : gauges_) {
+    if (!g.ever_set()) continue;
+    std::snprintf(line, sizeof(line), "  %-36s %12.1f  (peak %.1f)\n",
+                  name.c_str(), g.value(), g.max());
+    out += line;
+    any = true;
+  }
+  if (!any) out += "  (none)\n";
+  return out;
+}
+
+}  // namespace ccml

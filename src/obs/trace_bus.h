@@ -1,0 +1,128 @@
+// The central observability bus.
+//
+// Producers (Network, congestion-control policies, TrainingJob, the fault
+// injector, the scenario/experiment harnesses) publish typed TraceEvents to
+// one TraceBus; sinks subscribe and serialize or aggregate them.  The bus is
+// deliberately dumb: a non-owning sink list, an inline fan-out loop, and a
+// name->Counter/Gauge registry — all deterministic (registries are ordered
+// maps, events are delivered in emission order), so traces are byte-stable
+// across runs and across SweepRunner thread counts.
+//
+// Sink contract: besides receiving events, a sink *declares* what sampling
+// it needs.  `sample_cadence()` > 0 asks for integrated per-link
+// kLinkThroughput/kLinkQueue series at that period (produced by telemetry's
+// TraceThroughputSampler, which the scenario layer attaches when any sink
+// asks); `sampled_links()` names links to sample even while idle; and
+// `quiescence_compatible()` states whether the sink's output is well-defined
+// across idle fast-forward gaps (see NetObserver in net/network.h).  All
+// built-in sinks are quiescence-compatible, so instrumented runs keep the
+// kernel's idle fast-forward.
+//
+// Cost when unobserved: producers guard emission on Network::trace_bus()
+// being non-null, so an un-instrumented run does no observability work at
+// all (verified by bench/perf_engine; numbers in docs/observability.md).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace_event.h"
+#include "util/time.h"
+
+namespace ccml {
+
+class TraceBus;
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// Receives every event published on the bus, in emission order.
+  virtual void on_event(const TraceEvent& ev) = 0;
+
+  /// Sampling period the sink wants for integrated link series
+  /// (kLinkThroughput / kLinkQueue); zero = no sampling needed.
+  virtual Duration sample_cadence() const { return Duration::zero(); }
+
+  /// Links the sink wants sampled even while they carry no flows (e.g. a
+  /// recorder watching a specific bottleneck).  Links in use are always
+  /// sampled; this only forces idle ones into the series.
+  virtual std::vector<LinkId> sampled_links() const { return {}; }
+
+  /// True when the sink's output is identical whether idle stretches are
+  /// stepped through or fast-forwarded (all built-in sinks are; see the
+  /// NetObserver contract in net/network.h).
+  virtual bool quiescence_compatible() const { return true; }
+
+  /// Called when the sink is added to a bus (sinks that render job names or
+  /// read counters keep the pointer).
+  virtual void attached(TraceBus& bus) { (void)bus; }
+
+  /// Finalizes output (writes trailing structure, flushes streams).  Called
+  /// by TraceBus::flush() after the run.
+  virtual void flush() {}
+};
+
+class TraceBus {
+ public:
+  TraceBus() = default;
+  TraceBus(const TraceBus&) = delete;
+  TraceBus& operator=(const TraceBus&) = delete;
+
+  /// Subscribes `sink` (non-owning; must outlive the bus's use).
+  void add_sink(TraceSink& sink);
+
+  bool has_sinks() const { return !sinks_.empty(); }
+
+  /// Fans `ev` out to every sink, in subscription order.
+  void emit(const TraceEvent& ev) {
+    for (TraceSink* s : sinks_) s->on_event(ev);
+  }
+
+  /// Finalizes every sink's output.  Call once after the run (the CLI and
+  /// the scenario harnesses do).
+  void flush() {
+    for (TraceSink* s : sinks_) s->flush();
+  }
+
+  /// Minimum positive cadence any sink declared; zero when no sink samples.
+  Duration sample_cadence() const;
+
+  /// Sorted union of every sink's sampled_links().
+  std::vector<LinkId> sampled_links() const;
+
+  /// True when every sink tolerates idle fast-forward.
+  bool sinks_quiescence_compatible() const;
+
+  // --- Job-name registry (for human-readable sink output) ------------------
+
+  void register_job(JobId id, std::string name);
+  /// Registered display name, or nullptr when the job is unknown.
+  const std::string* job_name(JobId id) const;
+
+  // --- Counter / Gauge registry -------------------------------------------
+
+  /// Returns the named counter, creating it on first use.  The reference is
+  /// stable for the bus's lifetime — producers cache it.
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+
+  /// Human-readable dump of every non-zero counter and every gauge (the
+  /// CLI's run-summary block).
+  std::string metrics_summary() const;
+
+ private:
+  std::vector<TraceSink*> sinks_;
+  std::unordered_map<std::int32_t, std::string> job_names_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+};
+
+}  // namespace ccml

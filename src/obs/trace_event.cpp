@@ -1,0 +1,27 @@
+#include "obs/trace_event.h"
+
+namespace ccml {
+
+const char* to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kFlowStart: return "flow-start";
+    case TraceEventKind::kFlowFinish: return "flow-finish";
+    case TraceEventKind::kFlowAbort: return "flow-abort";
+    case TraceEventKind::kFlowReroute: return "flow-reroute";
+    case TraceEventKind::kFlowPark: return "flow-park";
+    case TraceEventKind::kFlowUnpark: return "flow-unpark";
+    case TraceEventKind::kRateDecrease: return "rate-decrease";
+    case TraceEventKind::kRateTimer: return "rate-timer";
+    case TraceEventKind::kPhase: return "phase";
+    case TraceEventKind::kIteration: return "iteration";
+    case TraceEventKind::kGateOpen: return "gate-open";
+    case TraceEventKind::kFaultApply: return "fault-apply";
+    case TraceEventKind::kFaultRecover: return "fault-recover";
+    case TraceEventKind::kSolve: return "solve";
+    case TraceEventKind::kLinkThroughput: return "link-throughput";
+    case TraceEventKind::kLinkQueue: return "link-queue";
+  }
+  return "unknown";
+}
+
+}  // namespace ccml

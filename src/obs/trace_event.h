@@ -1,0 +1,71 @@
+// The typed trace-event vocabulary shared by every layer of the simulator.
+//
+// A TraceEvent is one timestamped "something happened" record: a flow
+// lifecycle edge (net), a DCQCN rate-machine action (cc), a job phase
+// transition or iteration boundary (workload), a fault firing (faults), or a
+// solver run (cluster).  Producers fill only the id fields that apply and
+// leave the rest at their invalid defaults; `value`/`value2` carry the two
+// kind-specific numeric payloads documented below, and `detail` — when set —
+// points at a *static* string (phase names, fault kinds), so events are
+// trivially copyable and never own memory.
+//
+// Events flow through a TraceBus (obs/trace_bus.h) to pluggable sinks; see
+// docs/observability.md for the full taxonomy and the serialized formats.
+#pragma once
+
+#include <cstdint>
+
+#include "net/types.h"
+#include "util/time.h"
+
+namespace ccml {
+
+enum class TraceEventKind : std::uint8_t {
+  // Flow lifecycle (src/net).  value = flow size in bytes; kFlowFinish also
+  // sets value2 = flow duration in ms.
+  kFlowStart,
+  kFlowFinish,
+  kFlowAbort,
+  kFlowReroute,  ///< flow moved to a surviving path (value/value2 unused)
+  kFlowPark,     ///< no usable path; flow parked until repair
+  kFlowUnpark,   ///< parked flow requeued after the route healed
+
+  // DCQCN rate machine (src/cc).  value = new current rate R_C in bits/s.
+  kRateDecrease,  ///< CNP processed; value2 = alpha after the decrease
+  kRateTimer,     ///< timer-driven increase fired; value2 = timer rounds
+
+  // Training-job state machine (src/workload).
+  kPhase,      ///< phase entered; detail = "compute"|"gate-wait"|"comm"|...
+  kIteration,  ///< iteration finished; value = duration ms, value2 = index
+  kGateOpen,   ///< comm gate admitted the job; value = ms spent waiting
+
+  // Fault injection (src/faults).  detail = to_string(FaultKind),
+  // value = capacity/straggler factor for link/straggler events.
+  kFaultApply,
+  kFaultRecover,  ///< a restoring event (link-up, straggler-off, resume)
+
+  // Compatibility solver (src/cluster).  value = 1 when compatible,
+  // value2 = violation fraction.
+  kSolve,
+
+  // Sampled link series (telemetry's TraceThroughputSampler).
+  kLinkThroughput,  ///< value = bits/s; job unset = link total, set = share
+  kLinkQueue,       ///< value = queue depth in bytes
+};
+
+/// Stable lower-kebab-case name of the kind (serialized into JSONL traces).
+const char* to_string(TraceEventKind kind);
+
+struct TraceEvent {
+  TimePoint time;
+  TraceEventKind kind = TraceEventKind::kFlowStart;
+  JobId job;
+  FlowId flow;
+  LinkId link;
+  double value = 0.0;
+  double value2 = 0.0;
+  /// Kind-specific tag; must point at a string with static storage duration.
+  const char* detail = nullptr;
+};
+
+}  // namespace ccml

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/trace_bus.h"
 #include "util/log.h"
 
 namespace ccml {
@@ -96,6 +97,7 @@ void TrainingJob::pause() {
   cancel_pending();
   abort_live_flows();
   phase_ = Phase::kPaused;
+  trace_phase("paused", sim_.now());
 }
 
 void TrainingJob::resume() {
@@ -135,6 +137,19 @@ void TrainingJob::stop() {
   cancel_pending();
   abort_live_flows();
   phase_ = Phase::kDone;
+  trace_phase("done", sim_.now());
+}
+
+void TrainingJob::trace_phase(const char* name, TimePoint t, double value) {
+  TraceBus* bus = net_.trace_bus();
+  if (bus == nullptr) return;
+  TraceEvent ev;
+  ev.time = t;
+  ev.kind = TraceEventKind::kPhase;
+  ev.job = spec_.id;
+  ev.value = value;
+  ev.detail = name;
+  bus->emit(ev);
 }
 
 void TrainingJob::cancel_pending() {
@@ -169,6 +184,7 @@ void TrainingJob::begin_phase(TimePoint t) {
     compute += Duration::from_seconds_f(noise);
     if (compute.is_negative()) compute = Duration::zero();
   }
+  trace_phase("compute", t, compute.to_millis());
   if (compute.is_positive()) {
     // `t` may sit slightly before the simulator clock (interpolated flow
     // completion inside the previous step); the compute deadline is measured
@@ -207,8 +223,18 @@ void TrainingJob::on_compute_done() {
     }
     if (slot > now) {
       phase_ = Phase::kWaitingGate;
-      pending_event_ = sim_.schedule_at(slot, [this] {
+      trace_phase("gate-wait", now, (slot - now).to_millis());
+      pending_event_ = sim_.schedule_at(slot, [this, wait_from = now] {
         pending_event_ = kInvalidEventId;
+        if (TraceBus* bus = net_.trace_bus()) {
+          TraceEvent ev;
+          ev.time = sim_.now();
+          ev.kind = TraceEventKind::kGateOpen;
+          ev.job = spec_.id;
+          ev.value = (sim_.now() - wait_from).to_millis();
+          bus->emit(ev);
+          bus->counter("jobs.gate_waits").add();
+        }
         launch_comm_phase(sim_.now());
       });
       return;
@@ -220,6 +246,7 @@ void TrainingJob::on_compute_done() {
 void TrainingJob::launch_comm_phase(TimePoint t) {
   phase_ = Phase::kCommunicating;
   const Bytes phase_bytes = phases_[phase_index_].comm;
+  trace_phase("comm", t, phase_bytes.count() / 1e6);
   if (!phase_bytes.is_positive()) {
     phase_done(t);
     return;
@@ -274,11 +301,22 @@ void TrainingJob::phase_done(TimePoint t) {
 void TrainingJob::finish_iteration(TimePoint t) {
   const Duration iter = t - iter_start_;
   iteration_times_.push_back(iter);
+  if (TraceBus* bus = net_.trace_bus()) {
+    TraceEvent ev;
+    ev.time = t;
+    ev.kind = TraceEventKind::kIteration;
+    ev.job = spec_.id;
+    ev.value = iter.to_millis();
+    ev.value2 = static_cast<double>(iteration_times_.size() - 1);
+    bus->emit(ev);
+    bus->counter("jobs.iterations").add();
+  }
   if (on_iteration) on_iteration(iteration_times_.size() - 1, iter);
   if (spec_.max_iterations > 0 &&
       iteration_times_.size() >=
           static_cast<std::size_t>(spec_.max_iterations)) {
     phase_ = Phase::kDone;
+    trace_phase("done", t);
     if (on_done) on_done(*this);
     return;
   }

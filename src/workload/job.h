@@ -150,6 +150,9 @@ class TrainingJob {
 
  private:
   void validate_spec() const;
+  /// Publishes a kPhase event (detail = `name`, a static string) when the
+  /// network carries a trace bus; no-op otherwise.
+  void trace_phase(const char* name, TimePoint t, double value = 0.0);
   void begin_iteration(TimePoint t);
   void begin_phase(TimePoint t);
   void on_compute_done();

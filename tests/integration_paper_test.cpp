@@ -68,6 +68,20 @@ struct Testbed {
 
 JobProfile dlrm() { return *ModelZoo::calibrated("DLRM", 2000); }
 
+/// Per-step probe counting concurrent communication on the bottleneck.
+/// Quiescence-compatible: idle gaps have no flows on any link, so skipping
+/// them changes neither counter.
+struct ContentionProbe : NetObserver {
+  std::int64_t both_ns = 0;
+  std::int64_t any_ns = 0;
+  void on_step(const Network& net, TimePoint) override {
+    const auto& on_link = net.flows_on_link(LinkId{0});
+    if (!on_link.empty()) any_ns += net.config().step.ns();
+    if (on_link.size() >= 2) both_ns += net.config().step.ns();
+  }
+  bool quiescence_compatible() const override { return true; }
+};
+
 // Aggressive/meek DCQCN knobs used throughout (the paper tuned T only; we
 // also spread R_AI to sharpen the contrast at fluid granularity).
 constexpr Duration kAggressiveT = Duration::micros(55);
@@ -109,15 +123,13 @@ TEST(PaperFig2, SlidingEffectSeparatesCommPhases) {
   b->start();
   bed.sim.run_for(Duration::seconds(10));  // converge
   // Measure concurrent-communication time over the next 10 s.
-  std::int64_t both_ns = 0, any_ns = 0;
-  bed.net->add_step_observer([&](const Network& net, TimePoint) {
-    const auto& on_link = net.flows_on_link(LinkId{0});
-    if (!on_link.empty()) any_ns += net.config().step.ns();
-    if (on_link.size() >= 2) both_ns += net.config().step.ns();
-  });
+  ContentionProbe probe;
+  bed.net->add_observer(probe);
   bed.sim.run_for(Duration::seconds(10));
-  ASSERT_GT(any_ns, 0);
-  EXPECT_LT(static_cast<double>(both_ns) / static_cast<double>(any_ns), 0.05);
+  ASSERT_GT(probe.any_ns, 0);
+  EXPECT_LT(static_cast<double>(probe.both_ns) /
+                static_cast<double>(probe.any_ns),
+            0.05);
 }
 
 TEST(PaperFig2, FairSharingKeepsPhasesOverlapped) {
@@ -127,16 +139,14 @@ TEST(PaperFig2, FairSharingKeepsPhasesOverlapped) {
   a->start();
   b->start();
   bed.sim.run_for(Duration::seconds(10));
-  std::int64_t both_ns = 0, any_ns = 0;
-  bed.net->add_step_observer([&](const Network& net, TimePoint) {
-    const auto& on_link = net.flows_on_link(LinkId{0});
-    if (!on_link.empty()) any_ns += net.config().step.ns();
-    if (on_link.size() >= 2) both_ns += net.config().step.ns();
-  });
+  ContentionProbe probe;
+  bed.net->add_observer(probe);
   bed.sim.run_for(Duration::seconds(10));
-  ASSERT_GT(any_ns, 0);
+  ASSERT_GT(probe.any_ns, 0);
   // Under symmetric fair sharing the phases stay (almost) fully overlapped.
-  EXPECT_GT(static_cast<double>(both_ns) / static_cast<double>(any_ns), 0.9);
+  EXPECT_GT(static_cast<double>(probe.both_ns) /
+                static_cast<double>(probe.any_ns),
+            0.9);
 }
 
 TEST(PaperTable1, IncompatiblePairAggressiveWinsMeekLoses) {

@@ -149,12 +149,16 @@ TEST(Network, ZeroByteFlowCompletesImmediately) {
   EXPECT_TRUE(fired);
 }
 
-TEST(Network, StepObserverRuns) {
+TEST(Network, BlockingObserverSeesEveryStep) {
   Fixture f;
-  int calls = 0;
-  f.net->add_step_observer([&](const Network&, TimePoint) { ++calls; });
+  struct Probe : NetObserver {
+    int calls = 0;
+    void on_step(const Network&, TimePoint) override { ++calls; }
+    // quiescence_compatible() defaults to false: the probe pins stepping.
+  } probe;
+  f.net->add_observer(probe);
   f.sim.run_for(Duration::micros(100));
-  EXPECT_EQ(calls, 10);  // 100 us / 10 us steps
+  EXPECT_EQ(probe.calls, 10);  // 100 us / 10 us steps
 }
 
 TEST(Network, ActiveFlowsSortedDeterministic) {

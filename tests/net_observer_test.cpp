@@ -1,0 +1,155 @@
+// Regression tests for the quiescence-aware NetObserver contract: attaching
+// a quiescence-compatible observer (or sink) must NOT disable the kernel's
+// idle fast-forward, and the series recorded across a fast-forwarded gap
+// must be identical to stepping through it.
+#include <gtest/gtest.h>
+
+#include "cc/max_min_fair.h"
+#include "net/network.h"
+#include "obs/sinks.h"
+#include "obs/trace_bus.h"
+#include "sim/simulator.h"
+#include "telemetry/recorders.h"
+
+namespace ccml {
+namespace {
+
+/// Counts executed steps and the steps covered by synthesized idle gaps.
+struct CountingObserver : NetObserver {
+  explicit CountingObserver(bool compatible) : compatible_(compatible) {}
+
+  void on_step(const Network&, TimePoint) override { ++steps; }
+  void on_idle_gap(const Network& net, TimePoint from, TimePoint to) override {
+    ++gaps;
+    gap_steps += (to - from).ns() / net.config().step.ns();
+  }
+  bool quiescence_compatible() const override { return compatible_; }
+
+  std::int64_t steps = 0;
+  std::int64_t gap_steps = 0;
+  int gaps = 0;
+
+ private:
+  bool compatible_;
+};
+
+struct Fixture {
+  Fixture() : topo(Topology::dumbbell(2, Rate::gbps(50), Rate::gbps(50))),
+              router(topo) {
+    NetworkConfig cfg;
+    cfg.goodput_factor = 1.0;
+    cfg.step = Duration::micros(20);
+    net = std::make_unique<Network>(topo, std::make_unique<MaxMinFairPolicy>(),
+                                    cfg);
+    net->attach(sim);
+    hosts = topo.hosts();
+  }
+
+  FlowId flow(int pair, Bytes size, JobId job) {
+    FlowSpec fs;
+    fs.src = hosts[2 * pair];
+    fs.dst = hosts[2 * pair + 1];
+    fs.route = router.pick(fs.src, fs.dst, 0);
+    fs.size = size;
+    fs.job = job;
+    return net->start_flow(std::move(fs));
+  }
+
+  Simulator sim;
+  Topology topo;
+  Router router;
+  std::unique_ptr<Network> net;
+  std::vector<NodeId> hosts;
+};
+
+constexpr std::int64_t kTotalSteps = 500;  // 10 ms / 20 us
+
+TEST(NetObserver, CompatibleObserverKeepsFastForward) {
+  Fixture f;
+  CountingObserver obs(/*compatible=*/true);
+  f.net->add_observer(obs);
+  f.flow(0, Bytes::mega(6.25), JobId{0});  // 1 ms at 50 Gbps
+  f.sim.run_for(Duration::millis(10));
+  f.net->flush_observers();
+  // The ~9 ms idle tail must be fast-forwarded, not stepped ...
+  EXPECT_GT(obs.gaps, 0);
+  EXPECT_LT(obs.steps, kTotalSteps / 2);
+  // ... and the synthesized gaps must account for every skipped tick.
+  EXPECT_EQ(obs.steps + obs.gap_steps, kTotalSteps);
+}
+
+TEST(NetObserver, BlockingObserverForcesStepping) {
+  Fixture f;
+  CountingObserver obs(/*compatible=*/false);
+  f.net->add_observer(obs);
+  f.sim.run_for(Duration::millis(10));  // fully idle network
+  f.net->flush_observers();
+  EXPECT_EQ(obs.steps, kTotalSteps);
+  EXPECT_EQ(obs.gaps, 0);
+}
+
+TEST(NetObserver, FlushObserversIsIdempotent) {
+  Fixture f;
+  CountingObserver obs(/*compatible=*/true);
+  f.net->add_observer(obs);
+  f.sim.run_for(Duration::millis(2));
+  f.net->flush_observers();
+  const std::int64_t after_first = obs.gap_steps;
+  f.net->flush_observers();
+  EXPECT_EQ(obs.gap_steps, after_first);
+}
+
+/// The satellite regression: an instrumented run (quiescence-compatible
+/// sink + sampler) fast-forwards its idle gap AND records the exact series
+/// a fully-stepped run records — byte-identical times and rates.
+TEST(NetObserver, GapSynthesizedSeriesMatchesSteppedSeries) {
+  const auto run = [](bool force_stepping) {
+    Fixture f;
+    TraceBus bus;
+    LinkThroughputRecorder rec(LinkId{0}, Duration::millis(1));
+    rec.attach(bus);
+    auto sampler = bind_trace_bus(bus, *f.net);
+    CountingObserver probe(/*compatible=*/!force_stepping);
+    f.net->add_observer(probe);
+    f.flow(0, Bytes::mega(6.25), JobId{3});  // active 1 ms, idle 9 ms
+    f.sim.run_for(Duration::millis(10));
+    f.net->flush_observers();
+    if (force_stepping) {
+      EXPECT_EQ(probe.steps, kTotalSteps);
+    } else {
+      EXPECT_LT(probe.steps, kTotalSteps / 2);  // gap really was skipped
+      EXPECT_GT(probe.gaps, 0);
+    }
+    return rec.samples();
+  };
+
+  const auto fast = run(/*force_stepping=*/false);
+  const auto stepped = run(/*force_stepping=*/true);
+  ASSERT_EQ(fast.size(), stepped.size());
+  ASSERT_EQ(fast.size(), 10u);
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i].time, stepped[i].time) << "sample " << i;
+    EXPECT_EQ(fast[i].total.bits_per_sec(), stepped[i].total.bits_per_sec())
+        << "sample " << i;
+    ASSERT_EQ(fast[i].per_job.size(), stepped[i].per_job.size());
+    for (const auto& [job, rate] : fast[i].per_job) {
+      ASSERT_TRUE(stepped[i].per_job.contains(job));
+      EXPECT_EQ(rate.bits_per_sec(), stepped[i].per_job.at(job).bits_per_sec())
+          << "sample " << i << " job " << job.value;
+    }
+  }
+}
+
+TEST(NetObserver, ObserverAttachedMidRunSeesOnlyLaterSteps) {
+  Fixture f;
+  f.flow(0, Bytes::giga(1), JobId{0});  // active for the whole run
+  f.sim.run_for(Duration::millis(5));
+  CountingObserver obs(/*compatible=*/true);
+  f.net->add_observer(obs);
+  f.sim.run_for(Duration::millis(5));
+  f.net->flush_observers();
+  EXPECT_EQ(obs.steps + obs.gap_steps, 250);  // 5 ms / 20 us
+}
+
+}  // namespace
+}  // namespace ccml

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "cc/max_min_fair.h"
 #include "net/network.h"
 #include "sim/simulator.h"
@@ -32,19 +34,30 @@ struct Fixture {
     return net->start_flow(std::move(fs));
   }
 
+  /// Wires the bus to the network; call after sinks have attached so the
+  /// sampler picks up their declared cadences.
+  void bind() { sampler = bind_trace_bus(bus, *net); }
+
+  /// Synthesizes trailing samples for any idle gap at the end of the run.
+  void finish() { net->flush_observers(); }
+
   Simulator sim;
   Topology topo;
   Router router;
+  TraceBus bus;
   std::unique_ptr<Network> net;
+  std::unique_ptr<TraceThroughputSampler> sampler;
   std::vector<NodeId> hosts;
 };
 
 TEST(LinkThroughputRecorder, SamplesAtInterval) {
   Fixture f;
   LinkThroughputRecorder rec(LinkId{0}, Duration::millis(1));
-  rec.attach(*f.net);
+  rec.attach(f.bus);
+  f.bind();
   f.flow(0, Bytes::giga(1), JobId{7});
   f.sim.run_for(Duration::millis(10));
+  f.finish();
   ASSERT_EQ(rec.samples().size(), 10u);
   for (const auto& s : rec.samples()) {
     EXPECT_NEAR(s.total.to_gbps(), 50.0, 0.5);
@@ -56,10 +69,12 @@ TEST(LinkThroughputRecorder, SamplesAtInterval) {
 TEST(LinkThroughputRecorder, SplitsPerJob) {
   Fixture f;
   LinkThroughputRecorder rec(LinkId{0}, Duration::millis(1));
-  rec.attach(*f.net);
+  rec.attach(f.bus);
+  f.bind();
   f.flow(0, Bytes::giga(1), JobId{1});
   f.flow(1, Bytes::giga(1), JobId{2});
   f.sim.run_for(Duration::millis(5));
+  f.finish();
   const auto& s = rec.samples().back();
   EXPECT_NEAR(s.per_job.at(JobId{1}).to_gbps(), 25.0, 0.5);
   EXPECT_NEAR(s.per_job.at(JobId{2}).to_gbps(), 25.0, 0.5);
@@ -69,8 +84,10 @@ TEST(LinkThroughputRecorder, SplitsPerJob) {
 TEST(LinkThroughputRecorder, IdleLinkReportsZero) {
   Fixture f;
   LinkThroughputRecorder rec(LinkId{0}, Duration::millis(1));
-  rec.attach(*f.net);
+  rec.attach(f.bus);
+  f.bind();
   f.sim.run_for(Duration::millis(3));
+  f.finish();
   ASSERT_FALSE(rec.samples().empty());
   EXPECT_DOUBLE_EQ(rec.samples().back().total.to_gbps(), 0.0);
 }
@@ -78,12 +95,57 @@ TEST(LinkThroughputRecorder, IdleLinkReportsZero) {
 TEST(LinkThroughputRecorder, KeepsReportingJobAfterItGoesIdle) {
   Fixture f;
   LinkThroughputRecorder rec(LinkId{0}, Duration::millis(1));
-  rec.attach(*f.net);
+  rec.attach(f.bus);
+  f.bind();
   f.flow(0, Bytes::mega(6.25), JobId{3});  // 1 ms at 50 Gbps
   f.sim.run_for(Duration::millis(4));
+  f.finish();
   const auto& last = rec.samples().back();
   ASSERT_TRUE(last.per_job.contains(JobId{3}));
   EXPECT_NEAR(last.per_job.at(JobId{3}).to_gbps(), 0.0, 1e-9);
+}
+
+TEST(LinkThroughputRecorder, DoubleAttachThrows) {
+  TraceBus bus;
+  LinkThroughputRecorder rec(LinkId{0}, Duration::millis(1));
+  rec.attach(bus);
+  EXPECT_THROW(rec.attach(bus), std::logic_error);
+}
+
+TEST(LinkThroughputRecorder, NonPositiveIntervalThrows) {
+  EXPECT_THROW(LinkThroughputRecorder(LinkId{0}, Duration::zero()),
+               std::invalid_argument);
+}
+
+TEST(IterationRecorder, DoubleAttachThrows) {
+  TraceBus bus;
+  IterationRecorder rec;
+  rec.attach(bus);
+  EXPECT_THROW(rec.attach(bus), std::logic_error);
+}
+
+TEST(IterationRecorder, CdfForUnknownJobThrowsDescriptively) {
+  IterationRecorder rec;
+  rec.record(JobId{1}, Duration::millis(10));
+  try {
+    rec.cdf(JobId{42});
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string(e.what()).find("42"), std::string::npos);
+  }
+}
+
+TEST(IterationRecorder, ConsumesIterationEventsFromBus) {
+  TraceBus bus;
+  IterationRecorder rec;
+  rec.attach(bus);
+  TraceEvent ev;
+  ev.kind = TraceEventKind::kIteration;
+  ev.job = JobId{4};
+  ev.value = 12.5;  // milliseconds
+  bus.emit(ev);
+  ASSERT_TRUE(rec.has(JobId{4}));
+  EXPECT_DOUBLE_EQ(rec.mean_ms(JobId{4}), 12.5);
 }
 
 TEST(IterationRecorder, CollectsPerJob) {

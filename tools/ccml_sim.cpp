@@ -17,7 +17,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
@@ -26,6 +28,8 @@
 
 #include "cluster/scenario.h"
 #include "core/solver.h"
+#include "obs/sinks.h"
+#include "obs/trace_bus.h"
 #include "sim/sweep.h"
 #include "telemetry/table.h"
 #include "workload/profiler.h"
@@ -46,6 +50,8 @@ commands:
                               compatibility of jobs on one link
        job keys: period_ms, comm_ms (or model+batch), demand_gbps
   scenario --job K=V[,K=V...] [--job ...] [--policy P] [--seconds S]
+           [--trace FILE] [--trace-format chrome|jsonl]
+           [--trace-cadence-ms N]
                               simulate jobs on a shared dumbbell bottleneck
        job keys: model, batch, name, compute_ms, comm_ms, timer_us,
                  rai_mbps, priority, weight, start_ms
@@ -68,7 +74,20 @@ commands:
        pause keys:     at_ms, for_ms, job
        depart keys:    at_ms, job
        arrive keys:    at_ms, job
+       also accepts --trace / --trace-format / --trace-cadence-ms
   policies: maxmin | wfq | priority | dcqcn | dcqcn-adaptive | timely
+
+tracing (scenario and faults):
+  --trace FILE              write a structured trace of the run (flow
+                            lifecycles, job phases/iterations, DCQCN rate
+                            events, faults, link series) and print run
+                            metrics afterwards
+  --trace-format chrome     Chrome trace_event JSON; open in Perfetto
+                            (https://ui.perfetto.dev) or chrome://tracing
+                            [default]
+  --trace-format jsonl      one JSON object per line (machine-diffable)
+  --trace-cadence-ms N      link throughput/queue sampling period
+                            [default 5; 0 disables the sampled series]
 )");
   std::exit(2);
 }
@@ -214,6 +233,56 @@ int cmd_solve(const std::vector<std::string>& job_args,
   return r.compatible ? 0 : 1;
 }
 
+/// Builds the trace bus + file sink requested by --trace / --trace-format /
+/// --trace-cadence-ms.  `configure` returns the bus to hang on the scenario
+/// config (nullptr when tracing is off); `finish` finalizes the file and
+/// prints the run-metrics summary.
+struct TraceSetup {
+  TraceBus* configure(const std::map<std::string, std::string>& opts) {
+    const auto it = opts.find("trace");
+    if (it == opts.end()) return nullptr;
+    path = it->second;
+    out.open(path);
+    if (!out) usage(("cannot open trace file: " + path).c_str());
+    const std::string format =
+        opts.contains("trace-format") ? opts.at("trace-format") : "chrome";
+    const Duration cadence = Duration::from_millis_f(
+        opts.contains("trace-cadence-ms")
+            ? std::atof(opts.at("trace-cadence-ms").c_str())
+            : 5.0);
+    if (format == "chrome") {
+      ChromeTraceSinkOptions copts;
+      copts.sample_cadence = cadence;
+      sink = std::make_unique<ChromeTraceSink>(out, copts);
+    } else if (format == "jsonl") {
+      JsonlSinkOptions jopts;
+      jopts.sample_cadence = cadence;
+      sink = std::make_unique<JsonlSink>(out, jopts);
+    } else {
+      usage(("unknown trace format: " + format +
+             " (expected chrome or jsonl)")
+                .c_str());
+    }
+    bus.add_sink(*sink);
+    enabled = true;
+    return &bus;
+  }
+
+  void finish() {
+    if (!enabled) return;
+    bus.flush();
+    out.close();
+    std::printf("\ntrace written to %s\n", path.c_str());
+    std::printf("\n%s", bus.metrics_summary().c_str());
+  }
+
+  bool enabled = false;
+  std::string path;
+  std::ofstream out;
+  TraceBus bus;
+  std::unique_ptr<TraceSink> sink;
+};
+
 std::vector<ScenarioJob> parse_scenario_jobs(
     const std::vector<std::string>& job_args) {
   std::vector<ScenarioJob> jobs;
@@ -252,6 +321,8 @@ int cmd_scenario(const std::vector<std::string>& job_args,
       Duration::seconds(opts.contains("seconds")
                             ? std::atoi(opts.at("seconds").c_str())
                             : 20);
+  TraceSetup trace;
+  cfg.trace = trace.configure(opts);
   const auto result = run_dumbbell_scenario(jobs, cfg);
 
   std::printf("policy %s, %zu jobs, %.0f s simulated:\n\n",
@@ -269,6 +340,7 @@ int cmd_scenario(const std::vector<std::string>& job_args,
                        1)});
   }
   std::printf("%s", table.render().c_str());
+  trace.finish();
   return 0;
 }
 
@@ -330,6 +402,8 @@ int cmd_faults(
                             ? std::atoi(opts.at("seconds").c_str())
                             : 20);
   cfg.faults = parse_fault_plan(fault_args, jobs.size(), opts);
+  TraceSetup trace;
+  cfg.trace = trace.configure(opts);
 
   const auto result = run_dumbbell_scenario(jobs, cfg);
 
@@ -353,6 +427,7 @@ int cmd_faults(
                     : jobs[static_cast<std::size_t>(ev.job.value)]
                           .name.c_str());
   }
+  trace.finish();
   if (result.recovery) {
     std::printf("\n%s", result.recovery->summary().c_str());
     return result.recovery->all_converged() ? 0 : 1;

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Structural validator for ccml_sim --trace output.
+
+Chrome mode (default): the file must be a JSON object with a non-empty
+"traceEvents" array; every event needs a known phase, numeric ts/pid;
+duration slices (B/E) must balance per (pid, tid) and async events (b/e)
+per (cat, id); at least one slice and one counter track must be present.
+
+JSONL mode (--jsonl): every line must be a standalone JSON object with a
+numeric "t_us" and a known "kind".
+
+Usage:
+  python3 tools/check_trace.py trace.json
+  python3 tools/check_trace.py --jsonl trace.jsonl
+
+Exits 0 when the trace is well-formed, 1 with a diagnostic otherwise.
+Stdlib-only on purpose: it runs in CI right after the simulator.
+"""
+
+import json
+import sys
+
+KNOWN_PHASES = {"M", "B", "E", "i", "b", "e", "n", "C"}
+
+KNOWN_KINDS = {
+    "flow-start", "flow-finish", "flow-abort", "flow-reroute", "flow-park",
+    "flow-unpark", "rate-decrease", "rate-timer", "phase", "iteration",
+    "gate-open", "fault-apply", "fault-recover", "solve", "link-throughput",
+    "link-queue",
+}
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_chrome(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable as JSON: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with a 'traceEvents' array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail("'traceEvents' must be a non-empty array")
+
+    slice_depth = {}   # (pid, tid) -> open B count
+    async_open = {}    # (cat, id) -> open b count
+    n_slices = n_counters = 0
+    for idx, ev in enumerate(events):
+        where = f"event {idx}: {json.dumps(ev)[:120]}"
+        if not isinstance(ev, dict):
+            fail(f"{where}: not an object")
+        ph = ev.get("ph")
+        if ph not in KNOWN_PHASES:
+            fail(f"{where}: unknown phase {ph!r}")
+        if not isinstance(ev.get("pid"), int):
+            fail(f"{where}: missing integer 'pid'")
+        if ph != "M" and not isinstance(ev.get("ts"), (int, float)):
+            fail(f"{where}: missing numeric 'ts'")
+        if ph in ("B", "E"):
+            key = (ev["pid"], ev.get("tid"))
+            slice_depth[key] = slice_depth.get(key, 0) + (1 if ph == "B" else -1)
+            if slice_depth[key] < 0:
+                fail(f"{where}: 'E' with no matching open 'B' on {key}")
+            n_slices += ph == "B"
+        elif ph in ("b", "e"):
+            key = (ev.get("cat"), ev.get("id"))
+            if key[1] is None:
+                fail(f"{where}: async event without an 'id'")
+            async_open[key] = async_open.get(key, 0) + (1 if ph == "b" else -1)
+            if async_open[key] < 0:
+                fail(f"{where}: 'e' with no matching open 'b' for {key}")
+        elif ph == "C":
+            n_counters += 1
+            if not isinstance(ev.get("args"), dict) or not ev["args"]:
+                fail(f"{where}: counter event without args")
+
+    open_slices = {k: d for k, d in slice_depth.items() if d != 0}
+    if open_slices:
+        fail(f"unbalanced B/E slices: {open_slices}")
+    open_async = {k: d for k, d in async_open.items() if d != 0}
+    if open_async:
+        fail(f"unbalanced async b/e events: {open_async}")
+    if n_slices == 0:
+        fail("no duration slices (B) at all — job phases missing")
+    if n_counters == 0:
+        fail("no counter events (C) at all — link series missing")
+    print(f"check_trace: OK: {len(events)} events, {n_slices} slices, "
+          f"{n_counters} counter samples")
+
+
+def check_jsonl(path):
+    n = 0
+    try:
+        with open(path) as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    ev = json.loads(line)
+                except json.JSONDecodeError as e:
+                    fail(f"line {lineno}: not valid JSON: {e}")
+                if not isinstance(ev, dict):
+                    fail(f"line {lineno}: not an object")
+                if not isinstance(ev.get("t_us"), (int, float)):
+                    fail(f"line {lineno}: missing numeric 't_us'")
+                if ev.get("kind") not in KNOWN_KINDS:
+                    fail(f"line {lineno}: unknown kind {ev.get('kind')!r}")
+                n += 1
+    except OSError as e:
+        fail(f"{path}: {e}")
+    if n == 0:
+        fail("no events in the file")
+    print(f"check_trace: OK: {n} events")
+
+
+def main(argv):
+    args = [a for a in argv[1:] if a != "--jsonl"]
+    jsonl = "--jsonl" in argv[1:]
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if jsonl:
+        check_jsonl(args[0])
+    else:
+        check_chrome(args[0])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
