@@ -194,13 +194,41 @@ SolverResult CompatibilitySolver::solve(
   const UnifiedCircle circle(jobs, options_.circle);
   const std::size_t n = jobs.size();
   result.rotations.assign(n, Duration::zero());
+  result.circle_exact = circle.exact();
+  // On a clamped (inexact) circle the jobs do not truly repeat, so no
+  // verdict derived from it is a proof; downgrade at every exit.
+  const auto finalize = [&](SolverResult& r) -> SolverResult& {
+    if (!r.circle_exact) r.proven = false;
+    return r;
+  };
 
   if (n == 1) {
     result.compatible = true;
     result.proven = true;
     result.violation_fraction = 0.0;
     result.overlap_fraction = 0.0;
-    return result;
+    return finalize(result);
+  }
+
+  // Warm start: a violation-free incumbent assignment is a witness of
+  // compatibility — return it without searching (nodes_explored stays 0, the
+  // signal callers use to detect a warm-start hit).
+  if (options_.warm_start.size() == n) {
+    std::vector<Duration> warm(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      warm[j] = wrap_to_circle(options_.warm_start[j], jobs[j].period);
+    }
+    const double v =
+        violation_fraction(circle, warm, options_) +
+        gpu_violation_fraction(circle, warm, options_.gpu_groups);
+    if (v == 0.0) {
+      result.compatible = true;
+      result.proven = true;
+      result.rotations = std::move(warm);
+      result.violation_fraction = 0.0;
+      result.overlap_fraction = circle.overlap_fraction(result.rotations);
+      return finalize(result);
+    }
   }
 
   // Cheap analytic refutation first.
@@ -326,7 +354,7 @@ SolverResult CompatibilitySolver::solve(
               : chosen;
       result.violation_fraction = 0.0;
       result.overlap_fraction = circle.overlap_fraction(result.rotations);
-      return result;
+      return finalize(result);
     }
     if (!budget_exhausted) {
       result.proven = true;  // exhaustive over the discretization
@@ -393,7 +421,7 @@ SolverResult CompatibilitySolver::solve(
       result.rotations = chosen;
       result.violation_fraction = 0.0;
       result.overlap_fraction = circle.overlap_fraction(result.rotations);
-      return result;
+      return finalize(result);
     }
     // Conservative sector marking can reject feasible instances, so a failed
     // generalized DFS never *proves* incompatibility; fall through.
@@ -404,8 +432,15 @@ SolverResult CompatibilitySolver::solve(
   result.nodes_explored = explored;
 
   // Annealing fallback: minimize the violated fraction over continuous
-  // rotations.  Also the best-effort answer for incompatible groups.
+  // rotations.  Also the best-effort answer for incompatible groups.  A warm
+  // start (even a violated one) seeds the walk so incremental re-solves pick
+  // up near the incumbent assignment.
   std::vector<Duration> rot(n, Duration::zero());
+  if (options_.warm_start.size() == n) {
+    for (std::size_t j = 0; j < n; ++j) {
+      rot[j] = wrap_to_circle(options_.warm_start[j], jobs[j].period);
+    }
+  }
   auto total_violation = [&](std::span<const Duration> r) {
     return violation_fraction(circle, r, options_) +
            gpu_violation_fraction(circle, r, options_.gpu_groups);
@@ -449,7 +484,7 @@ SolverResult CompatibilitySolver::solve(
     result.compatible = true;
     result.proven = true;
   }
-  return result;
+  return finalize(result);
 }
 
 }  // namespace ccml

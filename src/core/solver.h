@@ -60,6 +60,14 @@ struct SolverOptions {
   /// Empty = all dedicated.  Only honored in count mode with cap 1.
   std::vector<int> gpu_groups;
 
+  /// Optional warm start: rotations carried over from a previous solve of a
+  /// related group (e.g. the incumbents that remain after a departure).  One
+  /// entry per job, parallel to the solve() input; any other size is
+  /// ignored.  When the warm start is violation-free it is returned
+  /// immediately (a zero-violation witness proves compatibility without
+  /// searching); otherwise it seeds the annealing fallback's starting point.
+  std::vector<Duration> warm_start;
+
   UnifiedCircleOptions circle;
 };
 
@@ -77,6 +85,10 @@ struct SolverResult {
   /// Fraction of the circle where >= 2 jobs communicate (diagnostic).
   double overlap_fraction = 1.0;
   std::uint64_t nodes_explored = 0;
+  /// False when the unified circle clamped its perimeter (the periods' LCM
+  /// exceeded the cap): jobs then only approximately repeat around the
+  /// circle, so the verdict is best-effort and never reported `proven`.
+  bool circle_exact = true;
 };
 
 class CompatibilitySolver {

@@ -230,6 +230,19 @@ void ChromeTraceSink::on_event(const TraceEvent& ev) {
                     kCtrlPid, ts, ev.value, ev.value2);
       add();
       break;
+    case TraceEventKind::kJobSubmit:
+    case TraceEventKind::kJobAdmit:
+    case TraceEventKind::kJobReject:
+    case TraceEventKind::kJobDepart:
+      // Orchestrator lifecycle marks live in the control process so churn is
+      // visible next to faults and solver runs.
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"g\",\"pid\":%d,"
+                    "\"tid\":0,\"ts\":%.3f,"
+                    "\"args\":{\"job\":%d,\"value\":%.3f}}",
+                    to_string(ev.kind), kCtrlPid, ts, ev.job.value, ev.value);
+      add();
+      break;
   }
 }
 

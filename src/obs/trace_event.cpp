@@ -18,6 +18,10 @@ const char* to_string(TraceEventKind kind) {
     case TraceEventKind::kFaultApply: return "fault-apply";
     case TraceEventKind::kFaultRecover: return "fault-recover";
     case TraceEventKind::kSolve: return "solve";
+    case TraceEventKind::kJobSubmit: return "job-submit";
+    case TraceEventKind::kJobAdmit: return "job-admit";
+    case TraceEventKind::kJobReject: return "job-reject";
+    case TraceEventKind::kJobDepart: return "job-depart";
     case TraceEventKind::kLinkThroughput: return "link-throughput";
     case TraceEventKind::kLinkQueue: return "link-queue";
   }

@@ -44,9 +44,16 @@ enum class TraceEventKind : std::uint8_t {
   kFaultApply,
   kFaultRecover,  ///< a restoring event (link-up, straggler-off, resume)
 
-  // Compatibility solver (src/cluster).  value = 1 when compatible,
-  // value2 = violation fraction.
+  // Compatibility solver (src/cluster, src/orch).  value = 1 when
+  // compatible, value2 = violation fraction.  Re-solves answered from the
+  // orchestrator's signature cache set detail = "cached".
   kSolve,
+
+  // Online orchestrator (src/orch).
+  kJobSubmit,  ///< job offered to the cluster; value = worker count
+  kJobAdmit,   ///< admission granted; value = queueing delay ms
+  kJobReject,  ///< admission refused for good (queue full / timed out)
+  kJobDepart,  ///< admitted job left (service complete); value = held ms
 
   // Sampled link series (telemetry's TraceThroughputSampler).
   kLinkThroughput,  ///< value = bits/s; job unset = link total, set = share

@@ -1,0 +1,182 @@
+#include "orch/admission.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace ccml {
+
+const char* to_string(AdmissionPolicyKind kind) {
+  switch (kind) {
+    case AdmissionPolicyKind::kLocalityOnly: return "locality";
+    case AdmissionPolicyKind::kCompatibilityAware: return "compat";
+  }
+  return "unknown";
+}
+
+AdmissionController::AdmissionController(const Topology& topo,
+                                         const Router& router,
+                                         AdmissionConfig config,
+                                         IncrementalResolver& resolver)
+    : topo_(topo), router_(router), config_(config), resolver_(resolver) {
+  for (const NodeId host : topo.hosts()) {
+    const auto& ups = topo.links_from(host);
+    assert(!ups.empty() && "host without uplink");
+    const NodeId tor = topo.link(ups.front()).dst;
+    if (!free_.contains(tor)) tors_.push_back(tor);
+    free_[tor].push_back(host);
+    tor_of_[host] = tor;
+  }
+  for (auto& [tor, hosts] : free_) std::sort(hosts.begin(), hosts.end());
+}
+
+std::vector<NodeId> AdmissionController::take(NodeId tor, int count) {
+  auto& pool = free_[tor];
+  assert(static_cast<int>(pool.size()) >= count);
+  std::vector<NodeId> out(pool.begin(), pool.begin() + count);
+  pool.erase(pool.begin(), pool.begin() + count);
+  return out;
+}
+
+void AdmissionController::release(const std::vector<NodeId>& hosts) {
+  for (const NodeId host : hosts) {
+    auto& pool = free_[tor_of_.at(host)];
+    pool.insert(std::lower_bound(pool.begin(), pool.end(), host), host);
+  }
+}
+
+int AdmissionController::free_host_count() const {
+  int n = 0;
+  for (const auto& [tor, hosts] : free_) n += static_cast<int>(hosts.size());
+  return n;
+}
+
+std::vector<LinkId> AdmissionController::job_links(
+    const std::vector<NodeId>& hosts, std::uint64_t salt) const {
+  std::set<LinkId> links;
+  for (const JobPath& p : ring_paths(topo_, router_, hosts, salt)) {
+    links.insert(p.route.links.begin(), p.route.links.end());
+  }
+  return {links.begin(), links.end()};
+}
+
+void AdmissionController::score(Candidate& cand, const CommProfile& profile,
+                                std::uint64_t salt,
+                                const std::vector<Incumbent>& incumbents) {
+  // Peek at the hosts this candidate would take, without reserving them.
+  std::vector<NodeId> hosts;
+  for (const auto& [tor, cnt] : cand.splits) {
+    const auto& pool = free_.at(tor);
+    hosts.insert(hosts.end(), pool.begin(), pool.begin() + cnt);
+  }
+  const auto links = job_links(hosts, salt);
+
+  // Which incumbents would the newcomer share each link with?
+  std::map<LinkId, std::vector<const CommProfile*>> groups;
+  for (const Incumbent& inc : incumbents) {
+    for (const LinkId lid : inc.links) {
+      if (std::binary_search(links.begin(), links.end(), lid)) {
+        groups[lid].push_back(inc.profile);
+      }
+    }
+  }
+
+  cand.incompatible_links = 0;
+  cand.worst_violation = 0.0;
+  for (const auto& [lid, members] : groups) {
+    std::vector<CommProfile> profiles;
+    profiles.reserve(members.size() + 1);
+    for (const CommProfile* p : members) profiles.push_back(*p);
+    profiles.push_back(profile);
+    const auto answer = resolver_.solve_group(profiles);
+    const bool ok = answer.result->compatible ||
+                    answer.result->violation_fraction <= config_.max_violation;
+    if (!ok) ++cand.incompatible_links;
+    cand.worst_violation =
+        std::max(cand.worst_violation, answer.result->violation_fraction);
+  }
+}
+
+AdmissionOffer AdmissionController::offer(
+    const JobRequest& request, std::uint64_t salt,
+    const std::vector<Incumbent>& incumbents) {
+  AdmissionOffer out;
+
+  // Rack-local first, for both policies: no fabric sharing, always safe.
+  for (const NodeId tor : tors_) {
+    if (static_cast<int>(free_.at(tor).size()) >= request.workers) {
+      out.verdict = AdmissionOffer::Verdict::kAdmit;
+      out.placement = Placement{take(tor, request.workers), false};
+      return out;
+    }
+  }
+
+  // Must span the fabric.  Enumerate ToR pairs that can hold the job, in
+  // deterministic rack order; fall back to a greedy fullest-first split
+  // when no pair fits (job wider than two racks' free capacity).
+  std::vector<Candidate> candidates;
+  for (std::size_t a = 0; a < tors_.size(); ++a) {
+    const NodeId ta = tors_[a];
+    const int fa = static_cast<int>(free_.at(ta).size());
+    if (fa == 0 || fa >= request.workers) continue;
+    for (std::size_t b = 0; b < tors_.size(); ++b) {
+      if (a == b) continue;
+      const NodeId tb = tors_[b];
+      const int need_b = request.workers - fa;
+      if (static_cast<int>(free_.at(tb).size()) < need_b) continue;
+      candidates.push_back(Candidate{{{ta, fa}, {tb, need_b}}, 0, 0.0});
+    }
+  }
+  if (candidates.empty()) {
+    std::vector<NodeId> order = tors_;
+    std::stable_sort(order.begin(), order.end(), [&](NodeId x, NodeId y) {
+      return free_.at(x).size() > free_.at(y).size();
+    });
+    Candidate greedy;
+    int need = request.workers;
+    for (const NodeId tor : order) {
+      const int got = std::min(need, static_cast<int>(free_.at(tor).size()));
+      if (got > 0) {
+        greedy.splits.emplace_back(tor, got);
+        need -= got;
+      }
+      if (need == 0) break;
+    }
+    if (need > 0) {
+      out.capacity_blocked = true;  // not enough free hosts anywhere
+      return out;
+    }
+    candidates.push_back(std::move(greedy));
+  }
+
+  const Candidate* chosen = nullptr;
+  if (config_.policy == AdmissionPolicyKind::kLocalityOnly) {
+    chosen = &candidates.front();  // capacity is the only criterion
+  } else {
+    const Candidate* best = nullptr;
+    for (Candidate& cand : candidates) {
+      score(cand, request.comm_profile, salt, incumbents);
+      if (!best || cand.incompatible_links < best->incompatible_links) {
+        best = &cand;
+      }
+      if (best->incompatible_links == 0) break;
+    }
+    out.incompatible_links = best->incompatible_links;
+    out.worst_violation = best->worst_violation;
+    if (best->incompatible_links > 0) {
+      return out;  // capacity exists, sharing doesn't: defer
+    }
+    chosen = best;
+  }
+
+  out.verdict = AdmissionOffer::Verdict::kAdmit;
+  out.placement.spans_fabric = true;
+  for (const auto& [tor, cnt] : chosen->splits) {
+    const auto got = take(tor, cnt);
+    out.placement.hosts.insert(out.placement.hosts.end(), got.begin(),
+                               got.end());
+  }
+  return out;
+}
+
+}  // namespace ccml

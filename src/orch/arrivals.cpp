@@ -1,0 +1,69 @@
+#include "orch/arrivals.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+#include "workload/profiler.h"
+
+namespace ccml {
+
+const std::vector<std::pair<std::string, int>>& default_arrival_catalog() {
+  static const std::vector<std::pair<std::string, int>> kCatalog = {
+      {"BERT", 8},          {"VGG19", 1200}, {"DLRM", 2000},
+      {"VGG19", 1400},      {"WideResNet", 800}, {"VGG16", 1400},
+      {"VGG16", 1700},      {"ResNet50", 1600},
+  };
+  return kCatalog;
+}
+
+ArrivalSchedule generate_arrivals(const ArrivalConfig& config) {
+  if (config.rate_per_min <= 0.0) {
+    throw std::invalid_argument("generate_arrivals: rate must be positive");
+  }
+  if (config.horizon <= Duration::zero()) {
+    throw std::invalid_argument("generate_arrivals: horizon must be positive");
+  }
+  if (config.min_workers < 1 || config.max_workers < config.min_workers) {
+    throw std::invalid_argument("generate_arrivals: bad worker range");
+  }
+  const auto& catalog =
+      config.catalog.empty() ? default_arrival_catalog() : config.catalog;
+
+  Rng rng(config.seed);
+  ArrivalSchedule schedule;
+  const double mean_gap_s = 60.0 / config.rate_per_min;
+  double t_s = 0.0;
+  std::size_t index = 0;
+  for (;;) {
+    // Fixed draw order per job — gap, model, workers, service — so that a
+    // config change that stops the loop earlier never shifts the draws of
+    // the jobs before the cut-off.
+    t_s += rng.exponential(mean_gap_s);
+    const auto at = TimePoint::origin() + Duration::from_seconds_f(t_s);
+    const auto [model, batch] =
+        catalog[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(catalog.size()) - 1))];
+    const int workers = static_cast<int>(
+        rng.uniform_int(config.min_workers, config.max_workers));
+    Duration extra = Duration::zero();
+    if (config.mean_service_extra.is_positive()) {
+      extra = Duration::from_seconds_f(
+          rng.exponential(config.mean_service_extra.to_seconds()));
+    }
+    const auto service = config.min_service + extra;
+    if (at.since_origin() >= config.horizon) break;
+
+    JobRequest request;
+    auto profile = ModelZoo::calibrated(model, batch);
+    request.profile = profile ? *profile : ModelZoo::analytic(model, batch, workers);
+    request.name = model + "-" + std::to_string(batch) + "/" +
+                   std::to_string(index);
+    request.workers = workers;
+    request.comm_profile = analytic_profile(request.profile, config.profile_rate);
+    schedule.jobs.push_back(JobArrival{at, service, std::move(request)});
+    ++index;
+  }
+  return schedule;
+}
+
+}  // namespace ccml

@@ -1,0 +1,79 @@
+// Job arrival generation for the online orchestrator.
+//
+// Real ML clusters see a continuous stream of job submissions and
+// completions; the orchestrator (orch/orchestrator.h) replays an
+// ArrivalSchedule against a live cluster.  Schedules come from two places:
+//  * generate_arrivals(): a seed-deterministic Poisson process — exponential
+//    interarrival gaps, exponential service times, (model, batch) pairs and
+//    worker counts sampled from a catalogue of model-zoo entries.  The same
+//    seed always yields the byte-identical schedule, so a trace can be
+//    replayed under different admission policies for an apples-to-apples
+//    comparison (bench/s5_online_orchestrator does exactly that).
+//  * hand construction: a schedule is plain data, so tests and examples
+//    script exact arrival traces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/placement.h"
+#include "util/time.h"
+#include "util/units.h"
+
+namespace ccml {
+
+/// One job submission: when it arrives, how long it trains once admitted,
+/// and what it asks for.
+struct JobArrival {
+  TimePoint at;
+  /// Service time: the job departs this long after it is *admitted* (an ML
+  /// job trains for a set number of steps regardless of queueing delay).
+  Duration service;
+  JobRequest request;
+};
+
+struct ArrivalSchedule {
+  std::vector<JobArrival> jobs;  ///< non-decreasing arrival times
+
+  bool empty() const { return jobs.empty(); }
+  std::size_t size() const { return jobs.size(); }
+};
+
+struct ArrivalConfig {
+  std::uint64_t seed = 1;
+
+  /// Mean job arrival rate (Poisson), in jobs per simulated minute.
+  double rate_per_min = 12.0;
+
+  /// Arrivals are generated in [0, horizon).
+  Duration horizon = Duration::seconds(60);
+
+  /// Service time = min_service + Exp(mean_service_extra).
+  Duration min_service = Duration::seconds(4);
+  Duration mean_service_extra = Duration::seconds(12);
+
+  /// Worker count sampled uniformly in [min_workers, max_workers].
+  int min_workers = 2;
+  int max_workers = 4;
+
+  /// (model, batch) pairs sampled uniformly.  Empty = the calibrated
+  /// Table-1 catalogue.
+  std::vector<std::pair<std::string, int>> catalog;
+
+  /// Dedicated-link rate the analytic communication profile assumes (the
+  /// compatibility input); matches the 50 Gbps x 0.85 goodput default.
+  Rate profile_rate = Rate::gbps(42.5);
+};
+
+/// The calibrated Table-1 (model, batch) pairs — the default catalogue.
+const std::vector<std::pair<std::string, int>>& default_arrival_catalog();
+
+/// Generates a schedule from the config.  Deterministic: identical configs
+/// yield byte-identical schedules.  Throws std::invalid_argument on
+/// malformed input (non-positive rate or horizon, empty worker range,
+/// unknown catalogue model).
+ArrivalSchedule generate_arrivals(const ArrivalConfig& config);
+
+}  // namespace ccml

@@ -1,0 +1,459 @@
+#include "orch/orchestrator.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <numeric>
+#include <optional>
+#include <stdexcept>
+
+#include "core/schedule.h"
+#include "faults/injector.h"
+#include "obs/trace_bus.h"
+#include "telemetry/recorders.h"
+#include "util/stats.h"
+#include "workload/job.h"
+
+namespace ccml {
+
+namespace {
+
+/// Union-find over arrival indices: jobs sharing any fabric link end up in
+/// one solve group (paper §5 cluster-level compatibility domains).
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+char* append(char* p, char* end, const char* fmt, auto... args) {
+  const int n = std::snprintf(p, static_cast<std::size_t>(end - p), fmt,
+                              args...);
+  return n < 0 ? p : std::min(p + n, end);
+}
+
+}  // namespace
+
+const char* to_string(ClusterJobOutcome::State state) {
+  switch (state) {
+    case ClusterJobOutcome::State::kRejected: return "rejected";
+    case ClusterJobOutcome::State::kQueued: return "queued";
+    case ClusterJobOutcome::State::kRunning: return "running";
+    case ClusterJobOutcome::State::kFinished: return "finished";
+  }
+  return "unknown";
+}
+
+double ClusterRunReport::admission_rate() const {
+  return submitted == 0
+             ? 0.0
+             : static_cast<double>(admitted) / static_cast<double>(submitted);
+}
+
+double ClusterRunReport::mean_queue_delay_ms() const {
+  Summary s;
+  for (const auto& j : jobs) {
+    if (j.state == ClusterJobOutcome::State::kRunning ||
+        j.state == ClusterJobOutcome::State::kFinished) {
+      s.add(j.queue_delay.to_millis());
+    }
+  }
+  return s.empty() ? 0.0 : s.mean();
+}
+
+double ClusterRunReport::mean_slowdown() const {
+  Summary s;
+  for (const auto& j : jobs) {
+    if (j.slowdown > 0.0) s.add(j.slowdown);
+  }
+  return s.empty() ? 0.0 : s.mean();
+}
+
+double ClusterRunReport::max_slowdown() const {
+  double worst = 0.0;
+  for (const auto& j : jobs) worst = std::max(worst, j.slowdown);
+  return worst;
+}
+
+std::string ClusterRunReport::summary() const {
+  std::string out;
+  char line[256];
+  char* end = line + sizeof(line);
+  char* p = append(line, end,
+                   "cluster: %zu submitted, %zu admitted (%.1f%%), %zu "
+                   "rejected, %zu finished, %zu running, %zu queued at end\n",
+                   submitted, admitted, 100.0 * admission_rate(), rejected,
+                   finished, running_at_end, queued_at_end);
+  out.append(line, p);
+  p = append(line, end,
+             "  queueing: mean %.2f ms | slowdown: mean %.3f worst %.3f\n",
+             mean_queue_delay_ms(), mean_slowdown(), max_slowdown());
+  out.append(line, p);
+  p = append(line, end,
+             "  resolver: %llu solves, %llu cache hits (%.1f%%), %llu "
+             "warm-start hits | faults: %zu\n",
+             static_cast<unsigned long long>(resolve.solves),
+             static_cast<unsigned long long>(resolve.cache_hits),
+             100.0 * resolve.hit_rate(),
+             static_cast<unsigned long long>(resolve.warm_start_hits),
+             faults_applied);
+  out.append(line, p);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto& j = jobs[i];
+    p = append(line, end,
+               "  [%3zu] %-18s %dw %-8s queue %8.2f ms  iters %4zu  mean "
+               "%8.2f ms  solo %8.2f ms  slowdown %.3f%s\n",
+               i, j.name.c_str(), j.workers, to_string(j.state),
+               j.queue_delay.to_millis(), j.iterations, j.mean_ms, j.solo_ms,
+               j.slowdown, j.spans_fabric ? "  (spans)" : "");
+    out.append(line, p);
+  }
+  return out;
+}
+
+Orchestrator::Orchestrator(const Topology& topo, ArrivalSchedule schedule,
+                           OrchestratorConfig config)
+    : topo_(topo), schedule_(std::move(schedule)), config_(std::move(config)) {
+  if (config_.horizon <= Duration::zero()) {
+    throw std::invalid_argument("Orchestrator: horizon must be positive");
+  }
+  for (const FaultEvent& ev : config_.faults.events) {
+    if (!ev.is_link_event()) {
+      throw std::invalid_argument(
+          "Orchestrator: fault plan must contain link events only (job churn "
+          "comes from the arrival schedule)");
+    }
+  }
+}
+
+ClusterRunReport Orchestrator::run() {
+  const std::size_t n = schedule_.size();
+  ClusterRunReport report;
+  report.jobs.resize(n);
+
+  Simulator sim;
+  Network net(topo_, make_policy(config_.policy, config_.dcqcn), config_.net);
+  net.attach(sim);
+  std::unique_ptr<TraceThroughputSampler> sampler;
+  TraceBus* trace = config_.trace;
+  if (trace != nullptr) {
+    for (std::size_t j = 0; j < n; ++j) {
+      trace->register_job(JobId{static_cast<std::int32_t>(j)},
+                          schedule_.jobs[j].request.name);
+    }
+    sampler = bind_trace_bus(*trace, net);
+  }
+  const Router router(topo_);
+  IncrementalResolver resolver(config_.solver);
+  AdmissionController admission(topo_, router, config_.admission, resolver);
+
+  Rate nic_goodput = Rate::zero();
+  for (const NodeId host : topo_.hosts()) {
+    nic_goodput = net.effective_capacity(topo_.links_from(host).front());
+    break;
+  }
+
+  // --- Per-arrival live state ----------------------------------------------
+  struct JobState {
+    ClusterJobOutcome::State state = ClusterJobOutcome::State::kQueued;
+    bool submitted = false;
+    std::unique_ptr<TrainingJob> job;
+    Placement placement;
+    std::vector<LinkId> links;       // sorted ring links, for sharing audits
+    TimePoint admitted_at;
+    std::optional<Duration> rotation;  // last solver rotation (warm starts)
+  };
+  std::vector<JobState> state(n);
+  std::deque<std::size_t> queue;  // deferred arrivals, FIFO
+  bool fabric_degraded = false;   // some link is down: gates are stale
+
+  const auto emit = [&](TraceEventKind kind, std::size_t j, double value,
+                        double value2 = 0.0, const char* detail = nullptr) {
+    if (trace == nullptr) return;
+    TraceEvent ev;
+    ev.time = sim.now();
+    ev.kind = kind;
+    ev.job = JobId{static_cast<std::int32_t>(j)};
+    ev.value = value;
+    ev.value2 = value2;
+    ev.detail = detail;
+    trace->emit(ev);
+  };
+
+  // --- Gate re-derivation (incremental re-solve) ---------------------------
+  const auto resolve_gates = [&] {
+    if (!config_.flow_schedule) return;
+    // While some link is down every schedule is stale; jobs run ungated
+    // until the fabric heals (on_topology_change re-solves then).
+    if (fabric_degraded) return;
+    // Group running jobs that transitively share links.
+    std::vector<std::size_t> running;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (state[j].state == ClusterJobOutcome::State::kRunning) {
+        running.push_back(j);
+      }
+    }
+    UnionFind uf(running.size());
+    std::map<LinkId, std::size_t> first_user;  // link -> running[] position
+    for (std::size_t k = 0; k < running.size(); ++k) {
+      for (const LinkId lid : state[running[k]].links) {
+        auto [it, fresh] = first_user.emplace(lid, k);
+        if (!fresh) uf.unite(it->second, k);
+      }
+    }
+    std::map<std::size_t, std::vector<std::size_t>> groups;  // root -> members
+    for (std::size_t k = 0; k < running.size(); ++k) {
+      groups[uf.find(k)].push_back(running[k]);
+    }
+    for (const auto& [root, members] : groups) {
+      if (members.size() < 2) {
+        auto& s = state[members.front()];
+        s.job->set_gate(std::nullopt);
+        s.rotation.reset();
+        continue;
+      }
+      std::vector<CommProfile> profiles;
+      std::vector<Duration> warm;
+      bool warm_ok = true;
+      for (const std::size_t j : members) {
+        profiles.push_back(schedule_.jobs[j].request.comm_profile);
+        if (state[j].rotation) {
+          warm.push_back(*state[j].rotation);
+        } else {
+          warm_ok = false;
+        }
+      }
+      const auto answer =
+          resolver.solve_group(profiles, warm_ok ? std::move(warm)
+                                                 : std::vector<Duration>{});
+      const SolverResult& sr = *answer.result;
+      if (trace != nullptr) {
+        TraceEvent ev;
+        ev.time = sim.now();
+        ev.kind = TraceEventKind::kSolve;
+        ev.value = sr.compatible ? 1.0 : 0.0;
+        ev.value2 = sr.violation_fraction;
+        if (answer.cache_hit) ev.detail = "cached";
+        trace->emit(ev);
+        trace->counter(answer.cache_hit ? "orch.resolve.cache-hits"
+                                        : "orch.resolve.solves")
+            .add();
+      }
+      if (!sr.compatible) {
+        // Gating an incompatible group is actively harmful (see
+        // cluster/experiment.cpp): fall back to ungated transport.
+        for (const std::size_t j : members) {
+          state[j].job->set_gate(std::nullopt);
+          state[j].rotation.reset();
+        }
+        continue;
+      }
+      const FlowSchedule fs =
+          make_flow_schedule(profiles, sr.rotations, sim.now());
+      for (std::size_t k = 0; k < members.size(); ++k) {
+        const std::size_t j = members[k];
+        state[j].job->set_gate(CommGate{fs.epoch, fs.slots[k].start_offset,
+                                        fs.slots[k].period,
+                                        fs.slots[k].phase_offsets,
+                                        fs.slots[k].window});
+        state[j].rotation = sr.rotations[k];
+      }
+    }
+  };
+
+  const auto clear_gates = [&] {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (state[j].state == ClusterJobOutcome::State::kRunning) {
+        state[j].job->set_gate(std::nullopt);
+        state[j].rotation.reset();
+      }
+    }
+  };
+
+  // --- Admission / departure machinery -------------------------------------
+  std::function<void(std::size_t)> on_depart;
+
+  const auto reject = [&](std::size_t j, const char* why) {
+    state[j].state = ClusterJobOutcome::State::kRejected;
+    ++report.rejected;
+    emit(TraceEventKind::kJobReject, j, 0.0, 0.0, why);
+    if (trace != nullptr) trace->counter("orch.rejected").add();
+  };
+
+  /// Attempts to admit arrival j right now; true on success.
+  const auto try_admit = [&](std::size_t j) {
+    std::vector<Incumbent> incumbents;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (state[i].state == ClusterJobOutcome::State::kRunning) {
+        incumbents.push_back(Incumbent{
+            i, &schedule_.jobs[i].request.comm_profile, state[i].links});
+      }
+    }
+    const JobArrival& arr = schedule_.jobs[j];
+    AdmissionOffer offer = admission.offer(arr.request, j, incumbents);
+    if (offer.verdict != AdmissionOffer::Verdict::kAdmit) return false;
+
+    JobState& s = state[j];
+    s.state = ClusterJobOutcome::State::kRunning;
+    s.placement = std::move(offer.placement);
+    s.links = admission.job_links(s.placement.hosts, j);
+    s.admitted_at = sim.now();
+    const Duration delay = sim.now() - arr.at;
+    ++report.admitted;
+    emit(TraceEventKind::kJobAdmit, j, delay.to_millis(),
+         s.placement.spans_fabric ? 1.0 : 0.0);
+    if (trace != nullptr) trace->counter("orch.admitted").add();
+
+    JobSpec spec;
+    spec.id = JobId{static_cast<std::int32_t>(j)};
+    spec.name = arr.request.name;
+    spec.profile = arr.request.profile;
+    spec.paths = ring_paths(topo_, router, s.placement.hosts, j);
+    spec.split_bytes = false;  // ring: full wire bytes per worker path
+    spec.start = sim.now();
+    if (spec.paths.empty()) {
+      // Single-worker job: no network phase.
+      spec.profile.comm_bytes = Bytes::zero();
+      spec.paths = {JobPath{s.placement.hosts[0], s.placement.hosts[0],
+                            Route{}}};
+    }
+    s.job = std::make_unique<TrainingJob>(sim, net, std::move(spec));
+    s.job->start();
+    sim.schedule_at(sim.now() + arr.service, [&, j] { on_depart(j); });
+    resolve_gates();
+    return true;
+  };
+
+  /// Re-offers queued jobs in FIFO order after the cluster state changed.
+  const auto drain_queue = [&] {
+    for (auto it = queue.begin(); it != queue.end();) {
+      if (try_admit(*it)) {
+        it = queue.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  on_depart = [&](std::size_t j) {
+    JobState& s = state[j];
+    s.state = ClusterJobOutcome::State::kFinished;
+    ++report.finished;
+    emit(TraceEventKind::kJobDepart, j, (sim.now() - s.admitted_at).to_millis());
+    if (trace != nullptr) trace->counter("orch.departed").add();
+    s.job->stop();
+    admission.release(s.placement.hosts);
+    resolve_gates();
+    drain_queue();
+  };
+
+  const auto on_submit = [&](std::size_t j) {
+    const JobArrival& arr = schedule_.jobs[j];
+    state[j].submitted = true;
+    ++report.submitted;
+    emit(TraceEventKind::kJobSubmit, j,
+         static_cast<double>(arr.request.workers));
+    if (trace != nullptr) trace->counter("orch.submitted").add();
+    if (try_admit(j)) return;
+    if (static_cast<int>(queue.size()) >= config_.admission.queue_capacity) {
+      reject(j, "queue-full");
+      return;
+    }
+    queue.push_back(j);
+    if (trace != nullptr) trace->counter("orch.queued").add();
+    // Deadline: a job still waiting this long after arrival gives up.
+    sim.schedule_at(arr.at + config_.admission.queue_timeout, [&, j] {
+      const auto it = std::find(queue.begin(), queue.end(), j);
+      if (it == queue.end()) return;  // admitted or already rejected
+      queue.erase(it);
+      reject(j, "timeout");
+    });
+  };
+
+  for (std::size_t j = 0; j < n; ++j) {
+    sim.schedule_at(schedule_.jobs[j].at, [&, j] { on_submit(j); });
+  }
+
+  // --- Fault injection ------------------------------------------------------
+  std::unique_ptr<FaultInjector> injector;
+  if (!config_.faults.empty()) {
+    injector = std::make_unique<FaultInjector>(sim, net, config_.faults);
+    injector->on_topology_change = [&](const FaultEvent& ev) {
+      if (ev.factor <= 0.0) {
+        // Outage: schedules solved for the healthy fabric are stale.  New
+        // groups formed while degraded run ungated too.
+        fabric_degraded = true;
+        clear_gates();
+      } else {
+        fabric_degraded = false;
+        resolve_gates();
+      }
+    };
+    injector->arm();
+  }
+  WatchdogConfig wd = config_.watchdog;
+  if (wd.max_events == 0) wd.max_events = 50'000'000;
+  if (wd.max_sim_time.is_zero()) wd.max_sim_time = config_.horizon * 4;
+  sim.set_watchdog(wd, [&net, &injector] {
+    std::string out =
+        injector ? injector->diagnose() : std::string("fault state: none\n");
+    out += "  active flows: " + std::to_string(net.active_flows().size()) +
+           ", parked: " + std::to_string(net.parked_flows().size()) + "\n";
+    return out;
+  });
+
+  sim.run_until(TimePoint::origin() + config_.horizon);
+  net.flush_observers();
+
+  // --- Outcomes -------------------------------------------------------------
+  report.resolve = resolver.stats();
+  report.faults_applied = injector ? injector->applied().size() : 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const JobState& s = state[j];
+    const JobArrival& arr = schedule_.jobs[j];
+    ClusterJobOutcome& out = report.jobs[j];
+    out.name = arr.request.name;
+    out.workers = arr.request.workers;
+    out.state = s.state;
+    if (!s.submitted) {
+      // Arrival at/after the horizon: never offered.
+      out.state = ClusterJobOutcome::State::kQueued;
+    }
+    out.solo_ms = arr.request.profile.solo_iteration(nic_goodput).to_millis();
+    if (s.job) {
+      out.queue_delay = s.admitted_at - arr.at;
+      out.spans_fabric = s.placement.spans_fabric;
+      const auto& iters = s.job->iteration_times();
+      const std::size_t skip = std::min<std::size_t>(iters.size() / 5, 10);
+      Cdf cdf;
+      for (std::size_t i = skip; i < iters.size(); ++i) {
+        cdf.add(iters[i].to_millis());
+      }
+      out.iterations = iters.size();
+      if (!cdf.empty()) {
+        out.mean_ms = cdf.mean();
+        out.slowdown = out.solo_ms > 0 ? out.mean_ms / out.solo_ms : 0.0;
+      }
+    }
+    if (out.state == ClusterJobOutcome::State::kQueued) ++report.queued_at_end;
+    if (out.state == ClusterJobOutcome::State::kRunning) {
+      ++report.running_at_end;
+    }
+  }
+  return report;
+}
+
+}  // namespace ccml

@@ -1,0 +1,125 @@
+// The online cluster orchestrator: a long-horizon control loop above
+// placement and the compatibility solver.
+//
+// Where cluster/experiment.h runs a *static* job set to steady state, the
+// orchestrator drives a *dynamic* one: jobs arrive (orch/arrivals.h), are
+// admitted / queued / rejected (orch/admission.h), train for their service
+// time, and depart — while scripted link faults (src/faults) hit the fabric
+// on the same timeline.  On every churn or topology event the live jobs'
+// communication gates are re-derived through the IncrementalResolver
+// (orch/resolve.h), so unchanged sharing groups cost a cache lookup and
+// shrunken ones usually just a warm-start certificate.
+//
+// Determinism contract: a run is a pure function of (topology, arrival
+// schedule, config).  ClusterRunReport::summary() and any attached trace
+// sinks produce byte-identical output across runs and SweepRunner thread
+// counts; wall-clock is deliberately excluded (ResolveStats::wall_micros is
+// available programmatically).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cc/factory.h"
+#include "faults/fault_plan.h"
+#include "net/network.h"
+#include "orch/admission.h"
+#include "orch/arrivals.h"
+#include "orch/resolve.h"
+#include "sim/simulator.h"
+
+namespace ccml {
+
+struct OrchestratorConfig {
+  PolicyKind policy = PolicyKind::kDcqcn;
+  DcqcnConfig dcqcn;
+  NetworkConfig net;
+  AdmissionConfig admission;
+  SolverOptions solver;
+
+  /// Derive communication gates for compatible sharing groups (paper §4,
+  /// direction (iii)); incompatible groups run ungated.
+  bool flow_schedule = true;
+
+  /// The run ends at this horizon; jobs still queued or training are
+  /// reported in their end-of-run state.
+  Duration horizon = Duration::seconds(60);
+
+  /// Scripted fabric faults on the same timeline as the job churn.  Link
+  /// events only — job churn is the arrival schedule's business; the
+  /// constructor throws on job events in the plan.
+  FaultPlan faults;
+
+  /// Wedge guards; zero fields get defaults scaled to `horizon`.
+  WatchdogConfig watchdog;
+
+  /// Optional observability bus: arrivals/admissions/rejections/departures,
+  /// solver runs and the usual flow/job/fault events are published to its
+  /// sinks.
+  TraceBus* trace = nullptr;
+};
+
+struct ClusterJobOutcome {
+  std::string name;
+  int workers = 0;
+
+  /// End-of-run state.
+  enum class State { kRejected, kQueued, kRunning, kFinished };
+  State state = State::kQueued;
+
+  /// Admission instant minus arrival instant; zero unless admitted.
+  Duration queue_delay = Duration::zero();
+  bool spans_fabric = false;
+
+  std::size_t iterations = 0;
+  double mean_ms = 0.0;     ///< mean iteration time after warmup
+  double solo_ms = 0.0;     ///< analytic dedicated-network iteration time
+  double slowdown = 0.0;    ///< mean / solo (0 until an iteration completes)
+};
+
+const char* to_string(ClusterJobOutcome::State state);
+
+struct ClusterRunReport {
+  std::vector<ClusterJobOutcome> jobs;  ///< one per arrival, arrival order
+
+  std::size_t submitted = 0;
+  std::size_t admitted = 0;
+  std::size_t rejected = 0;
+  std::size_t finished = 0;
+  std::size_t queued_at_end = 0;
+  std::size_t running_at_end = 0;
+
+  ResolveStats resolve;
+  std::size_t faults_applied = 0;
+
+  double admission_rate() const;
+  /// Mean queueing delay over admitted jobs, ms.
+  double mean_queue_delay_ms() const;
+  /// Mean per-job slowdown over jobs with measured iterations.
+  double mean_slowdown() const;
+  double max_slowdown() const;
+
+  /// Deterministic human-readable report: byte-identical for identical
+  /// (topology, schedule, config) inputs.
+  std::string summary() const;
+};
+
+class Orchestrator {
+ public:
+  /// Throws std::invalid_argument when the config is malformed (job events
+  /// in the fault plan, non-positive horizon).  `topo` must outlive run().
+  Orchestrator(const Topology& topo, ArrivalSchedule schedule,
+               OrchestratorConfig config);
+
+  /// Runs the full horizon.  Call once.
+  ClusterRunReport run();
+
+ private:
+  const Topology& topo_;
+  ArrivalSchedule schedule_;
+  OrchestratorConfig config_;
+};
+
+}  // namespace ccml

@@ -1,0 +1,70 @@
+#include "orch/resolve.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+namespace ccml {
+
+IncrementalResolver::IncrementalResolver(SolverOptions options)
+    : options_(std::move(options)) {}
+
+std::string IncrementalResolver::signature(
+    std::span<const CommProfile> profiles) {
+  std::string sig;
+  sig.reserve(profiles.size() * 48);
+  char buf[64];
+  for (const auto& p : profiles) {
+    std::snprintf(buf, sizeof(buf), "p%" PRId64 "d%.0f", p.period.ns(),
+                  p.demand.bits_per_sec());
+    sig += buf;
+    for (const auto& arc : p.arcs) {
+      std::snprintf(buf, sizeof(buf), "a%" PRId64 "+%" PRId64, arc.start.ns(),
+                    arc.length.ns());
+      sig += buf;
+    }
+    sig += ';';
+  }
+  return sig;
+}
+
+IncrementalResolver::Answer IncrementalResolver::solve_group(
+    std::span<const CommProfile> profiles, std::vector<Duration> warm_start) {
+  std::string sig = signature(profiles);
+  if (auto it = cache_.find(sig); it != cache_.end()) {
+    ++stats_.cache_hits;
+    return Answer{&it->second, true};
+  }
+
+  SolverOptions options = options_;
+  if (warm_start.size() == profiles.size()) {
+    options.warm_start = std::move(warm_start);
+  }
+  CompatibilitySolver solver(std::move(options));
+  const auto t0 = std::chrono::steady_clock::now();
+  SolverResult result = solver.solve(profiles);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  ++stats_.solves;
+  stats_.nodes_explored += result.nodes_explored;
+  stats_.wall_micros += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count());
+  // A compatible verdict with zero nodes explored means the warm-start
+  // witness answered before any search.
+  if (result.compatible && result.nodes_explored == 0 &&
+      !solver.options().warm_start.empty()) {
+    ++stats_.warm_start_hits;
+  }
+
+  auto [it, inserted] = cache_.emplace(std::move(sig), std::move(result));
+  (void)inserted;
+  return Answer{&it->second, false};
+}
+
+void IncrementalResolver::clear() {
+  cache_.clear();
+  stats_ = ResolveStats{};
+}
+
+}  // namespace ccml

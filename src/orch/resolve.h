@@ -1,0 +1,82 @@
+// Incremental re-solving for the online orchestrator.
+//
+// Every admission or departure changes which jobs share which fabric links,
+// and naively re-running the CompatibilitySolver on every sharing group after
+// every churn event is the orchestrator's dominant cost.  Two observations
+// make it cheap:
+//  * Most churn events leave most links' sharing groups untouched.  The
+//    resolver caches SolverResults keyed by a canonical signature of the
+//    group's communication profiles, so an unchanged group — or an identical
+//    group appearing on another link or at another time — is answered
+//    without searching.
+//  * When a group shrinks (a departure), the surviving incumbents' existing
+//    rotations are usually still violation-free.  Passing them as a warm
+//    start lets the solver certify compatibility from the witness alone
+//    (SolverOptions::warm_start), skipping the DFS entirely.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/profile.h"
+#include "core/solver.h"
+
+namespace ccml {
+
+struct ResolveStats {
+  std::uint64_t solves = 0;           ///< groups actually sent to the solver
+  std::uint64_t cache_hits = 0;       ///< groups answered from the cache
+  std::uint64_t warm_start_hits = 0;  ///< solves certified by the warm start
+  std::uint64_t nodes_explored = 0;   ///< total DFS nodes across all solves
+  /// Wall-clock spent inside the solver.  Nondeterministic — kept for
+  /// programmatic consumers (benchmarks); never part of a deterministic
+  /// report.
+  std::uint64_t wall_micros = 0;
+
+  std::uint64_t lookups() const { return solves + cache_hits; }
+  double hit_rate() const {
+    return lookups() == 0
+               ? 0.0
+               : static_cast<double>(cache_hits) / static_cast<double>(lookups());
+  }
+};
+
+class IncrementalResolver {
+ public:
+  explicit IncrementalResolver(SolverOptions options = {});
+
+  struct Answer {
+    /// Stable pointer into the cache; valid until clear().
+    const SolverResult* result = nullptr;
+    bool cache_hit = false;
+  };
+
+  /// Solves (or recalls) the compatibility verdict for one sharing group.
+  /// `warm_start`, when sized like `profiles`, carries rotations from a
+  /// previous verdict covering these jobs; it affects only how a cache miss
+  /// is solved, never the cache key.
+  Answer solve_group(std::span<const CommProfile> profiles,
+                     std::vector<Duration> warm_start = {});
+
+  /// Canonical signature of a group: per job, the period / demand / arc
+  /// geometry (names excluded — two jobs with identical profiles are
+  /// interchangeable to the solver).  Order-sensitive by design: callers
+  /// keep group membership in a stable order.
+  static std::string signature(std::span<const CommProfile> profiles);
+
+  const ResolveStats& stats() const { return stats_; }
+  const SolverOptions& options() const { return options_; }
+  std::size_t cache_size() const { return cache_.size(); }
+  void clear();
+
+ private:
+  SolverOptions options_;
+  // std::map: pointers into values stay valid across inserts.
+  std::map<std::string, SolverResult> cache_;
+  ResolveStats stats_;
+};
+
+}  // namespace ccml

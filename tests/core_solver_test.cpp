@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/sweep.h"
+
 namespace ccml {
 namespace {
 
@@ -185,6 +187,91 @@ TEST(Solver, ReportsNodesExplored) {
   const std::vector<CommProfile> jobs = {job("a", 100, 60), job("b", 100, 60)};
   const SolverResult r = CompatibilitySolver().solve(jobs);
   EXPECT_GT(r.nodes_explored, 0u);
+}
+
+TEST(Solver, AnnealingFallbackIsDeterministic) {
+  // An incompatible trio (total comm > any rotation can separate) exercises
+  // the annealing fallback.  Same seed + same job set must give identical
+  // rotations and residual overlap on every run — the warm-start/caching
+  // path above the solver (orch/resolve.h) relies on solves being pure
+  // functions of their inputs.
+  SolverOptions opts;
+  opts.search_budget = 50;  // force the DFS to give up quickly
+  opts.anneal_iterations = 2'000;
+  const std::vector<CommProfile> jobs = {job("a", 97, 40), job("b", 89, 35),
+                                         job("c", 83, 30)};
+  const SolverResult first = CompatibilitySolver(opts).solve(jobs);
+  for (int rep = 0; rep < 3; ++rep) {
+    const SolverResult again = CompatibilitySolver(opts).solve(jobs);
+    EXPECT_EQ(again.compatible, first.compatible);
+    EXPECT_EQ(again.rotations, first.rotations);
+    EXPECT_DOUBLE_EQ(again.violation_fraction, first.violation_fraction);
+    EXPECT_DOUBLE_EQ(again.overlap_fraction, first.overlap_fraction);
+  }
+  // A different annealing seed is allowed to land elsewhere; determinism is
+  // per (seed, input), not a single global optimum.
+  SolverOptions reseeded = opts;
+  reseeded.seed = opts.seed + 1;
+  const SolverResult other = CompatibilitySolver(reseeded).solve(jobs);
+  EXPECT_EQ(other.rotations.size(), jobs.size());
+}
+
+TEST(Solver, AnnealingDeterministicAcrossSweepThreadCounts) {
+  SolverOptions opts;
+  opts.search_budget = 50;
+  opts.anneal_iterations = 1'000;
+  const std::vector<std::vector<CommProfile>> groups = {
+      {job("a", 97, 40), job("b", 89, 35), job("c", 83, 30)},
+      {job("d", 101, 45), job("e", 91, 38)},
+      {job("f", 79, 30), job("g", 73, 28), job("h", 71, 26)},
+      {job("i", 103, 50), job("j", 107, 52)},
+  };
+  const auto solve_all = [&](unsigned threads) {
+    SweepOptions sw;
+    sw.threads = threads;
+    SweepRunner pool(sw);
+    return pool.run(groups, [&](const std::vector<CommProfile>& g,
+                                std::size_t) {
+      return CompatibilitySolver(opts).solve(g);
+    });
+  };
+  const auto solo = solve_all(1);
+  const auto fanned = solve_all(4);
+  ASSERT_EQ(solo.size(), fanned.size());
+  for (std::size_t i = 0; i < solo.size(); ++i) {
+    EXPECT_EQ(solo[i].compatible, fanned[i].compatible) << "group " << i;
+    EXPECT_EQ(solo[i].rotations, fanned[i].rotations) << "group " << i;
+    EXPECT_DOUBLE_EQ(solo[i].violation_fraction, fanned[i].violation_fraction)
+        << "group " << i;
+    EXPECT_EQ(solo[i].nodes_explored, fanned[i].nodes_explored)
+        << "group " << i;
+  }
+}
+
+TEST(Solver, WarmStartWitnessShortCircuitsSearch) {
+  const std::vector<CommProfile> jobs = {job("a", 100, 60), job("b", 100, 60)};
+  const SolverResult cold = CompatibilitySolver().solve(jobs);
+  ASSERT_TRUE(cold.compatible);
+  EXPECT_GT(cold.nodes_explored, 0u);
+
+  SolverOptions opts;
+  opts.warm_start = cold.rotations;
+  const SolverResult warm = CompatibilitySolver(opts).solve(jobs);
+  EXPECT_TRUE(warm.compatible);
+  EXPECT_TRUE(warm.proven);
+  EXPECT_EQ(warm.nodes_explored, 0u) << "a zero-violation witness must "
+                                        "answer without searching";
+  EXPECT_EQ(warm.rotations, cold.rotations);
+  expect_zero_overlap(jobs, warm);
+
+  // A violating warm start must not be trusted: the solver searches and
+  // still lands on a zero-overlap solution.
+  SolverOptions bad;
+  bad.warm_start = {Duration::zero(), Duration::zero()};  // fully overlapped
+  const SolverResult searched = CompatibilitySolver(bad).solve(jobs);
+  EXPECT_TRUE(searched.compatible);
+  EXPECT_GT(searched.nodes_explored, 0u);
+  expect_zero_overlap(jobs, searched);
 }
 
 TEST(Solver, TinySearchBudgetFallsBackUnproven) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/solver.h"
+
 namespace ccml {
 namespace {
 
@@ -99,6 +101,37 @@ TEST(UnifiedCircle, InexactWhenLcmExceedsCap) {
   const UnifiedCircle circle(jobs, opts);
   EXPECT_EQ(circle.perimeter().to_millis(), 500.0);
   EXPECT_FALSE(circle.exact());
+}
+
+TEST(UnifiedCircle, SolverDegradesGracefullyOnClampedPerimeter) {
+  // On a clamped circle the jobs only approximately repeat, so whatever the
+  // solver concludes is best-effort: it must surface the clamp
+  // (circle_exact = false), never claim a *proven* verdict, and still
+  // return well-formed rotations — degraded, not silently wrong.
+  SolverOptions opts;
+  opts.circle.perimeter_cap = Duration::millis(500);
+  const std::vector<CommProfile> jobs = {job("a", 997, 700),
+                                         job("b", 1009, 710)};
+  const SolverResult r = CompatibilitySolver(opts).solve(jobs);
+  EXPECT_FALSE(r.circle_exact);
+  EXPECT_FALSE(r.proven);
+  EXPECT_GE(r.violation_fraction, 0.0);
+  EXPECT_LE(r.violation_fraction, 1.0);
+  ASSERT_EQ(r.rotations.size(), jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    EXPECT_GE(r.rotations[j], Duration::zero());
+    EXPECT_LT(r.rotations[j], jobs[j].period);
+  }
+
+  // The same inputs with a cap above the true LCM (997 * 1009 ms ≈ 1006 s;
+  // the periods are coprime) keep the exact flag — the degradation is
+  // attributable to the clamp alone.
+  SolverOptions roomy;
+  roomy.circle.perimeter_cap = Duration::seconds(1100);
+  roomy.search_budget = 1'000;  // the huge circle is expensive; cap the DFS
+  roomy.anneal_iterations = 100;
+  const SolverResult exact = CompatibilitySolver(roomy).solve(jobs);
+  EXPECT_TRUE(exact.circle_exact);
 }
 
 TEST(UnifiedCircle, QuantizationSnapsNoisyPeriods) {

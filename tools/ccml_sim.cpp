@@ -30,6 +30,7 @@
 #include "core/solver.h"
 #include "obs/sinks.h"
 #include "obs/trace_bus.h"
+#include "orch/orchestrator.h"
 #include "sim/sweep.h"
 #include "telemetry/table.h"
 #include "workload/profiler.h"
@@ -74,6 +75,17 @@ commands:
        pause keys:     at_ms, for_ms, job
        depart keys:    at_ms, job
        arrive keys:    at_ms, job
+       also accepts --trace / --trace-format / --trace-cadence-ms
+  cluster [--seed N] [--seconds S] [--rate JOBS_PER_MIN] [--service-s S]
+          [--admission locality|compat] [--queue-cap N] [--queue-timeout-s S]
+          [--workers-min N] [--workers-max N] [--tors N] [--hosts N]
+          [--spines N] [--policy P] [--flow-schedule 0|1]
+          [--flap K=V,...] [--brownout K=V,...]
+                              online orchestrator: Poisson job arrivals on a
+                              leaf-spine fabric, admission control, and
+                              incremental gate re-solving; the report is
+                              byte-deterministic for a given seed
+       flap/brownout keys as above (default link: tor0->spine0)
        also accepts --trace / --trace-format / --trace-cadence-ms
   policies: maxmin | wfq | priority | dcqcn | dcqcn-adaptive | timely
 
@@ -501,6 +513,84 @@ int cmd_sweep(const std::vector<std::string>& job_args,
   return 0;
 }
 
+int cmd_cluster(
+    const std::vector<std::pair<std::string, std::string>>& fault_args,
+    const std::map<std::string, std::string>& opts) {
+  const auto num_opt = [&](const char* key, double fallback) {
+    const auto it = opts.find(key);
+    return it == opts.end() ? fallback : std::atof(it->second.c_str());
+  };
+
+  ArrivalConfig acfg;
+  acfg.seed = static_cast<std::uint64_t>(num_opt("seed", 1));
+  acfg.rate_per_min = num_opt("rate", 12);
+  acfg.horizon = Duration::from_seconds_f(num_opt("seconds", 60));
+  acfg.mean_service_extra = Duration::from_seconds_f(num_opt("service-s", 12));
+  acfg.min_workers = static_cast<int>(num_opt("workers-min", 2));
+  acfg.max_workers = static_cast<int>(num_opt("workers-max", 4));
+  const ArrivalSchedule schedule = generate_arrivals(acfg);
+
+  const int tors = static_cast<int>(num_opt("tors", 4));
+  const int hosts = static_cast<int>(num_opt("hosts", 4));
+  const int spines = static_cast<int>(num_opt("spines", 2));
+  const Topology topo = Topology::leaf_spine(tors, hosts, spines,
+                                             Rate::gbps(50), Rate::gbps(50));
+
+  OrchestratorConfig cfg;
+  if (opts.contains("policy")) {
+    cfg.policy = parse_policy_kind(opts.at("policy"));
+  }
+  cfg.horizon = acfg.horizon;
+  cfg.flow_schedule = num_opt("flow-schedule", 1) != 0;
+  const std::string adm = opts.contains("admission") ? opts.at("admission")
+                                                     : "compat";
+  if (adm == "locality") {
+    cfg.admission.policy = AdmissionPolicyKind::kLocalityOnly;
+  } else if (adm == "compat") {
+    cfg.admission.policy = AdmissionPolicyKind::kCompatibilityAware;
+  } else {
+    usage(("unknown admission policy: " + adm +
+           " (expected locality or compat)").c_str());
+  }
+  cfg.admission.queue_capacity = static_cast<int>(num_opt("queue-cap", 16));
+  cfg.admission.queue_timeout =
+      Duration::from_seconds_f(num_opt("queue-timeout-s", 30));
+
+  cfg.faults.seed = acfg.seed;
+  for (const auto& [kind, arg] : fault_args) {
+    const auto kv = parse_kv(arg);
+    const auto at =
+        TimePoint::origin() + Duration::from_millis_f(want_num(kv, "at_ms"));
+    const std::string link = want_str(kv, "link", "tor0->spine0");
+    if (kind == "flap") {
+      cfg.faults.flap(at, Duration::from_millis_f(want_num(kv, "for_ms")),
+                      link);
+    } else if (kind == "brownout") {
+      cfg.faults.brownout(at, Duration::from_millis_f(want_num(kv, "for_ms")),
+                          link, want_num(kv, "factor"));
+    } else {
+      usage(("cluster supports only link faults, not --" + kind).c_str());
+    }
+  }
+
+  TraceSetup trace;
+  cfg.trace = trace.configure(opts);
+
+  Orchestrator orch(topo, schedule, cfg);
+  const ClusterRunReport report = orch.run();
+
+  std::printf(
+      "online cluster: %dx%d hosts, %d spines | %s admission, %s policy | "
+      "seed %llu, %.1f jobs/min, %.0f s horizon\n",
+      tors, hosts, spines, to_string(cfg.admission.policy),
+      to_string(cfg.policy),
+      static_cast<unsigned long long>(acfg.seed), acfg.rate_per_min,
+      cfg.horizon.to_seconds());
+  std::printf("%s", report.summary().c_str());
+  trace.finish();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -532,6 +622,7 @@ int main(int argc, char** argv) {
     if (cmd == "scenario") return cmd_scenario(job_args, opts);
     if (cmd == "sweep") return cmd_sweep(job_args, opts);
     if (cmd == "faults") return cmd_faults(job_args, fault_args, opts);
+    if (cmd == "cluster") return cmd_cluster(fault_args, opts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

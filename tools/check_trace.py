@@ -26,7 +26,7 @@ KNOWN_KINDS = {
     "flow-start", "flow-finish", "flow-abort", "flow-reroute", "flow-park",
     "flow-unpark", "rate-decrease", "rate-timer", "phase", "iteration",
     "gate-open", "fault-apply", "fault-recover", "solve", "link-throughput",
-    "link-queue",
+    "link-queue", "job-submit", "job-admit", "job-reject", "job-depart",
 }
 
 
