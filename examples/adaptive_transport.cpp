@@ -53,11 +53,10 @@ int main(int argc, char** argv) {
   std::function<void()> sample = [&] {
     double rate[2] = {0, 0}, prog[2] = {-1, -1};
     for (const FlowId fid : net.active_flows()) {
-      const Flow& f = net.flow(fid);
-      const int j = f.spec.job.value;
+      const int j = net.flow(fid).spec.job.value;
       if (j >= 0 && j < 2) {
-        rate[j] = f.rate.to_gbps();
-        prog[j] = f.progress();
+        rate[j] = net.rate(fid).to_gbps();
+        prog[j] = net.progress_of(fid);
       }
     }
     auto cell = [](double r, double p) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 #include "net/network.h"
 #include "obs/trace_bus.h"
@@ -42,50 +43,133 @@ DcqcnPolicy::DcqcnPolicy(DcqcnConfig config)
   mark_scale_ = config_.pmax / (kmax_bytes_ - kmin_bytes_);
 }
 
+void DcqcnPolicy::resize_soa(std::size_t n) {
+  rc_bps_.resize(n);
+  rt_bps_.resize(n);
+  line_bps_.resize(n);
+  alpha_col_.resize(n);
+  rai_bps_.resize(n);
+  bsi_bytes_.resize(n);
+  emarks_.resize(n);
+  timer_ns_.resize(n);
+  tsi_ns_.resize(n);
+  cnp_ns_.resize(n);
+  aclk_ns_.resize(n);
+  clean_ns_.resize(n);
+  timer_rounds_col_.resize(n);
+  byte_rounds_col_.resize(n);
+}
+
+void DcqcnPolicy::refresh_caps(const Network& net) {
+  const std::size_t n = net.topology().link_count();
+  if (links_.size() < n) links_.resize(n);
+  for (std::size_t l = 0; l < n; ++l) {
+    links_[l].cap_bps =
+        net.effective_capacity(LinkId{static_cast<std::int32_t>(l)})
+            .bits_per_sec();
+  }
+}
+
+void DcqcnPolicy::rebuild_cp_links(const Network& net) {
+  // Exact recompute (no incremental float drift): per link, the sum of the
+  // line rates of the active flows crossing it.  Flow-set and capacity
+  // changes are rare, so O(flows x route length) here buys a CP pass that
+  // touches only links that can actually congest.
+  scratch_bound_.assign(links_.size(), 0.0);
+  for (const std::uint32_t slot : net.active_slots()) {
+    const double line = config_.reference_kernel
+                            ? state_[slot].line_rate.bits_per_sec()
+                            : line_bps_[slot];
+    for (const std::int32_t l : net.route_links(slot)) {
+      scratch_bound_[l] += line;
+    }
+  }
+  cp_links_.clear();
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    if (scratch_bound_[l] > links_[l].cap_bps) {
+      cp_links_.push_back(static_cast<std::int32_t>(l));
+    }
+  }
+}
+
 void DcqcnPolicy::on_flow_started(Network& net, Flow& flow) {
   if (links_.size() < net.topology().link_count()) {
-    links_.resize(net.topology().link_count());
+    refresh_caps(net);
   }
-  FlowState s;
   Rate line = Rate::gbps(1e9);  // effectively infinite until min'ed below
   for (const LinkId lid : flow.spec.route.links) {
     line = std::min(line, net.effective_capacity(lid));
   }
-  s.line_rate = line;
-  // RDMA senders start at line rate and back off on marks.
-  s.rc = line;
-  s.rt = line;
-  s.timer = flow.spec.cc_timer.is_positive() ? flow.spec.cc_timer
-                                             : config_.timer;
-  s.rai = flow.spec.cc_rai.is_positive() ? flow.spec.cc_rai : config_.rai;
+  const Duration timer = flow.spec.cc_timer.is_positive() ? flow.spec.cc_timer
+                                                          : config_.timer;
+  const Rate rai =
+      flow.spec.cc_rai.is_positive() ? flow.spec.cc_rai : config_.rai;
   const std::uint32_t slot = net.slot_of(flow.id);
-  if (state_.size() <= slot) state_.resize(net.slab_size());
-  state_[slot] = s;
+  if (config_.reference_kernel) {
+    FlowState s;
+    s.line_rate = line;
+    // RDMA senders start at line rate and back off on marks.
+    s.rc = line;
+    s.rt = line;
+    s.timer = timer;
+    s.rai = rai;
+    if (state_.size() <= slot) state_.resize(net.slab_size());
+    state_[slot] = s;
+  } else {
+    if (rc_bps_.size() <= slot) resize_soa(net.slab_size());
+    const double line_bps = line.bits_per_sec();
+    line_bps_[slot] = line_bps;
+    rc_bps_[slot] = line_bps;
+    rt_bps_[slot] = line_bps;
+    alpha_col_[slot] = 1.0;
+    timer_ns_[slot] = timer.ns();
+    rai_bps_[slot] = rai.bits_per_sec();
+    tsi_ns_[slot] = 0;
+    bsi_bytes_[slot] = 0.0;
+    timer_rounds_col_[slot] = 0;
+    byte_rounds_col_[slot] = 0;
+    cnp_ns_[slot] = Duration::max().ns();
+    aclk_ns_[slot] = 0;
+    emarks_[slot] = 0.0;
+    clean_ns_[slot] = 0;
+  }
   slots_[flow.id] = slot;
-  flow.rate = s.rc;
+  net.set_rate(slot, line);
+  rebuild_cp_links(net);
 }
 
-void DcqcnPolicy::on_flow_finished(Network& /*net*/, const Flow& flow) {
+void DcqcnPolicy::on_flow_finished(Network& net, const Flow& flow) {
   // The slot's state is left stale; a reused slot is overwritten on start.
   slots_.erase(flow.id);
+  rebuild_cp_links(net);
 }
 
 void DcqcnPolicy::on_link_capacity_changed(Network& net, LinkId /*link*/) {
-  // Line rates are cached per flow at start; a capacity change (brownout or
-  // restoration) anywhere on a route invalidates them.  Faults are rare, so
-  // refreshing every active flow is fine.
+  // Line rates are cached per flow at start and per link for the CP pass; a
+  // capacity change (brownout or restoration) anywhere invalidates both.
+  // Faults are rare, so refreshing everything is fine.
+  refresh_caps(net);
   for (const std::uint32_t slot : net.active_slots()) {
-    Flow& flow = net.flow_at(slot);
-    FlowState& s = state_[slot];
+    const Flow& flow = net.flow_at(slot);
     Rate line = Rate::gbps(1e9);
     for (const LinkId lid : flow.spec.route.links) {
       line = std::min(line, net.effective_capacity(lid));
     }
-    s.line_rate = line;
-    s.rc = std::min(s.rc, line);
-    s.rt = std::min(s.rt, line);
-    flow.rate = s.rc;
+    if (config_.reference_kernel) {
+      FlowState& s = state_[slot];
+      s.line_rate = line;
+      s.rc = std::min(s.rc, line);
+      s.rt = std::min(s.rt, line);
+      net.set_rate(slot, s.rc);
+    } else {
+      const double line_bps = line.bits_per_sec();
+      line_bps_[slot] = line_bps;
+      rc_bps_[slot] = std::min(rc_bps_[slot], line_bps);
+      rt_bps_[slot] = std::min(rt_bps_[slot], line_bps);
+      net.set_rate(slot, Rate::bps(rc_bps_[slot]));
+    }
   }
+  rebuild_cp_links(net);
 }
 
 void DcqcnPolicy::apply_decrease(FlowState& s) {
@@ -102,7 +186,7 @@ void DcqcnPolicy::apply_decrease(FlowState& s) {
   s.alpha_clock = Duration::zero();
 }
 
-void DcqcnPolicy::apply_increase(FlowState& s, const Flow& flow) {
+void DcqcnPolicy::apply_increase(FlowState& s, double progress) {
   const int f = config_.fast_recovery_rounds;
   if (s.timer_rounds >= f && s.byte_rounds >= f) {
     s.rt += config_.rhai;  // hyper increase
@@ -112,7 +196,7 @@ void DcqcnPolicy::apply_increase(FlowState& s, const Flow& flow) {
       // Paper §4: R_AI * (1 + Data_sent / Data_comm_phase).  Each flow
       // carries exactly one communication phase, so flow progress is the
       // paper's ratio.
-      rai = rai * (1.0 + flow.progress());
+      rai = rai * (1.0 + progress);
     }
     s.rt += rai;  // additive increase
   }
@@ -123,9 +207,28 @@ void DcqcnPolicy::apply_increase(FlowState& s, const Flow& flow) {
   s.rt = std::min(s.rt, s.line_rate);
 }
 
-void DcqcnPolicy::update_rates(Network& net, TimePoint now, Duration dt) {
+// The SoA twin of apply_increase; same operations in the same order on the
+// slab columns, so the two kernels stay bit-identical.
+void DcqcnPolicy::soa_increase(std::uint32_t slot, double progress) {
+  const int f = config_.fast_recovery_rounds;
+  if (timer_rounds_col_[slot] >= f && byte_rounds_col_[slot] >= f) {
+    rt_bps_[slot] += config_.rhai.bits_per_sec();
+  } else if (timer_rounds_col_[slot] >= f || byte_rounds_col_[slot] >= f) {
+    double rai = rai_bps_[slot];
+    if (config_.adaptive_rai) rai = rai * (1.0 + progress);
+    rt_bps_[slot] += rai;
+  }
+  rc_bps_[slot] = (rt_bps_[slot] + rc_bps_[slot]) * 0.5;
+  rc_bps_[slot] = std::min(rc_bps_[slot], line_bps_[slot]);
+  rt_bps_[slot] = std::min(rt_bps_[slot], line_bps_[slot]);
+}
+
+// Once-per-call setup shared by update_rates and update_rates_burst: sizes
+// the link table to the topology and re-resolves counter handles when the
+// bound trace bus changed.  Neither can change inside a fused burst.
+void DcqcnPolicy::sync_caches(Network& net) {
   if (links_.size() < net.topology().link_count()) {
-    links_.resize(net.topology().link_count());
+    refresh_caps(net);
   }
   TraceBus* bus = net.trace_bus();
   if (bus != bus_cache_) {
@@ -133,54 +236,109 @@ void DcqcnPolicy::update_rates(Network& net, TimePoint now, Duration dt) {
     c_cnp_ = bus ? &bus->counter("dcqcn.cnp") : nullptr;
     c_timer_fires_ = bus ? &bus->counter("dcqcn.timer_fires") : nullptr;
   }
+}
 
+void DcqcnPolicy::update_rates(Network& net, TimePoint now, Duration dt) {
+  sync_caches(net);
+  step_tick(net, now, dt);
+}
+
+void DcqcnPolicy::update_rates_burst(Network& net, TimePoint first, Duration dt,
+                                     std::uint64_t ticks) {
+  sync_caches(net);
+  const double dt_s = dt.to_seconds();
+  TimePoint now = first;
+  for (std::uint64_t k = 0; k < ticks; ++k) {
+    step_tick(net, now, dt);
+    net.integrate_progress_unchecked(dt_s);
+    now = now + dt;
+  }
+}
+
+double DcqcnPolicy::rate_bound_bps(const Network& /*net*/,
+                                   std::uint32_t slot) const {
+  const double line = config_.reference_kernel
+                          ? state_[slot].line_rate.bits_per_sec()
+                          : line_bps_[slot];
+  // apply_decrease floors R_C at 10 Mbps, which can exceed the line rate of
+  // a browned-out route, so the bound must cover both.
+  return std::max(line, Rate::mbps(10).bits_per_sec());
+}
+
+void DcqcnPolicy::step_tick(Network& net, TimePoint now, Duration dt) {
   // --- CP: integrate egress queues and refresh marking probabilities. -----
   // Only links carrying flows or still draining backlog from departed flows
-  // are touched; idle links stay at queue == 0, mark_prob == 0.
+  // are touched; idle links stay at queue == 0, mark_prob == 0.  All the
+  // arithmetic runs on raw doubles (queue bytes, cached capacity bps) — the
+  // unit wrappers cost measurable time at one call per link per tick.
   ++step_stamp_;
   bool queues_clear = true;
   bool any_marked = false;
   scratch_wet_.clear();
-  const auto integrate = [&](std::size_t l, Rate arrival)
+  const std::span<const double> rates = net.rates_bps();
+  const double dt_s = dt.to_seconds();
+  const auto integrate = [&](std::size_t l, double arrival_bps)
       __attribute__((always_inline)) {
-    const Rate cap =
-        net.effective_capacity(LinkId{static_cast<std::int32_t>(l)});
-    Bytes q = links_[l].queue + (arrival - cap) * dt;
-    if (q < Bytes::zero()) q = Bytes::zero();
-    links_[l].queue = q;
-    const double p = red_probability(q.count());
-    links_[l].mark_prob = p;
+    LinkState& ls = links_[l];
+    // Dry fast path: an empty queue that is not filling stays empty, and
+    // its marking state is already zero from the pass that drained it.
+    // Most links on most ticks are dry (e.g. host links faster than the
+    // route's bottleneck), so this skips the RED math and four stores.
+    if (ls.queue_b == 0.0 && arrival_bps <= ls.cap_bps) return;
+    double q = ls.queue_b + (arrival_bps - ls.cap_bps) * dt_s / 8.0;
+    if (q < 0.0) q = 0.0;
+    ls.queue_b = q;
+    const double p = red_probability(q);
+    ls.mark_prob = p;
     // Hoists the per-flow libm work: P(packet unmarked on the route) is the
     // product of per-link (1-p), so each flow only needs the sum of these
     // logs and a single exp.  log1p(-1) = -inf gives p_any = 1 exactly.
-    links_[l].log_keep = p > 0.0 ? std::log1p(-p) : 0.0;
+    ls.log_keep = p > 0.0 ? std::log1p(-p) : 0.0;
     if (p > 0.0) any_marked = true;
-    if (!q.is_zero()) {
+    if (q != 0.0) {
       queues_clear = false;
       scratch_wet_.push_back(static_cast<std::uint32_t>(l));
     }
   };
-  for (const LinkId lid : net.links_in_use()) {
-    const auto l = static_cast<std::size_t>(lid.value);
+  // Only links that can congest under the current flow set (see cp_links_)
+  // plus links still draining backlog need any CP work at all.
+  for (const std::int32_t l : cp_links_) {
     links_[l].stamp = step_stamp_;
-    Rate arrival = Rate::zero();
-    for (const std::uint32_t slot : net.flow_slots_on_link(lid)) {
-      arrival += net.flow_at(slot).rate;
+    double arrival_bps = 0.0;
+    for (const std::uint32_t slot : net.flow_slots_on_link(LinkId{l})) {
+      arrival_bps += rates[slot];
     }
-    integrate(l, arrival);
+    integrate(static_cast<std::size_t>(l), arrival_bps);
   }
-  // Backlog on links whose flows all departed drains at line rate.
+  // Wet links outside cp_links_: backlog left from an earlier flow set (or a
+  // capacity dip) drains against whatever its current flows still send —
+  // zero arrival once they all departed.
   for (const std::uint32_t l : wet_links_) {
-    if (links_[l].stamp != step_stamp_) integrate(l, Rate::zero());
+    if (links_[l].stamp != step_stamp_) {
+      double arrival_bps = 0.0;
+      for (const std::uint32_t slot :
+           net.flow_slots_on_link(LinkId{static_cast<std::int32_t>(l)})) {
+        arrival_bps += rates[slot];
+      }
+      integrate(l, arrival_bps);
+    }
   }
   wet_links_.swap(scratch_wet_);
   queues_clear_ = queues_clear;
 
   // --- NP + RP: per-flow CNP arrivals and rate machine updates. -----------
-  if (bus != nullptr) {
-    rp_pass<true>(net, now, dt, any_marked);
+  if (config_.reference_kernel) {
+    if (bus_cache_ != nullptr) {
+      rp_pass<true>(net, now, dt, any_marked);
+    } else {
+      rp_pass<false>(net, now, dt, any_marked);
+    }
   } else {
-    rp_pass<false>(net, now, dt, any_marked);
+    if (bus_cache_ != nullptr) {
+      rp_pass_soa<true>(net, now, dt, any_marked);
+    } else {
+      rp_pass_soa<false>(net, now, dt, any_marked);
+    }
   }
 }
 
@@ -188,7 +346,7 @@ template <bool Traced>
 void DcqcnPolicy::rp_pass(Network& net, TimePoint now, Duration dt,
                           bool any_marked) {
   for (const std::uint32_t slot : net.active_slots()) {
-    Flow& flow = net.flow_at(slot);
+    const Flow& flow = net.flow_at(slot);
     FlowState& s = state_[slot];
 
     // Probability that at least one of this step's packets is marked on any
@@ -200,7 +358,7 @@ void DcqcnPolicy::rp_pass(Network& net, TimePoint now, Duration dt,
         sum_log += links_[lid.value].log_keep;
       }
     }
-    const Bytes sent = flow.rate * dt;
+    const Bytes sent = net.rate_at(slot) * dt;
     double p_any = 0.0;
     if (sum_log < 0.0) {
       const double pkts = std::max(1.0, sent / config_.mtu);
@@ -245,7 +403,7 @@ void DcqcnPolicy::rp_pass(Network& net, TimePoint now, Duration dt,
       while (s.time_since_increase >= s.timer) {
         s.time_since_increase -= s.timer;
         ++s.timer_rounds;
-        apply_increase(s, flow);
+        apply_increase(s, net.progress_at(slot));
         if constexpr (Traced) {
           emit_rate_event(*bus_cache_, *c_timer_fires_,
                           TraceEventKind::kRateTimer, now, flow,
@@ -255,10 +413,140 @@ void DcqcnPolicy::rp_pass(Network& net, TimePoint now, Duration dt,
       while (s.bytes_since_increase >= config_.byte_counter) {
         s.bytes_since_increase -= config_.byte_counter;
         ++s.byte_rounds;
-        apply_increase(s, flow);
+        apply_increase(s, net.progress_at(slot));
       }
     }
-    flow.rate = s.rc;
+    net.set_rate(slot, s.rc);
+  }
+}
+
+template <bool Traced>
+void DcqcnPolicy::rp_pass_soa(Network& net, TimePoint now, Duration dt,
+                              bool any_marked) {
+  const std::span<const std::uint32_t> slots = net.active_slots();
+  const std::size_t n = slots.size();
+  const std::span<double> rates = net.mutable_rates_bps();
+
+  // Gather: per-flow bytes sent this step and route-wide marking
+  // probability.  Both loops stream over dense scratch; the route walk uses
+  // the network's flat link array (no per-flow Route indirection), and the
+  // libm exp stays confined to flows that actually saw a marked link.
+  if (scratch_sent_.size() < n) {
+    scratch_sent_.resize(n);
+    scratch_p_.resize(n);
+  }
+  const double dt_s = dt.to_seconds();
+  if (any_marked) {
+    const double mtu_b = config_.mtu.count();
+    // Flows sharing a bottleneck at equal rates (the common symmetric case)
+    // feed exp the same argument; memoizing the last call halves the libm
+    // cost there and is exact — same input, same output.
+    double memo_x = std::numeric_limits<double>::quiet_NaN();
+    double memo_p = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double sent = rates[slots[i]] * dt_s / 8.0;
+      scratch_sent_[i] = sent;
+      double sum_log = 0.0;
+      for (const std::int32_t l : net.route_links(slots[i])) {
+        sum_log += links_[l].log_keep;
+      }
+      double p_any = 0.0;
+      if (sum_log < 0.0) {
+        const double pkts = std::max(1.0, sent / mtu_b);
+        const double x = pkts * sum_log;
+        if (x != memo_x) {
+          memo_x = x;
+          memo_p = 1.0 - std::exp(x);
+        }
+        p_any = memo_p;
+      }
+      scratch_p_[i] = p_any;
+    }
+  } else {
+    // scratch_p_ is not read on unmarked ticks (the kernel uses the
+    // any_marked flag), so only the sent column is gathered.
+    for (std::size_t i = 0; i < n; ++i) {
+      scratch_sent_[i] = rates[slots[i]] * dt_s / 8.0;
+    }
+  }
+
+  // Kernel + scatter: the RP rate machine over the SoA columns.  Constants
+  // are hoisted out of the loop; every arithmetic step mirrors the reference
+  // kernel exactly (same order, same values) so results stay bit-identical.
+  const std::int64_t dt_ns = dt.ns();
+  const std::int64_t cnp_max_ns = Duration::max().ns();
+  const std::int64_t cnp_interval_ns = config_.cnp_interval.ns();
+  const std::int64_t alpha_update_ns = config_.alpha_update.ns();
+  const double byte_counter_b = config_.byte_counter.count();
+  const double one_minus_g = 1.0 - config_.g;
+  const double rc_floor_bps = Rate::mbps(10).bits_per_sec();
+  const bool deterministic = config_.deterministic_marking;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t slot = slots[i];
+    const double sent = scratch_sent_[i];
+    const double p_any = any_marked ? scratch_p_[i] : 0.0;
+
+    if (cnp_ns_[slot] < cnp_max_ns) cnp_ns_[slot] += dt_ns;
+    aclk_ns_[slot] += dt_ns;
+
+    bool cnp = false;
+    const bool cnp_allowed = cnp_ns_[slot] >= cnp_interval_ns;
+    if (deterministic) {
+      // Written select-friendly (no stores inside branches): same values and
+      // FP order as the reference kernel's branchy form — a clean streak of
+      // one CNP interval forgets accumulated marks, and firing resets them.
+      const bool has_p = p_any > 0.0;
+      const std::int64_t clean = has_p ? 0 : clean_ns_[slot] + dt_ns;
+      double em = emarks_[slot];
+      if (has_p) em += p_any;
+      if (clean >= cnp_interval_ns) em = 0.0;
+      clean_ns_[slot] = clean;
+      cnp = cnp_allowed && em >= 1.0;
+      if (cnp) em = 0.0;
+      emarks_[slot] = em;
+    } else {
+      cnp = cnp_allowed && p_any > 0.0 && rng_.chance(p_any);
+    }
+    if (cnp) {
+      rt_bps_[slot] = rc_bps_[slot];
+      alpha_col_[slot] = one_minus_g * alpha_col_[slot] + config_.g;
+      rc_bps_[slot] = rc_bps_[slot] * (1.0 - alpha_col_[slot] / 2.0);
+      rc_bps_[slot] = std::max(rc_bps_[slot], rc_floor_bps);
+      tsi_ns_[slot] = 0;
+      bsi_bytes_[slot] = 0.0;
+      timer_rounds_col_[slot] = 0;
+      byte_rounds_col_[slot] = 0;
+      cnp_ns_[slot] = 0;
+      aclk_ns_[slot] = 0;
+      if constexpr (Traced) {
+        emit_rate_event(*bus_cache_, *c_cnp_, TraceEventKind::kRateDecrease,
+                        now, net.flow_at(slot), rc_bps_[slot],
+                        alpha_col_[slot]);
+      }
+    } else {
+      while (aclk_ns_[slot] >= alpha_update_ns) {
+        alpha_col_[slot] *= one_minus_g;
+        aclk_ns_[slot] -= alpha_update_ns;
+      }
+      tsi_ns_[slot] += dt_ns;
+      bsi_bytes_[slot] += sent;
+      while (tsi_ns_[slot] >= timer_ns_[slot]) {
+        tsi_ns_[slot] -= timer_ns_[slot];
+        ++timer_rounds_col_[slot];
+        soa_increase(slot, net.progress_at(slot));
+        if constexpr (Traced) {
+          emit_rate_event(*bus_cache_, *c_timer_fires_,
+                          TraceEventKind::kRateTimer, now, net.flow_at(slot),
+                          rc_bps_[slot], timer_rounds_col_[slot]);
+        }
+      }
+      while (bsi_bytes_[slot] >= byte_counter_b) {
+        bsi_bytes_[slot] -= byte_counter_b;
+        ++byte_rounds_col_[slot];
+        soa_increase(slot, net.progress_at(slot));
+      }
+    }
+    rates[slot] = rc_bps_[slot];
   }
 }
 
@@ -266,14 +554,19 @@ Bytes DcqcnPolicy::link_queue(LinkId link) const {
   if (!link.valid() || static_cast<std::size_t>(link.value) >= links_.size()) {
     return Bytes::zero();
   }
-  return links_[link.value].queue;
+  return Bytes::of(links_[link.value].queue_b);
 }
 
 DcqcnPolicy::RpState DcqcnPolicy::rp_state(FlowId id) const {
   const auto it = slots_.find(id);
   assert(it != slots_.end());
-  const FlowState& s = state_[it->second];
-  return {s.rc, s.rt, s.alpha, s.timer_rounds, s.byte_rounds};
+  const std::uint32_t slot = it->second;
+  if (config_.reference_kernel) {
+    const FlowState& s = state_[slot];
+    return {s.rc, s.rt, s.alpha, s.timer_rounds, s.byte_rounds};
+  }
+  return {Rate::bps(rc_bps_[slot]), Rate::bps(rt_bps_[slot]),
+          alpha_col_[slot], timer_rounds_col_[slot], byte_rounds_col_[slot]};
 }
 
 }  // namespace ccml

@@ -25,6 +25,7 @@
 // taking turns and time-average to a fair share.
 #pragma once
 
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -75,6 +76,14 @@ struct DcqcnConfig {
 
   /// Seed for the stochastic marking process.
   std::uint64_t seed = 1;
+
+  /// Run the original per-flow scalar rate machine (an array of FlowState
+  /// records walked one struct at a time) instead of the structure-of-arrays
+  /// kernel.  The two paths are bit-identical by construction — every
+  /// floating-point operation happens in the same order on the same values —
+  /// and tests/cc_kernel_parity_test.cpp holds them to that.  Useful as a
+  /// cross-check and as the baseline for A/B perf runs.
+  bool reference_kernel = false;
 };
 
 class DcqcnPolicy : public BandwidthPolicy {
@@ -89,6 +98,10 @@ class DcqcnPolicy : public BandwidthPolicy {
   void on_flow_finished(Network& net, const Flow& flow) override;
   void on_link_capacity_changed(Network& net, LinkId link) override;
   void update_rates(Network& net, TimePoint now, Duration dt) override;
+  void update_rates_burst(Network& net, TimePoint first, Duration dt,
+                          std::uint64_t ticks) override;
+  /// Route line rate, floored at the 10 Mbps minimum apply_decrease enforces.
+  double rate_bound_bps(const Network& net, std::uint32_t slot) const override;
   Bytes link_queue(LinkId link) const override;
   /// With all switch queues drained nothing evolves between steps while no
   /// flow is active, so the kernel may fast-forward across compute phases.
@@ -125,21 +138,37 @@ class DcqcnPolicy : public BandwidthPolicy {
   };
 
   struct LinkState {
-    Bytes queue = Bytes::zero();
+    double queue_b = 0.0;     ///< egress backlog, bytes
+    double cap_bps = 0.0;     ///< cached effective capacity (see refresh_caps)
     double mark_prob = 0.0;
-    double log_keep = 0.0;  ///< log1p(-mark_prob), cached per CP pass
+    double log_keep = 0.0;
     std::uint64_t stamp = 0;  ///< last CP pass that touched this link
   };
 
+  /// (Re)sizes `links_` to the topology and snapshots every effective
+  /// capacity into LinkState::cap_bps.  Capacities only move through
+  /// on_link_capacity_changed, so the CP pass reads the cached double
+  /// instead of recomputing Rate wrappers per link per tick.
+  void refresh_caps(const Network& net);
+  /// Shared once-per-call preamble of update_rates / update_rates_burst.
+  void sync_caches(Network& net);
+  /// One fluid step: CP queue/marking pass + NP/RP dispatch.
+  void step_tick(Network& net, TimePoint now, Duration dt);
   void apply_decrease(FlowState& s);
-  void apply_increase(FlowState& s, const Flow& flow);
-  /// NP + RP pass over the active flows.  Compiled twice: the Traced
-  /// instantiation emits TraceEvents through `bus_cache_`, the untraced one
-  /// contains no trace code at all so the no-sink hot loop stays identical
-  /// to an uninstrumented build (even a never-taken branch around an emit
-  /// call costs measurable time here).
+  void apply_increase(FlowState& s, double progress);
+  /// NP + RP reference pass (scalar, AoS FlowState records).  Compiled
+  /// twice: the Traced instantiation emits TraceEvents through `bus_cache_`,
+  /// the untraced one contains no trace code at all so the no-sink hot loop
+  /// stays identical to an uninstrumented build (even a never-taken branch
+  /// around an emit call costs measurable time here).
   template <bool Traced>
   void rp_pass(Network& net, TimePoint now, Duration dt, bool any_marked);
+  /// NP + RP slab pass: gather (per-flow bytes sent and route marking
+  /// probability, streamed from the network's rate slab and flat route
+  /// array) → kernel (rate machine over the SoA columns below) → scatter
+  /// (new rates back into the network slab).  Same Traced/untraced split.
+  template <bool Traced>
+  void rp_pass_soa(Network& net, TimePoint now, Duration dt, bool any_marked);
   /// RED/ECN marking probability for a queue of `queue_bytes` bytes, using
   /// the slope precomputed in the constructor.
   double red_probability(double queue_bytes) const {
@@ -152,9 +181,32 @@ class DcqcnPolicy : public BandwidthPolicy {
   Rng rng_;
   // Rate-machine state indexed by the network's stable slab slot so the
   // per-step RP pass is hash-free; `slots_` maps ids for the diag API and
-  // is only consulted off the hot path.
+  // is only consulted off the hot path.  Only the representation selected
+  // by `config_.reference_kernel` is maintained: the AoS FlowState records
+  // below for the reference path, or the SoA columns for the slab kernel.
   std::vector<FlowState> state_;
   std::unordered_map<FlowId, std::uint32_t> slots_;
+
+  // SoA columns, slot-indexed (one contiguous array per FlowState field).
+  std::vector<double> rc_bps_;        // current rate
+  std::vector<double> rt_bps_;        // target rate
+  std::vector<double> line_bps_;      // min capacity along the route
+  std::vector<double> alpha_col_;
+  std::vector<double> rai_bps_;       // per-flow R_AI
+  std::vector<double> bsi_bytes_;     // bytes since last increase
+  std::vector<double> emarks_;        // deterministic-marking accumulator
+  std::vector<std::int64_t> timer_ns_;
+  std::vector<std::int64_t> tsi_ns_;  // time since last increase
+  std::vector<std::int64_t> cnp_ns_;  // time since last CNP
+  std::vector<std::int64_t> aclk_ns_;
+  std::vector<std::int64_t> clean_ns_;
+  std::vector<std::int32_t> timer_rounds_col_;
+  std::vector<std::int32_t> byte_rounds_col_;
+  void resize_soa(std::size_t n);
+  void soa_increase(std::uint32_t slot, double progress);
+  // Dense per-pass scratch (index parallels the active-slot list).
+  std::vector<double> scratch_sent_;
+  std::vector<double> scratch_p_;
   std::vector<LinkState> links_;
   double kmin_bytes_ = 0.0;
   double kmax_bytes_ = 0.0;
@@ -163,6 +215,16 @@ class DcqcnPolicy : public BandwidthPolicy {
   std::uint64_t step_stamp_ = 0;
   std::vector<std::uint32_t> wet_links_;  // links with backlog after the
   std::vector<std::uint32_t> scratch_wet_;  // previous pass (+ scratch)
+  /// Links that can congest under the current flow set: the sum of the line
+  /// rates of the flows crossing the link exceeds its effective capacity.
+  /// Every other link provably never queues (per-flow rates are clamped to
+  /// the route's line rate, so arrival <= sum-of-lines <= capacity keeps the
+  /// queue at zero), and the CP pass skips it wholesale.  Rebuilt on flow
+  /// start/finish and on capacity changes; links still draining backlog from
+  /// an earlier flow set are carried by `wet_links_`.
+  std::vector<std::int32_t> cp_links_;
+  std::vector<double> scratch_bound_;  // rebuild_cp_links scratch
+  void rebuild_cp_links(const Network& net);
 
   // Cached per-bus counter handles (re-resolved when the bound bus changes).
   TraceBus* bus_cache_ = nullptr;

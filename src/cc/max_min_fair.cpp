@@ -6,13 +6,11 @@ namespace ccml {
 
 void MaxMinFairPolicy::update_rates(Network& net, TimePoint /*now*/,
                                     Duration /*dt*/) {
-  const auto flows = net.active_flows();
   const auto slots = net.active_slots();
   auto residual = full_residual(net);
-  const std::unordered_map<FlowId, double> unit_weights;  // default weight 1
-  auto rates = water_fill(net, flows, residual, unit_weights);
-  for (std::size_t i = 0; i < flows.size(); ++i) {
-    net.flow_at(slots[i]).rate = rates[flows[i]];
+  const auto rates = water_fill(net, slots, residual);  // unit weights
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    net.set_rate(slots[i], rates[i]);
   }
 }
 

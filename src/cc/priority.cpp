@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <vector>
 
 #include "cc/water_fill.h"
 
@@ -9,21 +10,21 @@ namespace ccml {
 
 void PriorityPolicy::update_rates(Network& net, TimePoint /*now*/,
                                   Duration /*dt*/) {
-  const auto flows = net.active_flows();
   const auto slots = net.active_slots();
-  std::map<int, std::vector<FlowId>> classes;  // ordered: high priority first
-  for (std::size_t i = 0; i < flows.size(); ++i) {
-    classes[net.flow_at(slots[i]).spec.priority].push_back(flows[i]);
+  std::map<int, std::vector<std::uint32_t>> classes;  // high priority first
+  for (const std::uint32_t slot : slots) {
+    classes[net.flow_at(slot).spec.priority].push_back(slot);
   }
   auto residual = full_residual(net);
   for (auto& [prio, members] : classes) {
-    std::unordered_map<FlowId, double> weights;
-    for (const FlowId fid : members) {
-      weights[fid] = net.flow(fid).spec.weight;
+    std::vector<double> weights;
+    weights.reserve(members.size());
+    for (const std::uint32_t slot : members) {
+      weights.push_back(net.flow_at(slot).spec.weight);
     }
-    auto rates = water_fill(net, members, residual, weights);
-    for (const FlowId fid : members) {
-      net.flow(fid).rate = rates[fid];
+    const auto rates = water_fill(net, members, residual, weights);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      net.set_rate(members[i], rates[i]);
     }
   }
 }

@@ -13,23 +13,48 @@ TimelyPolicy::TimelyPolicy(TimelyConfig config) : config_(config) {
   assert(config_.update_interval.is_positive());
 }
 
+void TimelyPolicy::resize_soa(std::size_t n) {
+  rate_bps_.resize(n);
+  line_bps_.resize(n);
+  delta_bps_.resize(n);
+  ewma_col_.resize(n);
+  grad_col_.resize(n);
+  prev_rtt_ns_.resize(n);
+  since_ns_.resize(n);
+  good_rounds_.resize(n);
+}
+
 void TimelyPolicy::on_flow_started(Network& net, Flow& flow) {
   if (links_.size() < net.topology().link_count()) {
     links_.resize(net.topology().link_count());
   }
-  FlowState s;
   Rate line = Rate::gbps(1e9);
   for (const LinkId lid : flow.spec.route.links) {
     line = std::min(line, net.effective_capacity(lid));
   }
-  s.line_rate = line;
-  s.rate = line;  // RDMA starts at line rate
-  s.delta = flow.spec.cc_rai.is_positive() ? flow.spec.cc_rai : config_.delta;
+  const Rate delta =
+      flow.spec.cc_rai.is_positive() ? flow.spec.cc_rai : config_.delta;
   const std::uint32_t slot = net.slot_of(flow.id);
-  if (state_.size() <= slot) state_.resize(net.slab_size());
-  state_[slot] = s;
+  if (config_.reference_kernel) {
+    FlowState s;
+    s.line_rate = line;
+    s.rate = line;  // RDMA starts at line rate
+    s.delta = delta;
+    if (state_.size() <= slot) state_.resize(net.slab_size());
+    state_[slot] = s;
+  } else {
+    if (rate_bps_.size() <= slot) resize_soa(net.slab_size());
+    line_bps_[slot] = line.bits_per_sec();
+    rate_bps_[slot] = line.bits_per_sec();
+    delta_bps_[slot] = delta.bits_per_sec();
+    ewma_col_[slot] = 0.0;
+    grad_col_[slot] = 0.0;
+    prev_rtt_ns_[slot] = 0;
+    since_ns_[slot] = 0;
+    good_rounds_[slot] = 0;
+  }
   slots_[flow.id] = slot;
-  flow.rate = s.rate;
+  net.set_rate(slot, line);
 }
 
 void TimelyPolicy::on_flow_finished(Network& /*net*/, const Flow& flow) {
@@ -41,15 +66,21 @@ void TimelyPolicy::on_link_capacity_changed(Network& net, LinkId /*link*/) {
   // Cached line rates go stale when capacity changes mid-run (brownout or
   // restoration); refresh every active flow — faults are rare events.
   for (const std::uint32_t slot : net.active_slots()) {
-    Flow& flow = net.flow_at(slot);
-    FlowState& s = state_[slot];
+    const Flow& flow = net.flow_at(slot);
     Rate line = Rate::gbps(1e9);
     for (const LinkId lid : flow.spec.route.links) {
       line = std::min(line, net.effective_capacity(lid));
     }
-    s.line_rate = line;
-    s.rate = std::min(s.rate, line);
-    flow.rate = s.rate;
+    if (config_.reference_kernel) {
+      FlowState& s = state_[slot];
+      s.line_rate = line;
+      s.rate = std::min(s.rate, line);
+      net.set_rate(slot, s.rate);
+    } else {
+      line_bps_[slot] = line.bits_per_sec();
+      rate_bps_[slot] = std::min(rate_bps_[slot], line.bits_per_sec());
+      net.set_rate(slot, Rate::bps(rate_bps_[slot]));
+    }
   }
 }
 
@@ -63,6 +94,7 @@ void TimelyPolicy::update_rates(Network& net, TimePoint /*now*/, Duration dt) {
   ++step_stamp_;
   bool queues_clear = true;
   scratch_wet_.clear();
+  const std::span<const double> rates = net.rates_bps();
   const auto integrate = [&](std::size_t l, Rate arrival)
       __attribute__((always_inline)) {
     const Rate cap =
@@ -78,11 +110,11 @@ void TimelyPolicy::update_rates(Network& net, TimePoint /*now*/, Duration dt) {
   for (const LinkId lid : net.links_in_use()) {
     const auto l = static_cast<std::size_t>(lid.value);
     links_[l].stamp = step_stamp_;
-    Rate arrival = Rate::zero();
+    double arrival_bps = 0.0;
     for (const std::uint32_t slot : net.flow_slots_on_link(lid)) {
-      arrival += net.flow_at(slot).rate;
+      arrival_bps += rates[slot];
     }
-    integrate(l, arrival);
+    integrate(l, Rate::bps(arrival_bps));
   }
   for (const std::uint32_t l : wet_links_) {
     if (links_[l].stamp != step_stamp_) integrate(l, Rate::zero());
@@ -90,13 +122,21 @@ void TimelyPolicy::update_rates(Network& net, TimePoint /*now*/, Duration dt) {
   wet_links_.swap(scratch_wet_);
   queues_clear_ = queues_clear;
 
+  if (config_.reference_kernel) {
+    update_rates_reference(net, dt);
+  } else {
+    update_rates_soa(net, dt);
+  }
+}
+
+void TimelyPolicy::update_rates_reference(Network& net, Duration dt) {
   for (const std::uint32_t slot : net.active_slots()) {
-    Flow& flow = net.flow_at(slot);
+    const Flow& flow = net.flow_at(slot);
     FlowState& s = state_[slot];
 
     s.since_update += dt;
     if (s.since_update < config_.update_interval) {
-      flow.rate = s.rate;
+      net.set_rate(slot, s.rate);
       continue;
     }
     s.since_update = Duration::zero();
@@ -136,8 +176,77 @@ void TimelyPolicy::update_rates(Network& net, TimePoint /*now*/, Duration dt) {
       s.completed_good_rounds = 0;
     }
     s.rate = std::clamp(s.rate, config_.min_rate, s.line_rate);
-    flow.rate = s.rate;
+    net.set_rate(slot, s.rate);
   }
+}
+
+// SoA twin of update_rates_reference: identical arithmetic in identical
+// order over the slab columns (the RTT sum keeps the Duration int64-ns
+// wrappers so rounding matches to the bit), with the route walk taken from
+// the network's flat link array and rates scattered straight into the
+// network slab.
+void TimelyPolicy::update_rates_soa(Network& net, Duration dt) {
+  const std::span<const std::uint32_t> slots = net.active_slots();
+  const std::span<double> rates = net.mutable_rates_bps();
+  const std::int64_t dt_ns = dt.ns();
+  const std::int64_t interval_ns = config_.update_interval.ns();
+  const double ewma_a = config_.ewma_alpha;
+  const double base_us = config_.base_rtt.to_micros();
+  const double min_bps = config_.min_rate.bits_per_sec();
+  for (const std::uint32_t slot : slots) {
+    since_ns_[slot] += dt_ns;
+    if (since_ns_[slot] < interval_ns) {
+      rates[slot] = rate_bps_[slot];
+      continue;
+    }
+    since_ns_[slot] = 0;
+
+    Duration rtt = config_.base_rtt;
+    for (const std::int32_t l : net.route_links(slot)) {
+      const Rate cap = net.effective_capacity(LinkId{l});
+      if (cap.is_positive()) {
+        rtt += transfer_time(links_[l].queue, cap);
+      }
+    }
+
+    const Duration prev = Duration::nanos(prev_rtt_ns_[slot]);
+    const double diff_us = rtt.to_micros() - prev.to_micros();
+    prev_rtt_ns_[slot] = rtt.ns();
+    ewma_col_[slot] = (1.0 - ewma_a) * ewma_col_[slot] + ewma_a * diff_us;
+    const double gradient = ewma_col_[slot] / base_us;
+    grad_col_[slot] = gradient;
+
+    double rate = rate_bps_[slot];
+    if (rtt < config_.t_low) {
+      rate += delta_bps_[slot];
+      ++good_rounds_[slot];
+    } else if (rtt > config_.t_high) {
+      const double shrink =
+          1.0 - config_.beta * (1.0 - config_.t_high / rtt);
+      rate = rate * shrink;
+      good_rounds_[slot] = 0;
+    } else if (gradient <= 0.0) {
+      ++good_rounds_[slot];
+      const int n = good_rounds_[slot] >= config_.hai_threshold ? 5 : 1;
+      rate += delta_bps_[slot] * static_cast<double>(n);
+    } else {
+      rate = rate * (1.0 - config_.beta * std::min(gradient, 1.0));
+      good_rounds_[slot] = 0;
+    }
+    rate = std::clamp(rate, min_bps, line_bps_[slot]);
+    rate_bps_[slot] = rate;
+    rates[slot] = rate;
+  }
+}
+
+double TimelyPolicy::rate_bound_bps(const Network& /*net*/,
+                                    std::uint32_t slot) const {
+  const double line = config_.reference_kernel
+                          ? state_[slot].line_rate.bits_per_sec()
+                          : line_bps_[slot];
+  // Every rate update clamps to [min_rate, line_rate]; min_rate can exceed
+  // the line rate of a browned-out route, so the bound covers both.
+  return std::max(line, config_.min_rate.bits_per_sec());
 }
 
 Bytes TimelyPolicy::link_queue(LinkId link) const {
@@ -150,8 +259,13 @@ Bytes TimelyPolicy::link_queue(LinkId link) const {
 TimelyPolicy::FlowDiag TimelyPolicy::diag(FlowId id) const {
   const auto it = slots_.find(id);
   assert(it != slots_.end());
-  const FlowState& s = state_[it->second];
-  return {s.rate, s.prev_rtt, s.last_gradient};
+  const std::uint32_t slot = it->second;
+  if (config_.reference_kernel) {
+    const FlowState& s = state_[slot];
+    return {s.rate, s.prev_rtt, s.last_gradient};
+  }
+  return {Rate::bps(rate_bps_[slot]), Duration::nanos(prev_rtt_ns_[slot]),
+          grad_col_[slot]};
 }
 
 }  // namespace ccml

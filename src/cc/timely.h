@@ -17,6 +17,7 @@
 // a delay-based transport (see bench/ablation_transport_family).
 #pragma once
 
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -37,6 +38,11 @@ struct TimelyConfig {
   /// EWMA weight for the RTT-gradient filter.
   double ewma_alpha = 0.46;
   Rate min_rate = Rate::mbps(10);
+
+  /// Run the original per-flow scalar path (AoS FlowState records) instead
+  /// of the structure-of-arrays kernel.  Bit-identical by construction;
+  /// held to that by tests/cc_kernel_parity_test.cpp.
+  bool reference_kernel = false;
 };
 
 class TimelyPolicy final : public BandwidthPolicy {
@@ -49,6 +55,9 @@ class TimelyPolicy final : public BandwidthPolicy {
   void on_flow_finished(Network& net, const Flow& flow) override;
   void on_link_capacity_changed(Network& net, LinkId link) override;
   void update_rates(Network& net, TimePoint now, Duration dt) override;
+  /// Route line rate, floored at min_rate (the clamp every rate update
+  /// applies), so Network::step_burst can fuse completion-free ticks.
+  double rate_bound_bps(const Network& net, std::uint32_t slot) const override;
   Bytes link_queue(LinkId link) const override;
   /// With all queues drained nothing evolves between steps while no flow is
   /// active, so the kernel may fast-forward across compute phases.
@@ -80,11 +89,27 @@ class TimelyPolicy final : public BandwidthPolicy {
     std::uint64_t stamp = 0;  ///< last queue pass that touched this link
   };
 
+  void update_rates_reference(Network& net, Duration dt);
+  void update_rates_soa(Network& net, Duration dt);
+  void resize_soa(std::size_t n);
+
   TimelyConfig config_;
   // Per-flow state indexed by the network's stable slab slot (hash-free on
-  // the per-step path); `slots_` maps ids for the diag API.
+  // the per-step path); `slots_` maps ids for the diag API.  Only the
+  // representation picked by `config_.reference_kernel` is maintained: the
+  // AoS records below, or the SoA columns.
   std::vector<FlowState> state_;
   std::unordered_map<FlowId, std::uint32_t> slots_;
+
+  // SoA columns, slot-indexed.
+  std::vector<double> rate_bps_;
+  std::vector<double> line_bps_;
+  std::vector<double> delta_bps_;
+  std::vector<double> ewma_col_;
+  std::vector<double> grad_col_;
+  std::vector<std::int64_t> prev_rtt_ns_;
+  std::vector<std::int64_t> since_ns_;
+  std::vector<std::int32_t> good_rounds_;
   std::vector<LinkState> links_;
   bool queues_clear_ = true;  // refreshed by the queue pass each step
   std::uint64_t step_stamp_ = 0;

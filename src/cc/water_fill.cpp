@@ -15,29 +15,27 @@ std::vector<Rate> full_residual(const Network& net) {
   return residual;
 }
 
-std::unordered_map<FlowId, Rate> water_fill(
-    const Network& net, std::span<const FlowId> flows,
-    std::vector<Rate>& residual,
-    const std::unordered_map<FlowId, double>& weights) {
-  std::unordered_map<FlowId, Rate> rates;
-  rates.reserve(flows.size());
+std::vector<Rate> water_fill(const Network& net,
+                             std::span<const std::uint32_t> slots,
+                             std::vector<Rate>& residual,
+                             std::span<const double> weights) {
+  assert(weights.empty() || weights.size() == slots.size());
+  std::vector<Rate> rates(slots.size(), Rate::zero());
 
-  // Resolve ids and weights once up front so the fill rounds below touch no
-  // hash table.
+  // Gather each member's slot, output index and weight once up front so the
+  // fill rounds below are pure array walks.
   struct Member {
-    FlowId id;
-    const Flow* flow;
+    std::uint32_t idx;   // position in `slots` / `rates`
+    std::uint32_t slot;  // network slab slot (route lookup)
     double weight;
   };
   std::vector<Member> unfrozen;
-  unfrozen.reserve(flows.size());
-  for (const FlowId fid : flows) {
-    const auto wit = weights.find(fid);
-    const double w = wit == weights.end() ? 1.0 : wit->second;
-    if (w <= 0.0) {
-      rates[fid] = Rate::zero();
-    } else {
-      unfrozen.push_back({fid, &net.flow(fid), w});
+  unfrozen.reserve(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const double w = weights.empty() ? 1.0 : weights[i];
+    if (w > 0.0) {
+      unfrozen.push_back(
+          {static_cast<std::uint32_t>(i), slots[i], w});
     }
   }
 
@@ -46,8 +44,8 @@ std::unordered_map<FlowId, Rate> water_fill(
   auto recompute_link_weights = [&] {
     std::fill(link_weight.begin(), link_weight.end(), 0.0);
     for (const Member& m : unfrozen) {
-      for (const LinkId lid : m.flow->spec.route.links) {
-        link_weight[lid.value] += m.weight;
+      for (const std::int32_t l : net.route_links(m.slot)) {
+        link_weight[l] += m.weight;
       }
     }
   };
@@ -74,9 +72,8 @@ std::unordered_map<FlowId, Rate> water_fill(
     constexpr double kSlack = 1.0 + 1e-12;
     for (const Member& m : unfrozen) {
       bool bottlenecked = false;
-      for (const LinkId lid : m.flow->spec.route.links) {
-        const double share =
-            residual[lid.value].bits_per_sec() / link_weight[lid.value];
+      for (const std::int32_t l : net.route_links(m.slot)) {
+        const double share = residual[l].bits_per_sec() / link_weight[l];
         if (share <= theta * kSlack) {
           bottlenecked = true;
           break;
@@ -86,11 +83,11 @@ std::unordered_map<FlowId, Rate> water_fill(
     }
     for (const Member& m : frozen) {
       const Rate r = Rate::bps(m.weight * theta);
-      rates[m.id] = r;
-      for (const LinkId lid : m.flow->spec.route.links) {
-        residual[lid.value] -= r;
-        if (residual[lid.value] < Rate::zero()) {
-          residual[lid.value] = Rate::zero();
+      rates[m.idx] = r;
+      for (const std::int32_t l : net.route_links(m.slot)) {
+        residual[l] -= r;
+        if (residual[l] < Rate::zero()) {
+          residual[l] = Rate::zero();
         }
       }
     }

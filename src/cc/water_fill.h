@@ -4,8 +4,8 @@
 // (per-flow weights) and PriorityPolicy (per-class residual filling).
 #pragma once
 
+#include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "net/network.h"
@@ -14,16 +14,22 @@
 
 namespace ccml {
 
-/// Computes the weighted max-min fair rates for `flows` given per-link
-/// residual capacities.  `residual` is indexed by LinkId value and is
-/// *updated in place* (capacity consumed by the returned allocation), which
-/// lets PriorityPolicy fill classes successively.
+/// Computes the weighted max-min fair rates for the flows in `slots` (network
+/// slab slots, as handed out by Network::active_slots()) given per-link
+/// residual capacities.  Returns rates parallel to `slots`.  `residual` is
+/// indexed by LinkId value and is *updated in place* (capacity consumed by
+/// the returned allocation), which lets PriorityPolicy fill classes
+/// successively.
 ///
+/// `weights` is parallel to `slots`; pass an empty span for unit weights.
 /// Flows whose weight is <= 0 receive zero rate.
-std::unordered_map<FlowId, Rate> water_fill(
-    const Network& net, std::span<const FlowId> flows,
-    std::vector<Rate>& residual,
-    const std::unordered_map<FlowId, double>& weights);
+///
+/// The fill rounds walk the network's flat route array (no per-flow Route
+/// indirection) and touch no hash table.
+std::vector<Rate> water_fill(const Network& net,
+                             std::span<const std::uint32_t> slots,
+                             std::vector<Rate>& residual,
+                             std::span<const double> weights = {});
 
 /// Residual vector initialised to every link's effective capacity.
 std::vector<Rate> full_residual(const Network& net);

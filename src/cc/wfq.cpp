@@ -1,21 +1,22 @@
 #include "cc/wfq.h"
 
+#include <vector>
+
 #include "cc/water_fill.h"
 
 namespace ccml {
 
 void WfqPolicy::update_rates(Network& net, TimePoint /*now*/, Duration /*dt*/) {
-  const auto flows = net.active_flows();
   const auto slots = net.active_slots();
   auto residual = full_residual(net);
-  std::unordered_map<FlowId, double> weights;
-  weights.reserve(flows.size());
-  for (std::size_t i = 0; i < flows.size(); ++i) {
-    weights[flows[i]] = net.flow_at(slots[i]).spec.weight;
+  std::vector<double> weights;
+  weights.reserve(slots.size());
+  for (const std::uint32_t slot : slots) {
+    weights.push_back(net.flow_at(slot).spec.weight);
   }
-  auto rates = water_fill(net, flows, residual, weights);
-  for (std::size_t i = 0; i < flows.size(); ++i) {
-    net.flow_at(slots[i]).rate = rates[flows[i]];
+  const auto rates = water_fill(net, slots, residual, weights);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    net.set_rate(slots[i], rates[i]);
   }
 }
 

@@ -29,20 +29,19 @@ struct FlowSpec {
   Rate cc_rai = Rate::zero();
 };
 
-/// Live flow.  Rates are written by the bandwidth policy each step; byte
-/// progress is integrated by the Network.
+/// Live flow identity and immutable description.
+///
+/// The *hot* per-flow state — current sending rate and bytes remaining —
+/// does not live here: it sits in the Network's structure-of-arrays slabs
+/// (`Network::rates_bps()` / `remaining_bytes()`), indexed by the flow's
+/// stable slab slot, so per-step loops stream over contiguous doubles
+/// instead of chasing one large Flow record per flow.  Read rate/progress
+/// through the Network (`net.rate(id)`, `net.progress_of(id)`, or the
+/// slot-indexed spans on the hot path).
 struct Flow {
   FlowId id;
   FlowSpec spec;
   TimePoint start_time;
-  Bytes remaining;
-  Rate rate;  ///< current fluid sending rate
-
-  Bytes delivered() const { return spec.size - remaining; }
-  /// Progress through the transfer in [0, 1].
-  double progress() const {
-    return spec.size.is_zero() ? 1.0 : delivered() / spec.size;
-  }
 };
 
 using FlowCompletionFn = std::function<void(const Flow&, TimePoint)>;

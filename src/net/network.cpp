@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <limits>
 
 #include "obs/trace_bus.h"
 #include "util/log.h"
@@ -107,13 +109,19 @@ FlowId Network::start_flow(FlowSpec spec, FlowCompletionFn on_complete) {
   } else {
     slot = static_cast<std::uint32_t>(slab_.size());
     slab_.emplace_back();
+    rate_bps_.push_back(0.0);
+    remaining_b_.push_back(0.0);
+    size_b_.push_back(0.0);
+    route_off_.push_back(0);
+    route_len_.push_back(0);
   }
   Flow& flow = slab_[slot].flow;
   flow.id = id;
-  flow.remaining = spec.size;
   flow.spec = std::move(spec);
   flow.start_time = sim_->now();
-  flow.rate = Rate::zero();
+  rate_bps_[slot] = 0.0;
+  remaining_b_[slot] = flow.spec.size.count();
+  size_b_[slot] = flow.spec.size.count();
   slab_[slot].on_complete = std::move(on_complete);
   slab_[slot].parked = false;
   index_.emplace(id.value, slot);
@@ -125,6 +133,7 @@ FlowId Network::start_flow(FlowSpec spec, FlowCompletionFn on_complete) {
       rerouted = true;
     }
   }
+  cache_route(slot, flow.spec.route);
   const bool parked = route_severed(flow.spec.route);
   if (parked) {
     // No usable path right now: park until a link-up requeues the flow.
@@ -198,7 +207,7 @@ void Network::park_flow(FlowId id, std::uint32_t slot) {
           std::lower_bound(used_links_.begin(), used_links_.end(), lid));
     }
   }
-  flow.rate = Rate::zero();
+  rate_bps_[slot] = 0.0;
   slab_[slot].parked = true;
   parked_ids_.insert(
       std::lower_bound(parked_ids_.begin(), parked_ids_.end(), id), id);
@@ -220,6 +229,7 @@ bool Network::try_unpark_flow(FlowId id, std::uint32_t slot) {
     if (alt.empty() || route_severed(alt)) return false;
     flow.spec.route = std::move(alt);
     rerouted = true;
+    cache_route(slot, flow.spec.route);
   }
   const auto pos =
       std::lower_bound(parked_ids_.begin(), parked_ids_.end(), id);
@@ -273,6 +283,9 @@ Network::Slot Network::extract_flow(FlowId id, std::uint32_t slot) {
   out.parked = slab_[slot].parked;
   slab_[slot].on_complete = nullptr;
   slab_[slot].parked = false;
+  rate_bps_[slot] = 0.0;
+  route_live_links_ -= route_len_[slot];
+  route_len_[slot] = 0;
   index_.erase(id.value);
   if (out.parked) {
     const auto pos =
@@ -332,11 +345,11 @@ std::uint32_t Network::slot_of(FlowId id) const {
 }
 
 Rate Network::link_throughput(LinkId link) const {
-  Rate total = Rate::zero();
+  double total = 0.0;
   for (const std::uint32_t slot : flow_slots_on_link(link)) {
-    total += slab_[slot].flow.rate;
+    total += rate_bps_[slot];
   }
-  return total;
+  return Rate::bps(total);
 }
 
 double Network::link_utilization(LinkId link) const {
@@ -364,28 +377,34 @@ void Network::step(TimePoint now, Duration dt) {
   // time for deterministic ordering.  `done_` is a persistent scratch buffer
   // so the steady path performs no allocation.
   done_.clear();
+  const double dt_s = dt.to_seconds();
+  const double* const rates = rate_bps_.data();
+  double* const rem = remaining_b_.data();
   for (const std::uint32_t slot : active_slots_) {
-    Flow& flow = slab_[slot].flow;
-    if (flow.remaining.is_positive() && flow.rate.is_positive()) {
-      const Bytes moved = flow.rate * dt;
-      if (moved >= flow.remaining) {
-        const double frac = flow.remaining / moved;
+    const double left = rem[slot];
+    const double r = rates[slot];
+    if (left > 0.0 && r > 0.0) {
+      const double moved = r * dt_s / 8.0;
+      if (moved >= left) {
+        const double frac = left / moved;
         const TimePoint finish = (now - dt) + dt * frac;
-        flow.remaining = Bytes::zero();
-        done_.push_back({flow.id, finish});
+        rem[slot] = 0.0;
+        done_.push_back({slab_[slot].flow.id, finish});
       } else {
-        flow.remaining -= moved;
+        rem[slot] = left - moved;
       }
-    } else if (!flow.remaining.is_positive()) {
+    } else if (!(left > 0.0)) {
       // Zero-byte (or already drained) flow: completes at this step.
-      done_.push_back({flow.id, now});
+      done_.push_back({slab_[slot].flow.id, now});
     }
   }
-  std::sort(done_.begin(), done_.end(),
-            [](const Pending& a, const Pending& b) {
-              if (a.finish != b.finish) return a.finish < b.finish;
-              return a.id < b.id;
-            });
+  if (done_.size() > 1) {
+    std::sort(done_.begin(), done_.end(),
+              [](const Pending& a, const Pending& b) {
+                if (a.finish != b.finish) return a.finish < b.finish;
+                return a.id < b.id;
+              });
+  }
   for (const Pending& d : done_) {
     const auto it = index_.find(d.id.value);
     // A completion callback fired earlier in this loop may have aborted a
@@ -402,6 +421,112 @@ void Network::step(TimePoint now, Duration dt) {
   if (!observers_.empty()) {
     for (NetObserver* obs : observers_) obs->on_step(*this, now);
     last_step_ = now;
+  }
+}
+
+// Default fused-tick loop: per-tick rate updates interleaved with unchecked
+// byte integration, semantically identical to Network::step minus the
+// completion scan the caller already proved redundant.
+void BandwidthPolicy::update_rates_burst(Network& net, TimePoint first,
+                                         Duration dt, std::uint64_t ticks) {
+  const double dt_s = dt.to_seconds();
+  TimePoint now = first;
+  for (std::uint64_t k = 0; k < ticks; ++k) {
+    update_rates(net, now, dt);
+    net.integrate_progress_unchecked(dt_s);
+    now = now + dt;
+  }
+}
+
+double BandwidthPolicy::rate_bound_bps(const Network& /*net*/,
+                                       std::uint32_t /*slot*/) const {
+  return std::numeric_limits<double>::infinity();
+}
+
+std::uint64_t Network::completion_free_ticks(double dt_s) const {
+  double min_ticks = std::numeric_limits<double>::infinity();
+  for (const std::uint32_t slot : active_slots_) {
+    const double bound_bps = policy_->rate_bound_bps(*this, slot);
+    const double max_per_tick = bound_bps * dt_s / 8.0;
+    const double left = remaining_b_[slot];
+    if (!(left > 0.0) || !(max_per_tick > 0.0) ||
+        !std::isfinite(max_per_tick)) {
+      return 0;
+    }
+    min_ticks = std::min(min_ticks, left / max_per_tick);
+  }
+  if (!std::isfinite(min_ticks)) return 0;  // no active flows
+  // During k fused ticks a flow loses at most max_per_tick bytes per tick
+  // (rates never exceed the policy bound, and FP rounding is monotone), so
+  // it stays strictly positive while k < left / max_per_tick.  The 0.1%
+  // haircut dwarfs any accumulated-rounding drift by ~ten orders of
+  // magnitude; boundary ticks fall back to the checked per-tick path.
+  const double safe = min_ticks * 0.999 - 2.0;
+  return safe > 0.0 ? static_cast<std::uint64_t>(safe) : 0;
+}
+
+TimePoint Network::step_burst(TimePoint first, Duration dt, TimePoint horizon,
+                              TimePoint& now_ref) {
+  TimePoint t = first;
+  const bool watched = !observers_.empty();
+  const double dt_s = dt.to_seconds();
+  while (true) {
+    // Fused segment: while no flow can possibly complete (and nothing
+    // watches individual ticks), rate updates and byte integration run as
+    // one policy-side loop — the per-tick completion scan, observer checks
+    // and stepper dispatch are all hoisted.  Nothing externally visible can
+    // happen inside the segment: no completions means no callbacks, events
+    // are frozen past `horizon`, and trace emission carries explicit
+    // per-tick timestamps.
+    if (!watched) {
+      const std::uint64_t span =
+          static_cast<std::uint64_t>((horizon - t).ns() + dt.ns() - 1) /
+          static_cast<std::uint64_t>(dt.ns());
+      const std::uint64_t fused =
+          std::min(span, completion_free_ticks(dt_s));
+      if (fused >= 2) {
+        policy_->update_rates_burst(*this, t, dt, fused);
+        t = t + dt * static_cast<std::int64_t>(fused);
+        now_ref = t - dt;
+        if (t >= horizon) break;
+        continue;
+      }
+    }
+    now_ref = t;
+    Network::step(t, dt);
+    t = t + dt;
+    // `done_` still holds this tick's completions (cleared on step entry):
+    // their callbacks may have scheduled events before the frozen horizon
+    // or stopped the run, so the kernel must re-evaluate.  Observers make
+    // every tick externally visible.
+    if (watched || !done_.empty()) break;
+    if (t >= horizon) break;
+    if (Network::idle()) break;
+  }
+  return t;
+}
+
+void Network::cache_route(std::uint32_t slot, const Route& route) {
+  route_live_links_ -= route_len_[slot];
+  route_off_[slot] = static_cast<std::uint32_t>(route_flat_.size());
+  route_len_[slot] = static_cast<std::uint32_t>(route.links.size());
+  for (const LinkId lid : route.links) route_flat_.push_back(lid.value);
+  route_live_links_ += route.links.size();
+  // Appending on every (re)route leaves dead slices behind; compact once the
+  // flat array is mostly garbage so long-lived churny runs stay bounded.
+  if (route_flat_.size() > 1024 &&
+      route_flat_.size() > 4 * route_live_links_) {
+    std::vector<std::int32_t> packed;
+    packed.reserve(route_live_links_);
+    for (std::size_t s = 0; s < route_len_.size(); ++s) {
+      const std::uint32_t len = route_len_[s];
+      if (len == 0) continue;
+      const std::uint32_t off = route_off_[s];
+      route_off_[s] = static_cast<std::uint32_t>(packed.size());
+      packed.insert(packed.end(), route_flat_.begin() + off,
+                    route_flat_.begin() + off + len);
+    }
+    route_flat_ = std::move(packed);
   }
 }
 

@@ -11,6 +11,14 @@
 // Network's own integration and every policy's rate pass — is allocation-
 // free and hash-free on the steady path.
 //
+// The per-flow *hot* state is structure-of-arrays: current rate, bytes
+// remaining and flow size are parallel slot-indexed double slabs
+// (rates_bps() / remaining_bytes()), and every flow's route is flattened
+// into one shared CSR-style link array (route_links(slot)).  Policies and
+// the byte-progress integrator stream over these contiguous slabs; the
+// cold Flow record (spec, label, route vector, callback) is only touched
+// on lifecycle edges.
+//
 // Link state: the topology's wiring is immutable, but each link carries a
 // runtime capacity factor in [0, 1] (1 = healthy, (0, 1) = brownout,
 // 0 = down).  When a link goes down, flows routed over it are rerouted via
@@ -176,6 +184,64 @@ class Network : public Stepper {
   /// Upper bound on any active slot + 1; sizes per-slot policy side tables.
   std::size_t slab_size() const { return slab_.size(); }
 
+  // --- Hot per-flow state: structure-of-arrays slabs -----------------------
+  //
+  // Parallel to the flow slab, indexed by slot.  Policies write rates here
+  // every step; the Network integrates byte progress from the same arrays.
+
+  /// Current sending rate of every slab slot, in bits/s (slots of inactive
+  /// flows hold stale values; index only with active slots).
+  std::span<const double> rates_bps() const { return rate_bps_; }
+  /// Mutable view for bandwidth policies ("scatter" side of a rate kernel).
+  std::span<double> mutable_rates_bps() { return rate_bps_; }
+  /// Bytes left to deliver per slot (fractional during fluid integration).
+  std::span<const double> remaining_bytes() const { return remaining_b_; }
+  /// Total size in bytes per slot.
+  std::span<const double> size_bytes() const { return size_b_; }
+
+  Rate rate_at(std::uint32_t slot) const { return Rate::bps(rate_bps_[slot]); }
+  void set_rate(std::uint32_t slot, Rate r) {
+    rate_bps_[slot] = r.bits_per_sec();
+  }
+  /// Current sending rate of an active flow (id-keyed; hashes — diagnostics
+  /// and tests, not the per-step path).
+  Rate rate(FlowId id) const { return rate_at(slot_of(id)); }
+  Bytes remaining_of(FlowId id) const {
+    return Bytes::of(remaining_b_[slot_of(id)]);
+  }
+  Bytes delivered_of(FlowId id) const {
+    const std::uint32_t s = slot_of(id);
+    return Bytes::of(size_b_[s] - remaining_b_[s]);
+  }
+  /// Progress through the transfer in [0, 1].
+  double progress_at(std::uint32_t slot) const {
+    const double size = size_b_[slot];
+    return size == 0.0 ? 1.0 : (size - remaining_b_[slot]) / size;
+  }
+  double progress_of(FlowId id) const { return progress_at(slot_of(id)); }
+
+  /// Advances byte progress one tick for every active flow with the
+  /// completion scan elided — only callable when the caller has proven no
+  /// flow can finish this tick (Network::step_burst's completion-free
+  /// window; see BandwidthPolicy::rate_bound_bps).  Same arithmetic, in the
+  /// same order, as the checked loop in step(), so trajectories stay
+  /// bit-identical.
+  void integrate_progress_unchecked(double dt_s) {
+    const double* const rates = rate_bps_.data();
+    double* const rem = remaining_b_.data();
+    for (const std::uint32_t slot : active_slots_) {
+      rem[slot] -= rates[slot] * dt_s / 8.0;
+    }
+  }
+
+  /// The flow's route as a flat span of link ids (CSR slice into one shared
+  /// array) — the gather side of per-flow kernels walks this instead of
+  /// dereferencing Route's heap vector per flow.  Refreshed on start,
+  /// reroute and unpark.
+  std::span<const std::int32_t> route_links(std::uint32_t slot) const {
+    return {route_flat_.data() + route_off_[slot], route_len_[slot]};
+  }
+
   /// Ids of active flows whose route traverses `link`.
   const std::vector<FlowId>& flows_on_link(LinkId link) const {
     assert(link.valid() &&
@@ -220,6 +286,14 @@ class Network : public Stepper {
 
   // Stepper:
   void step(TimePoint now, Duration dt) override;
+  /// Hot-loop burst: consecutive grid ticks run back-to-back with the
+  /// kernel's per-tick virtual dispatch and event-horizon peeks hoisted
+  /// out.  Hands control back after any tick with externally visible
+  /// effects (flow completions — whose callbacks may schedule events or
+  /// stop the run — or attached observers) and on an idle transition, per
+  /// the Stepper contract.
+  TimePoint step_burst(TimePoint first, Duration dt, TimePoint horizon,
+                       TimePoint& now_ref) override;
   /// The fluid step is an identity when no flows are active, the policy has
   /// no decaying state (queues drained) and every attached observer is
   /// quiescence-compatible; the kernel then jumps straight between discrete
@@ -239,6 +313,13 @@ class Network : public Stepper {
     FlowId id;
     TimePoint finish;
   };
+
+  /// Number of upcoming grid ticks during which provably no active flow can
+  /// finish: each flow's remaining bytes divided by the policy's hard rate
+  /// bound, minus generous floating-point slack.  Zero when any flow is at
+  /// (or past) completion, when there are no active flows, or when the
+  /// policy declines to bound its rates (rate_bound_bps == inf).
+  std::uint64_t completion_free_ticks(double dt_s) const;
 
   /// Removes `id` from the slab, the active caches and the link lists (or
   /// the parked list, for parked flows).  Returns the extracted slot
@@ -268,7 +349,22 @@ class Network : public Stepper {
   RerouteFn reroute_;
   std::vector<FlowId> parked_ids_;  // sorted ascending
 
+  /// Installs `flow`'s route into the CSR slabs (appends to the flat array;
+  /// compacts when garbage from departed flows dominates).
+  void cache_route(std::uint32_t slot, const Route& route);
+
   std::vector<Slot> slab_;
+  // Hot per-flow state, parallel to slab_ (see rates_bps() et al.).
+  std::vector<double> rate_bps_;
+  std::vector<double> remaining_b_;
+  std::vector<double> size_b_;
+  // Route CSR: route_flat_[route_off_[s] .. +route_len_[s]) are the link ids
+  // of slot s's route.  Appended on install; compacted when stale slices
+  // outnumber live ones.
+  std::vector<std::int32_t> route_flat_;
+  std::vector<std::uint32_t> route_off_;
+  std::vector<std::uint32_t> route_len_;
+  std::size_t route_live_links_ = 0;  // links referenced by live slots
   std::vector<std::uint32_t> free_slots_;
   std::unordered_map<std::int64_t, std::uint32_t> index_;  // id -> slot
   std::vector<FlowId> active_ids_;            // sorted ascending

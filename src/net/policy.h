@@ -43,8 +43,28 @@ class BandwidthPolicy {
     (void)link;
   }
 
-  /// Writes Flow::rate for every active flow.
+  /// Writes the sending rate of every active flow into the network's rate
+  /// slab (Network::set_rate / mutable_rates_bps).
   virtual void update_rates(Network& net, TimePoint now, Duration dt) = 0;
+
+  /// Runs `ticks` consecutive fluid steps `first, first + dt, ...` as one
+  /// fused call: each tick computes rates exactly as update_rates would,
+  /// then advances byte progress (Network::integrate_progress_unchecked).
+  /// The caller guarantees that during these ticks no flow can complete,
+  /// start, park, or reroute, no capacity changes, and no observers are
+  /// attached — it is purely the hot loop — so implementations may hoist
+  /// per-tick setup, as long as every tick's arithmetic stays bit-identical
+  /// to per-tick stepping.  The default simply loops.
+  virtual void update_rates_burst(Network& net, TimePoint first, Duration dt,
+                                  std::uint64_t ticks);
+
+  /// Hard upper bound, in bits/s, on the rate this policy will ever assign
+  /// `slot` given its current state — typically the route's line rate plus
+  /// any floor the scheme enforces.  Network::step_burst divides remaining
+  /// bytes by it to prove a flow cannot finish for the next k ticks and
+  /// fuse those ticks.  The default, infinity, declines the proof, so fused
+  /// stepping never engages for schemes that don't opt in.
+  virtual double rate_bound_bps(const Network& net, std::uint32_t slot) const;
 
   /// True when the policy carries no state that evolves across steps while
   /// no flows are active (e.g. all queues drained).  Together with an empty

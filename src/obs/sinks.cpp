@@ -230,6 +230,16 @@ void ChromeTraceSink::on_event(const TraceEvent& ev) {
                     kCtrlPid, ts, ev.value, ev.value2);
       add();
       break;
+    case TraceEventKind::kTraceDrops:
+      // Self-reported observability loss (async ring overflow); global
+      // instant in the control process so trace holes are visible.
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"trace-drops\",\"ph\":\"i\",\"s\":\"g\","
+                    "\"pid\":%d,\"tid\":0,\"ts\":%.3f,"
+                    "\"args\":{\"dropped\":%.0f}}",
+                    kCtrlPid, ts, ev.value);
+      add();
+      break;
     case TraceEventKind::kJobSubmit:
     case TraceEventKind::kJobAdmit:
     case TraceEventKind::kJobReject:

@@ -10,6 +10,69 @@ void TraceBus::add_sink(TraceSink& sink) {
   sink.attached(*this);
 }
 
+void TraceBus::start_async(TraceAsyncOptions opts) {
+  if (ring_) return;
+  overflow_ = opts.overflow;
+  stop_flag_.store(false, std::memory_order_relaxed);
+  ring_ = std::make_unique<SpscRing<TraceEvent>>(opts.capacity);
+  consumer_ = std::thread([this] { consume_loop(); });
+}
+
+void TraceBus::stop_async() {
+  if (!ring_) return;
+  // The caller is the producer, so every emitted event is already in the
+  // ring when the flag is raised: the consumer's final drain is complete by
+  // construction.
+  stop_flag_.store(true, std::memory_order_release);
+  consumer_.join();
+  ring_.reset();
+  const std::uint64_t dropped = dropped_.load(std::memory_order_relaxed);
+  if (dropped > 0) {
+    counter("trace.dropped_events").add(static_cast<std::int64_t>(dropped));
+    dropped_.store(0, std::memory_order_relaxed);
+    // Delivered synchronously after the drain, so it is always the last
+    // event in every sink's stream — the ordering invariant
+    // tools/check_trace.py enforces.
+    TraceEvent ev;
+    ev.time = last_emit_time_;
+    ev.kind = TraceEventKind::kTraceDrops;
+    ev.value = static_cast<double>(dropped);
+    for (TraceSink* s : sinks_) s->on_event(ev);
+  }
+}
+
+void TraceBus::emit_async(const TraceEvent& ev) {
+  last_emit_time_ = ev.time;
+  if (ring_->try_push(ev)) return;
+  if (overflow_ == TraceOverflowPolicy::kBlock) {
+    // Lossless mode: wait for the consumer to free a slot.  Bounded by sink
+    // throughput, and the consumer never blocks on the producer, so this
+    // cannot deadlock.
+    do {
+      std::this_thread::yield();
+    } while (!ring_->try_push(ev));
+  } else {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void TraceBus::consume_loop() {
+  TraceEvent ev;
+  while (true) {
+    if (ring_->try_pop(ev)) {
+      for (TraceSink* s : sinks_) s->on_event(ev);
+      continue;
+    }
+    if (stop_flag_.load(std::memory_order_acquire)) {
+      while (ring_->try_pop(ev)) {
+        for (TraceSink* s : sinks_) s->on_event(ev);
+      }
+      return;
+    }
+    std::this_thread::yield();
+  }
+}
+
 Duration TraceBus::sample_cadence() const {
   Duration min = Duration::zero();
   for (const TraceSink* s : sinks_) {
@@ -39,10 +102,12 @@ bool TraceBus::sinks_quiescence_compatible() const {
 }
 
 void TraceBus::register_job(JobId id, std::string name) {
+  const std::lock_guard<std::mutex> lock(job_names_mu_);
   job_names_[id.value] = std::move(name);
 }
 
 const std::string* TraceBus::job_name(JobId id) const {
+  const std::lock_guard<std::mutex> lock(job_names_mu_);
   const auto it = job_names_.find(id.value);
   return it == job_names_.end() ? nullptr : &it->second;
 }

@@ -23,14 +23,19 @@
 // all (verified by bench/perf_engine; numbers in docs/observability.md).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace_event.h"
+#include "util/spsc_ring.h"
 #include "util/time.h"
 
 namespace ccml {
@@ -67,25 +72,76 @@ class TraceSink {
   virtual void flush() {}
 };
 
+/// How the async trace path reacts when the SPSC ring is full.
+enum class TraceOverflowPolicy {
+  /// Producer waits for the consumer to free a slot: lossless, keeps traces
+  /// byte-identical to synchronous delivery, but the sim can stall on slow
+  /// sink I/O.  The default, because determinism is this repo's contract.
+  kBlock,
+  /// Producer drops the event and counts it: the sim never stalls (the
+  /// real-time-safe choice), at the cost of holes in the trace.  Drops are
+  /// reported via the `trace.dropped_events` counter and a trailing
+  /// kTraceDrops event.
+  kDropNewest,
+};
+
+struct TraceAsyncOptions {
+  /// Ring capacity in events (rounded up to a power of two).
+  std::size_t capacity = 1 << 16;
+  TraceOverflowPolicy overflow = TraceOverflowPolicy::kBlock;
+};
+
 class TraceBus {
  public:
   TraceBus() = default;
   TraceBus(const TraceBus&) = delete;
   TraceBus& operator=(const TraceBus&) = delete;
+  ~TraceBus() { stop_async(); }
 
-  /// Subscribes `sink` (non-owning; must outlive the bus's use).
+  /// Subscribes `sink` (non-owning; must outlive the bus's use).  Must not
+  /// be called while the async consumer is running.
   void add_sink(TraceSink& sink);
 
   bool has_sinks() const { return !sinks_.empty(); }
 
-  /// Fans `ev` out to every sink, in subscription order.
+  /// Fans `ev` out to every sink, in subscription order.  With the async
+  /// path active the event is instead enqueued on the SPSC ring — one
+  /// relaxed load and a release store on the steady path — and the consumer
+  /// thread performs the identical fan-out in FIFO (= emission) order, so
+  /// sink output stays byte-identical to synchronous delivery.
   void emit(const TraceEvent& ev) {
+    if (ring_) [[unlikely]] {
+      emit_async(ev);
+      return;
+    }
     for (TraceSink* s : sinks_) s->on_event(ev);
   }
 
+  // --- Async (lock-free SPSC) delivery ------------------------------------
+
+  /// Moves event delivery onto a consumer thread fed by a lock-free SPSC
+  /// ring.  Call from the emitting thread before the run; only that one
+  /// thread may emit until stop_async().  No-op if already started.
+  void start_async(TraceAsyncOptions opts = {});
+
+  /// Drains the ring completely, joins the consumer thread, and — when the
+  /// overflow policy dropped events — bumps `trace.dropped_events` and
+  /// delivers one trailing kTraceDrops event (after everything drained, so
+  /// ordering invariants hold).  Safe to call when async is not active.
+  void stop_async();
+
+  bool async_active() const { return ring_ != nullptr; }
+
+  /// Events discarded by TraceOverflowPolicy::kDropNewest so far.
+  std::uint64_t dropped_events() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
   /// Finalizes every sink's output.  Call once after the run (the CLI and
-  /// the scenario harnesses do).
+  /// the scenario harnesses do).  Stops the async path first so every
+  /// enqueued event reaches the sinks before their flush().
   void flush() {
+    stop_async();
     for (TraceSink* s : sinks_) s->flush();
   }
 
@@ -99,9 +155,14 @@ class TraceBus {
   bool sinks_quiescence_compatible() const;
 
   // --- Job-name registry (for human-readable sink output) ------------------
+  // Mutex-guarded: the orchestrator registers jobs mid-run on the emitting
+  // thread while sinks resolve names on the async consumer thread.  The
+  // lock is uncontended per-event and entirely off the simulation hot path
+  // (producers never call job_name).
 
   void register_job(JobId id, std::string name);
-  /// Registered display name, or nullptr when the job is unknown.
+  /// Registered display name, or nullptr when the job is unknown.  The
+  /// pointer stays valid for the bus's lifetime (names are never removed).
   const std::string* job_name(JobId id) const;
 
   // --- Counter / Gauge registry -------------------------------------------
@@ -119,10 +180,25 @@ class TraceBus {
   std::string metrics_summary() const;
 
  private:
+  /// Out of line so emit() inlines to a null check plus the direct fan-out.
+  void emit_async(const TraceEvent& ev);
+  void consume_loop();
+
   std::vector<TraceSink*> sinks_;
+  mutable std::mutex job_names_mu_;
   std::unordered_map<std::int32_t, std::string> job_names_;
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
+
+  // Async path state.  `ring_` doubles as the "async active" flag; the
+  // producer-side members (overflow_, last_emit_time_, dropped_) are only
+  // written by the emitting thread.
+  std::unique_ptr<SpscRing<TraceEvent>> ring_;
+  std::thread consumer_;
+  std::atomic<bool> stop_flag_{false};
+  std::atomic<std::uint64_t> dropped_{0};
+  TraceOverflowPolicy overflow_ = TraceOverflowPolicy::kBlock;
+  TimePoint last_emit_time_;
 };
 
 }  // namespace ccml

@@ -24,6 +24,7 @@ const char* to_string(TraceEventKind kind) {
     case TraceEventKind::kJobDepart: return "job-depart";
     case TraceEventKind::kLinkThroughput: return "link-throughput";
     case TraceEventKind::kLinkQueue: return "link-queue";
+    case TraceEventKind::kTraceDrops: return "trace-drops";
   }
   return "unknown";
 }

@@ -58,6 +58,12 @@ enum class TraceEventKind : std::uint8_t {
   // Sampled link series (telemetry's TraceThroughputSampler).
   kLinkThroughput,  ///< value = bits/s; job unset = link total, set = share
   kLinkQueue,       ///< value = queue depth in bytes
+
+  // Observability self-reporting (src/obs).  Emitted by TraceBus when the
+  // async SPSC path dropped events (overflow policy kDropNewest); value =
+  // events dropped since the previous report.  Always delivered in-stream
+  // after the drained events it accounts for.
+  kTraceDrops,
 };
 
 /// Stable lower-kebab-case name of the kind (serialized into JSONL traces).

@@ -49,6 +49,19 @@ void Simulator::run_steps_at(TimePoint t) {
   }
 }
 
+TimePoint Simulator::tick_limit_excl(TimePoint deadline) const {
+  // Exclusive upper bound for burst ticks: run while strictly before the
+  // event horizon AND no later than both the deadline and the sim-time
+  // budget.  Tick times are integral nanoseconds, so "<= bound" is
+  // "< bound + 1ns" (guarding the +1 against TimePoint::max()).
+  TimePoint limit = deadline;
+  if (watchdog_.max_sim_time.is_positive()) {
+    limit = std::min(limit, TimePoint::origin() + watchdog_.max_sim_time);
+  }
+  if (limit < TimePoint::max()) limit = limit + Duration::nanos(1);
+  return limit;
+}
+
 void Simulator::wedged(const std::string& reason) const {
   std::string msg = "simulation watchdog: " + reason + " (now=" +
                     now_.to_string() + ", events=" +
@@ -86,7 +99,29 @@ void Simulator::run_until(TimePoint deadline) {
     now_ = t;
     // Steps fire before events at the same instant so that events observe
     // integrated state up to their own timestamp.
-    if (ts == t) run_steps_at(t);
+    if (ts == t) {
+      run_steps_at(t);
+      // Burst fast path: with a single registered stepper, run consecutive
+      // grid ticks back-to-back while they fall strictly before the next
+      // event, the deadline, and the sim-time budget.  step_burst() hands
+      // control back whenever a tick had externally visible effects (which
+      // is when the event horizon can move or stop() can be called), so the
+      // horizon is re-read here between calls, and an idle transition exits
+      // to the general loop so the quiescence fast-forward engages exactly
+      // where it would have.  A tick beyond the budget is never run; the
+      // general loop's check_time_budget then raises the wedge exactly as
+      // per-tick stepping did.
+      if (steppers_.size() == 1) {
+        SteppedEntry& s = steppers_[0];
+        const TimePoint limit_excl = tick_limit_excl(deadline);
+        while (!stopped_) {
+          const TimePoint horizon = std::min(events_.next_time(), limit_excl);
+          if (s.next >= horizon) break;
+          if (s.stepper->idle()) break;
+          s.next = s.stepper->step_burst(s.next, s.dt, horizon, now_);
+        }
+      }
+    }
     while (!stopped_ && !events_.empty() && events_.next_time() == t) {
       events_.run_next();
       ++events_executed_;
@@ -105,6 +140,20 @@ void Simulator::run_until_idle() {
       check_time_budget(ts);
       now_ = ts;
       run_steps_at(ts);
+      // Same burst as run_until, against this pass's event horizon.  `te`
+      // is deliberately the one computed before the stepping stretch —
+      // events scheduled by these steps run once the stretch reaches `te`,
+      // exactly as the general loop below would order them.
+      if (steppers_.size() == 1) {
+        SteppedEntry& s = steppers_[0];
+        const TimePoint horizon =
+            std::min(te, tick_limit_excl(TimePoint::max()));
+        while (!stopped_) {
+          if (s.next >= horizon) break;
+          if (s.stepper->idle()) break;
+          s.next = s.stepper->step_burst(s.next, s.dt, horizon, now_);
+        }
+      }
       ts = next_step_time();
     }
     if (stopped_) break;

@@ -45,6 +45,27 @@ class Stepper {
   /// Advances internal state from `now - dt` to `now`.
   virtual void step(TimePoint now, Duration dt) = 0;
 
+  /// Runs consecutive grid ticks `first, first + dt, ...` while they fall
+  /// strictly before `horizon`, writing each tick's time into `now_ref`
+  /// before integrating it (callbacks fired from inside a tick must observe
+  /// the right clock).  Returns the first tick NOT run.
+  ///
+  /// The kernel freezes its event horizon across one call, so
+  /// implementations must return (after finishing the current tick) as soon
+  /// as a tick has externally visible effects — completion callbacks, which
+  /// may schedule events or stop the run, or attached observers — and when
+  /// idle() turns true, so the quiescence fast-forward engages exactly where
+  /// it would have under per-tick stepping.  The default runs a single tick,
+  /// which is trivially safe; hot steppers override it to hoist the
+  /// kernel's per-tick virtual dispatch and horizon checks out of their
+  /// integration loop.
+  virtual TimePoint step_burst(TimePoint first, Duration dt,
+                               TimePoint /*horizon*/, TimePoint& now_ref) {
+    now_ref = first;
+    step(first, dt);
+    return first + dt;
+  }
+
   /// True while step() would be an identity (no state to integrate).  The
   /// kernel then skips this stepper's ticks entirely and the simulation
   /// jumps straight between discrete events; when the stepper wakes (some
@@ -112,6 +133,10 @@ class Simulator {
 
   /// Fires every stepper whose tick is exactly `t`.
   void run_steps_at(TimePoint t);
+
+  /// Exclusive upper bound for burst ticks: min(deadline, sim-time budget)
+  /// plus one nanosecond (tick times are integral ns).
+  TimePoint tick_limit_excl(TimePoint deadline) const;
 
   /// Throws SimulatorWedged if advancing the clock to `t` would exceed the
   /// sim-time budget.

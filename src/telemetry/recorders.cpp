@@ -21,13 +21,13 @@ TraceThroughputSampler::TraceThroughputSampler(TraceBus& bus, Duration cadence,
 
 void TraceThroughputSampler::on_step(const Network& net, TimePoint now) {
   const Duration dt = net.config().step;
+  const std::span<const double> rates = net.rates_bps();
   for (const LinkId lid : net.links_in_use()) {
     LinkAcc& acc = links_[lid.value];
     for (const std::uint32_t slot : net.flow_slots_on_link(lid)) {
-      const Flow& f = net.flow_at(slot);
-      const double bits = f.rate.bits_per_sec() * dt.to_seconds();
+      const double bits = rates[slot] * dt.to_seconds();
       acc.total_bits += bits;
-      acc.job_bits[f.spec.job.value] += bits;
+      acc.job_bits[net.flow_at(slot).spec.job.value] += bits;
     }
   }
   accumulated_ += dt;

@@ -1,0 +1,88 @@
+// Fixed-capacity lock-free single-producer / single-consumer ring.
+//
+// The classic two-index design (Lamport queue with cached indices): the
+// producer owns `tail_`, the consumer owns `head_`, and each side re-reads
+// the other's index only when its cached copy says the ring looks full
+// (resp. empty).  On the steady path a push or pop is one relaxed load, one
+// array move, and one release store — no locks, no CAS, no syscalls — which
+// is what lets TraceBus publish from the simulation hot loop without
+// stalling it on sink I/O.
+//
+// Memory ordering: the producer's release store of `tail_` publishes the
+// slot write it just made; the consumer's acquire load of `tail_` observes
+// it.  Symmetrically for `head_` when the producer checks for space.  Both
+// indices are monotonically increasing uint64s (no wrap handling needed at
+// any realistic event rate); the slot index is `value & mask_`, so the
+// capacity must be a power of two.
+//
+// Contract: exactly one producer thread and one consumer thread.  Anything
+// else is a data race — tests/obs_spsc_test.cpp runs the pair under TSan.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ccml {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// `capacity` is rounded up to the next power of two (minimum 2).
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    buf_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Producer side.  Returns false (and leaves the ring untouched) when
+  /// full — the caller decides the overflow policy.
+  bool try_push(T value) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) return false;
+    }
+    buf_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.  Returns false when empty.
+  bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    out = std::move(buf_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Snapshot of the occupancy; exact only when both threads are quiet.
+  std::size_t size_approx() const {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t mask_ = 0;
+  // Each index lives on its own cache line, as does each side's cached copy
+  // of the other index, so the producer and consumer never false-share.
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // next slot to pop
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // next slot to fill
+  alignas(64) std::uint64_t head_cache_ = 0;  // producer's view of head_
+  alignas(64) std::uint64_t tail_cache_ = 0;  // consumer's view of tail_
+};
+
+}  // namespace ccml

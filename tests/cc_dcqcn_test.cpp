@@ -43,7 +43,7 @@ struct Fixture {
     for (Duration t = Duration::zero(); t < window; t += step) {
       sim.run_for(step);
       if (!net->is_active(id)) break;
-      sum += net->flow(id).rate.to_gbps();
+      sum += net->rate(id).to_gbps();
       ++n;
     }
     return n > 0 ? sum / n : 0.0;
@@ -64,7 +64,7 @@ TEST(Dcqcn, SingleFlowReachesLineRate) {
   ASSERT_TRUE(f.net->is_active(id));
   // A lone flow should hover near line rate (some dips from self-induced
   // marking are acceptable).
-  EXPECT_GT(f.net->flow(id).rate.to_gbps(), 40.0);
+  EXPECT_GT(f.net->rate(id).to_gbps(), 40.0);
 }
 
 TEST(Dcqcn, TwoEqualFlowsConvergeToFairShare) {
@@ -94,8 +94,8 @@ TEST(Dcqcn, AggressiveTimerWinsBandwidth) {
   int n = 0;
   for (int i = 0; i < 200; ++i) {
     f.sim.run_for(Duration::millis(1));
-    sum_a += f.net->flow(aggressive).rate.to_gbps();
-    sum_m += f.net->flow(meek).rate.to_gbps();
+    sum_a += f.net->rate(aggressive).to_gbps();
+    sum_m += f.net->rate(meek).to_gbps();
     ++n;
   }
   const double ra = sum_a / n, rm = sum_m / n;
@@ -148,7 +148,7 @@ TEST(Dcqcn, GoodputFactorCapsAggregate) {
   int n = 0;
   for (int i = 0; i < 100; ++i) {
     f.sim.run_for(Duration::millis(1));
-    total += f.net->flow(a).rate.to_gbps() + f.net->flow(b).rate.to_gbps();
+    total += f.net->rate(a).to_gbps() + f.net->rate(b).to_gbps();
     ++n;
   }
   // Aggregate goodput hovers near 42.5, the paper's ~42 Gbps observation.
@@ -164,7 +164,7 @@ TEST(Dcqcn, StochasticMarkingVariesWithSeed) {
     const FlowId a = f.flow(0, Bytes::giga(10));
     f.flow(1, Bytes::giga(10));
     f.sim.run_for(Duration::millis(30));
-    return f.net->flow(a).rate.bits_per_sec();
+    return f.net->rate(a).bits_per_sec();
   };
   EXPECT_DOUBLE_EQ(run(7), run(7));
   EXPECT_NE(run(7), run(8));
@@ -180,7 +180,7 @@ TEST(DcqcnAdaptive, NearlyDoneFlowOutcompetesFreshFlow) {
   const FlowId old_flow = f.flow(0, Bytes::giga(2));
   f.sim.run_for(Duration::millis(100));  // old flow progresses alone
   ASSERT_TRUE(f.net->is_active(old_flow));
-  const double progress = f.net->flow(old_flow).progress();
+  const double progress = f.net->progress_of(old_flow);
   ASSERT_GT(progress, 0.2);
   const FlowId fresh = f.flow(1, Bytes::giga(50));
   f.sim.run_for(Duration::millis(30));
@@ -189,8 +189,8 @@ TEST(DcqcnAdaptive, NearlyDoneFlowOutcompetesFreshFlow) {
   while (f.net->is_active(old_flow) && n < 100) {
     f.sim.run_for(Duration::millis(1));
     if (!f.net->is_active(old_flow)) break;
-    sum_old += f.net->flow(old_flow).rate.to_gbps();
-    sum_fresh += f.net->flow(fresh).rate.to_gbps();
+    sum_old += f.net->rate(old_flow).to_gbps();
+    sum_fresh += f.net->rate(fresh).to_gbps();
     ++n;
   }
   ASSERT_GT(n, 10);
@@ -223,8 +223,8 @@ TEST_P(DcqcnParamSweep, StableUnderTwoFlows) {
   Summary ra, rb, q;
   for (int i = 0; i < 200; ++i) {
     f.sim.run_for(Duration::millis(1));
-    ra.add(f.net->flow(a).rate.to_gbps());
-    rb.add(f.net->flow(b).rate.to_gbps());
+    ra.add(f.net->rate(a).to_gbps());
+    rb.add(f.net->rate(b).to_gbps());
     q.add(f.dcqcn->link_queue(LinkId{0}).to_mb());
   }
   // Utilization: the pair should keep the link mostly busy.

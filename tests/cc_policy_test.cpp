@@ -44,8 +44,8 @@ TEST(WfqPolicy, RatesFollowWeights) {
   const FlowId w3 = f.flow(0, Bytes::giga(1), 0, 3.0);
   const FlowId w1 = f.flow(1, Bytes::giga(1), 0, 1.0);
   f.sim.run_for(Duration::micros(50));
-  EXPECT_NEAR(f.net->flow(w3).rate.to_gbps(), 22.5, 0.01);
-  EXPECT_NEAR(f.net->flow(w1).rate.to_gbps(), 7.5, 0.01);
+  EXPECT_NEAR(f.net->rate(w3).to_gbps(), 22.5, 0.01);
+  EXPECT_NEAR(f.net->rate(w1).to_gbps(), 7.5, 0.01);
 }
 
 TEST(WfqPolicy, EqualWeightsEqualRates) {
@@ -54,9 +54,9 @@ TEST(WfqPolicy, EqualWeightsEqualRates) {
   const FlowId b = f.flow(1, Bytes::giga(1));
   const FlowId c = f.flow(2, Bytes::giga(1));
   f.sim.run_for(Duration::micros(50));
-  EXPECT_NEAR(f.net->flow(a).rate.to_gbps(), 10.0, 0.01);
-  EXPECT_NEAR(f.net->flow(b).rate.to_gbps(), 10.0, 0.01);
-  EXPECT_NEAR(f.net->flow(c).rate.to_gbps(), 10.0, 0.01);
+  EXPECT_NEAR(f.net->rate(a).to_gbps(), 10.0, 0.01);
+  EXPECT_NEAR(f.net->rate(b).to_gbps(), 10.0, 0.01);
+  EXPECT_NEAR(f.net->rate(c).to_gbps(), 10.0, 0.01);
 }
 
 TEST(PriorityPolicy, HighPriorityTakesEverything) {
@@ -64,8 +64,8 @@ TEST(PriorityPolicy, HighPriorityTakesEverything) {
   const FlowId high = f.flow(0, Bytes::giga(1), /*priority=*/0);
   const FlowId low = f.flow(1, Bytes::giga(1), /*priority=*/1);
   f.sim.run_for(Duration::micros(50));
-  EXPECT_NEAR(f.net->flow(high).rate.to_gbps(), 30.0, 0.01);
-  EXPECT_NEAR(f.net->flow(low).rate.to_gbps(), 0.0, 0.01);
+  EXPECT_NEAR(f.net->rate(high).to_gbps(), 30.0, 0.01);
+  EXPECT_NEAR(f.net->rate(low).to_gbps(), 0.0, 0.01);
 }
 
 TEST(PriorityPolicy, PreemptionTimeline) {
@@ -97,8 +97,8 @@ TEST(PriorityPolicy, SamePriorityShares) {
   const FlowId a = f.flow(0, Bytes::giga(1), 2);
   const FlowId b = f.flow(1, Bytes::giga(1), 2);
   f.sim.run_for(Duration::micros(50));
-  EXPECT_NEAR(f.net->flow(a).rate.to_gbps(), 15.0, 0.01);
-  EXPECT_NEAR(f.net->flow(b).rate.to_gbps(), 15.0, 0.01);
+  EXPECT_NEAR(f.net->rate(a).to_gbps(), 15.0, 0.01);
+  EXPECT_NEAR(f.net->rate(b).to_gbps(), 15.0, 0.01);
 }
 
 TEST(PolicyFactory, BuildsEveryKind) {

@@ -39,7 +39,7 @@ struct Fixture {
     for (int i = 0; i < samples_ms; ++i) {
       sim.run_for(Duration::millis(1));
       if (!net->is_active(id)) break;
-      s.add(net->flow(id).rate.to_gbps());
+      s.add(net->rate(id).to_gbps());
     }
     return s.empty() ? 0.0 : s.mean();
   }
@@ -68,8 +68,8 @@ TEST(Timely, TwoFlowsShareReasonably) {
   Summary ra, rb;
   for (int i = 0; i < 200; ++i) {
     f.sim.run_for(Duration::millis(1));
-    ra.add(f.net->flow(a).rate.to_gbps());
-    rb.add(f.net->flow(b).rate.to_gbps());
+    ra.add(f.net->rate(a).to_gbps());
+    rb.add(f.net->rate(b).to_gbps());
   }
   // Delay-based control with identical parameters: both flows within a
   // reasonable band around the fair share, aggregate near capacity.
@@ -86,8 +86,8 @@ TEST(Timely, LargerDeltaWinsBandwidth) {
   Summary ra, rb;
   for (int i = 0; i < 300; ++i) {
     f.sim.run_for(Duration::millis(1));
-    ra.add(f.net->flow(aggressive).rate.to_gbps());
-    rb.add(f.net->flow(meek).rate.to_gbps());
+    ra.add(f.net->rate(aggressive).to_gbps());
+    rb.add(f.net->rate(meek).to_gbps());
   }
   EXPECT_GT(ra.mean(), rb.mean() * 1.2)
       << "aggressive=" << ra.mean() << " meek=" << rb.mean();
@@ -133,7 +133,7 @@ TEST(Timely, RateNeverBelowFloorOrAboveLine) {
     f.sim.run_for(Duration::millis(1));
     for (const FlowId id : {a, b, c}) {
       if (!f.net->is_active(id)) continue;
-      const double r = f.net->flow(id).rate.to_gbps();
+      const double r = f.net->rate(id).to_gbps();
       EXPECT_GE(r, cfg.min_rate.to_gbps() - 1e-9);
       EXPECT_LE(r, 50.0 + 1e-9);
     }

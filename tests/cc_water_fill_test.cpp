@@ -28,6 +28,28 @@ struct Fixture {
     return net->start_flow(std::move(fs));
   }
 
+  /// Rate allocated to `id` in a result vector parallel to active_slots().
+  Rate rate_of(const std::vector<Rate>& rates, FlowId id) const {
+    const auto flows = net->active_flows();
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      if (flows[i] == id) return rates[i];
+    }
+    ADD_FAILURE() << "flow " << id.value << " not active";
+    return Rate::zero();
+  }
+
+  /// Per-flow weight vector parallel to active_slots(), defaulting to 1.
+  std::vector<double> weights_of(
+      const std::unordered_map<FlowId, double>& by_id) const {
+    const auto flows = net->active_flows();
+    std::vector<double> w(flows.size(), 1.0);
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      const auto it = by_id.find(flows[i]);
+      if (it != by_id.end()) w[i] = it->second;
+    }
+    return w;
+  }
+
   Simulator sim;
   Topology topo;
   Router router;
@@ -42,9 +64,9 @@ TEST(WaterFill, EqualSharesOnSharedBottleneck) {
     ids.push_back(f.flow(hosts[2 * i], hosts[2 * i + 1]));
   }
   auto residual = full_residual(*f.net);
-  const auto rates = water_fill(*f.net, f.net->active_flows(), residual, {});
+  const auto rates = water_fill(*f.net, f.net->active_slots(), residual);
   for (const FlowId id : ids) {
-    EXPECT_NEAR(rates.at(id).to_gbps(), 10.0, 1e-6);
+    EXPECT_NEAR(f.rate_of(rates, id).to_gbps(), 10.0, 1e-6);
   }
 }
 
@@ -68,9 +90,9 @@ TEST(WaterFill, HostLinkBottleneckFreesBandwidth) {
   const FlowId slow = f.flow(a, b);
   const FlowId fast = f.flow(c, d);
   auto residual = full_residual(*f.net);
-  const auto rates = water_fill(*f.net, f.net->active_flows(), residual, {});
-  EXPECT_NEAR(rates.at(slow).to_gbps(), 10.0, 1e-6);
-  EXPECT_NEAR(rates.at(fast).to_gbps(), 20.0, 1e-6);
+  const auto rates = water_fill(*f.net, f.net->active_slots(), residual);
+  EXPECT_NEAR(f.rate_of(rates, slow).to_gbps(), 10.0, 1e-6);
+  EXPECT_NEAR(f.rate_of(rates, fast).to_gbps(), 20.0, 1e-6);
 }
 
 TEST(WaterFill, WeightsSplitProportionally) {
@@ -79,11 +101,11 @@ TEST(WaterFill, WeightsSplitProportionally) {
   const FlowId heavy = f.flow(hosts[0], hosts[1]);
   const FlowId light = f.flow(hosts[2], hosts[3]);
   auto residual = full_residual(*f.net);
-  std::unordered_map<FlowId, double> weights{{heavy, 2.0}, {light, 1.0}};
+  const auto weights = f.weights_of({{heavy, 2.0}, {light, 1.0}});
   const auto rates =
-      water_fill(*f.net, f.net->active_flows(), residual, weights);
-  EXPECT_NEAR(rates.at(heavy).to_gbps(), 20.0, 1e-6);
-  EXPECT_NEAR(rates.at(light).to_gbps(), 10.0, 1e-6);
+      water_fill(*f.net, f.net->active_slots(), residual, weights);
+  EXPECT_NEAR(f.rate_of(rates, heavy).to_gbps(), 20.0, 1e-6);
+  EXPECT_NEAR(f.rate_of(rates, light).to_gbps(), 10.0, 1e-6);
 }
 
 TEST(WaterFill, ZeroWeightGetsNothing) {
@@ -92,11 +114,11 @@ TEST(WaterFill, ZeroWeightGetsNothing) {
   const FlowId on = f.flow(hosts[0], hosts[1]);
   const FlowId off = f.flow(hosts[2], hosts[3]);
   auto residual = full_residual(*f.net);
-  std::unordered_map<FlowId, double> weights{{off, 0.0}};
+  const auto weights = f.weights_of({{off, 0.0}});
   const auto rates =
-      water_fill(*f.net, f.net->active_flows(), residual, weights);
-  EXPECT_NEAR(rates.at(on).to_gbps(), 30.0, 1e-6);
-  EXPECT_DOUBLE_EQ(rates.at(off).to_gbps(), 0.0);
+      water_fill(*f.net, f.net->active_slots(), residual, weights);
+  EXPECT_NEAR(f.rate_of(rates, on).to_gbps(), 30.0, 1e-6);
+  EXPECT_DOUBLE_EQ(f.rate_of(rates, off).to_gbps(), 0.0);
 }
 
 TEST(WaterFill, ConsumesResidualInPlace) {
@@ -104,7 +126,7 @@ TEST(WaterFill, ConsumesResidualInPlace) {
   const auto hosts = f.topo.hosts();
   f.flow(hosts[0], hosts[1]);
   auto residual = full_residual(*f.net);
-  water_fill(*f.net, f.net->active_flows(), residual, {});
+  water_fill(*f.net, f.net->active_slots(), residual);
   // Bottleneck (link 0) fully consumed.
   EXPECT_NEAR(residual[0].to_gbps(), 0.0, 1e-6);
 }
@@ -112,7 +134,7 @@ TEST(WaterFill, ConsumesResidualInPlace) {
 TEST(WaterFill, NoFlowsIsEmpty) {
   Fixture f(Topology::dumbbell(1, Rate::gbps(100), Rate::gbps(30)));
   auto residual = full_residual(*f.net);
-  const auto rates = water_fill(*f.net, {}, residual, {});
+  const auto rates = water_fill(*f.net, {}, residual);
   EXPECT_TRUE(rates.empty());
 }
 
@@ -124,12 +146,13 @@ TEST(WaterFill, CapacityNeverExceededOnAnyLink) {
     f.flow(hosts[i], hosts[4 + i], i);
   }
   auto residual = full_residual(*f.net);
-  const auto rates = water_fill(*f.net, f.net->active_flows(), residual, {});
+  const auto slots = f.net->active_slots();
+  const auto rates = water_fill(*f.net, slots, residual);
   // Recompute per-link load and compare to capacity.
   std::vector<double> load(f.topo.link_count(), 0.0);
-  for (const auto& [fid, rate] : rates) {
-    for (const LinkId lid : f.net->flow(fid).spec.route.links) {
-      load[lid.value] += rate.to_gbps();
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    for (const std::int32_t l : f.net->route_links(slots[i])) {
+      load[l] += rates[i].to_gbps();
     }
   }
   for (std::size_t l = 0; l < load.size(); ++l) {
@@ -148,13 +171,15 @@ TEST(WaterFill, ParetoEfficientOnBottleneck) {
   f.flow(hosts[0], hosts[2], 0);
   f.flow(hosts[1], hosts[3], 1);
   auto residual = full_residual(*f.net);
-  const auto rates = water_fill(*f.net, f.net->active_flows(), residual, {});
-  for (const auto& [fid, rate] : rates) {
+  const auto slots = f.net->active_slots();
+  const auto rates = water_fill(*f.net, slots, residual);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
     bool bottlenecked = false;
-    for (const LinkId lid : f.net->flow(fid).spec.route.links) {
-      if (residual[lid.value].to_gbps() < 1e-6) bottlenecked = true;
+    for (const std::int32_t l : f.net->route_links(slots[i])) {
+      if (residual[l].to_gbps() < 1e-6) bottlenecked = true;
     }
-    EXPECT_TRUE(bottlenecked) << "flow " << fid.value << " has slack";
+    EXPECT_TRUE(bottlenecked)
+        << "flow in slot " << slots[i] << " has slack";
   }
 }
 

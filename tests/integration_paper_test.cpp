@@ -308,8 +308,8 @@ TEST(PaperFig1, UnfairSplitRoughlyTwoToOne) {
   Summary ra, rb;
   for (int i = 0; i < 300; ++i) {
     bed.sim.run_for(Duration::millis(1));
-    ra.add(bed.net->flow(ida).rate.to_gbps());
-    rb.add(bed.net->flow(idb).rate.to_gbps());
+    ra.add(bed.net->rate(ida).to_gbps());
+    rb.add(bed.net->rate(idb).to_gbps());
   }
   EXPECT_GT(ra.mean(), 24.0);
   EXPECT_LT(rb.mean(), 18.0);
@@ -332,8 +332,8 @@ TEST(PaperFig1, FairSplitIsEven) {
   Summary r0, r1;
   for (int i = 0; i < 300; ++i) {
     bed.sim.run_for(Duration::millis(1));
-    r0.add(bed.net->flow(flows[0]).rate.to_gbps());
-    r1.add(bed.net->flow(flows[1]).rate.to_gbps());
+    r0.add(bed.net->rate(flows[0]).to_gbps());
+    r1.add(bed.net->rate(flows[1]).to_gbps());
   }
   // Paper Fig. 1b: both jobs at ~21 Gbps.
   EXPECT_NEAR(r0.mean(), 21.25, 3.0);

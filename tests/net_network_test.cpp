@@ -137,7 +137,7 @@ TEST(Network, FlowProgressReporting) {
       f.net->start_flow(f.spec(f.hosts[0], f.hosts[1], Bytes::mega(12.5)));
   f.sim.run_for(Duration::millis(1));  // half of the 2 ms solo transfer
   ASSERT_TRUE(f.net->is_active(id));
-  EXPECT_NEAR(f.net->flow(id).progress(), 0.5, 0.02);
+  EXPECT_NEAR(f.net->progress_of(id), 0.5, 0.02);
 }
 
 TEST(Network, ZeroByteFlowCompletesImmediately) {
@@ -299,7 +299,7 @@ TEST(Network, MultiBottleneckFlowLimitedByTightest) {
   fs.size = Bytes::giga(1);
   const FlowId id = net.start_flow(std::move(fs));
   sim.run_for(Duration::millis(1));
-  EXPECT_NEAR(net.flow(id).rate.to_gbps(), 10.0, 0.01);
+  EXPECT_NEAR(net.rate(id).to_gbps(), 10.0, 0.01);
 }
 
 TEST(Network, ReverseDirectionIndependent) {
@@ -325,8 +325,8 @@ TEST(Network, ReverseDirectionIndependent) {
   rev.size = Bytes::giga(1);
   const FlowId f2 = net.start_flow(std::move(rev));
   sim.run_for(Duration::millis(1));
-  EXPECT_NEAR(net.flow(f1).rate.to_gbps(), 50.0, 0.01);
-  EXPECT_NEAR(net.flow(f2).rate.to_gbps(), 50.0, 0.01);
+  EXPECT_NEAR(net.rate(f1).to_gbps(), 50.0, 0.01);
+  EXPECT_NEAR(net.rate(f2).to_gbps(), 50.0, 0.01);
 }
 
 TEST(Network, ManyFlowsDrainCompletely) {

@@ -52,7 +52,7 @@ commands:
        job keys: period_ms, comm_ms (or model+batch), demand_gbps
   scenario --job K=V[,K=V...] [--job ...] [--policy P] [--seconds S]
            [--trace FILE] [--trace-format chrome|jsonl]
-           [--trace-cadence-ms N]
+           [--trace-cadence-ms N] [--trace-async block|drop]
                               simulate jobs on a shared dumbbell bottleneck
        job keys: model, batch, name, compute_ms, comm_ms, timer_us,
                  rai_mbps, priority, weight, start_ms
@@ -75,7 +75,8 @@ commands:
        pause keys:     at_ms, for_ms, job
        depart keys:    at_ms, job
        arrive keys:    at_ms, job
-       also accepts --trace / --trace-format / --trace-cadence-ms
+       also accepts --trace / --trace-format / --trace-cadence-ms /
+                            --trace-async
   cluster [--seed N] [--seconds S] [--rate JOBS_PER_MIN] [--service-s S]
           [--admission locality|compat] [--queue-cap N] [--queue-timeout-s S]
           [--workers-min N] [--workers-max N] [--tors N] [--hosts N]
@@ -86,7 +87,8 @@ commands:
                               incremental gate re-solving; the report is
                               byte-deterministic for a given seed
        flap/brownout keys as above (default link: tor0->spine0)
-       also accepts --trace / --trace-format / --trace-cadence-ms
+       also accepts --trace / --trace-format / --trace-cadence-ms /
+                            --trace-async
   policies: maxmin | wfq | priority | dcqcn | dcqcn-adaptive | timely
 
 tracing (scenario and faults):
@@ -100,6 +102,13 @@ tracing (scenario and faults):
   --trace-format jsonl      one JSON object per line (machine-diffable)
   --trace-cadence-ms N      link throughput/queue sampling period
                             [default 5; 0 disables the sampled series]
+  --trace-async MODE        deliver events to the sink from a consumer
+                            thread fed by a lock-free SPSC ring instead of
+                            inline.  MODE block: lossless (producer waits
+                            when the ring is full; output byte-identical to
+                            inline delivery).  MODE drop: never stalls the
+                            sim; overflow is counted in trace.dropped_events
+                            and reported by a trailing trace-drops event
 )");
   std::exit(2);
 }
@@ -276,13 +285,25 @@ struct TraceSetup {
                 .c_str());
     }
     bus.add_sink(*sink);
+    if (opts.contains("trace-async")) {
+      TraceAsyncOptions aopts;
+      const std::string& mode = opts.at("trace-async");
+      if (mode == "drop") {
+        aopts.overflow = TraceOverflowPolicy::kDropNewest;
+      } else if (!mode.empty() && mode != "block") {
+        usage(("unknown --trace-async mode: " + mode +
+               " (expected block or drop)")
+                  .c_str());
+      }
+      bus.start_async(aopts);
+    }
     enabled = true;
     return &bus;
   }
 
   void finish() {
     if (!enabled) return;
-    bus.flush();
+    bus.flush();  // stops the async consumer (full drain) before finalizing
     out.close();
     std::printf("\ntrace written to %s\n", path.c_str());
     std::printf("\n%s", bus.metrics_summary().c_str());

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Perf smoke gate: compare a fresh perf_engine --json run to the
+checked-in floor in BENCH_engine.json.
+
+CI hosts are shared and noisy, so this is deliberately a coarse tripwire,
+not a benchmark: the fresh run's engine.sim_s_per_wall_s may be up to
+--tolerance (default 30%) below the checked-in figure before the gate
+fails.  Catches order-of-magnitude regressions (an accidentally disabled
+fused path, a debug build, a hot-loop pessimization) while staying quiet
+under normal scheduling jitter.
+
+The gate also re-asserts the contract that makes speed claims meaningful:
+if either file's sweep block says bit_identical is false, the run fails
+regardless of throughput.
+
+Usage:
+  python3 tools/check_perf.py fresh.json [--floor BENCH_engine.json]
+                                         [--tolerance 0.30]
+
+Exits 0 when fresh throughput >= floor * (1 - tolerance), 1 otherwise.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def fail(msg):
+    print(f"check_perf: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+
+def throughput(doc, path):
+    try:
+        v = doc["engine"]["sim_s_per_wall_s"]
+    except (KeyError, TypeError):
+        fail(f"{path}: missing engine.sim_s_per_wall_s")
+    if not isinstance(v, (int, float)) or v <= 0:
+        fail(f"{path}: engine.sim_s_per_wall_s must be positive, got {v!r}")
+    return float(v)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("fresh", help="JSON written by perf_engine --json")
+    ap.add_argument("--floor",
+                    default=os.path.join(os.path.dirname(__file__), os.pardir,
+                                         "BENCH_engine.json"),
+                    help="checked-in reference (default: repo BENCH_engine.json)")
+    ap.add_argument("--tolerance", type=float, default=0.30,
+                    help="allowed fractional drop below the floor (default 0.30)")
+    args = ap.parse_args()
+    if not 0.0 <= args.tolerance < 1.0:
+        fail(f"--tolerance must be in [0, 1), got {args.tolerance}")
+
+    fresh = load(args.fresh)
+    floor = load(args.floor)
+    for doc, path in ((fresh, args.fresh), (floor, args.floor)):
+        ident = doc.get("sweep", {}).get("bit_identical")
+        if ident is not True:
+            fail(f"{path}: sweep.bit_identical is {ident!r}, not true — "
+                 "determinism broken, throughput numbers are meaningless")
+
+    have = throughput(fresh, args.fresh)
+    want = throughput(floor, args.floor)
+    limit = want * (1.0 - args.tolerance)
+    verdict = "OK" if have >= limit else "FAIL"
+    print(f"check_perf: {verdict}: fresh {have:.1f} sim-s/wall-s vs floor "
+          f"{want:.1f} (limit {limit:.1f}, tolerance {args.tolerance:.0%})",
+          file=sys.stderr if verdict == "FAIL" else sys.stdout)
+    if have < limit:
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -9,9 +9,19 @@ per (cat, id); at least one slice and one counter track must be present.
 JSONL mode (--jsonl): every line must be a standalone JSON object with a
 numeric "t_us" and a known "kind".
 
+Both modes also validate the async trace path's self-reporting invariants:
+"trace-drops" records (emitted when the SPSC ring overflowed under the
+drop-newest policy) must carry a positive dropped count, appear at most
+once, and come after every drained event — TraceBus delivers the report
+only after the consumer finished draining, so anything following it means
+the drain-ordering contract broke.  Pass --expect-drops to additionally
+require that a drops record is present (used by tests that force
+overflow), or --forbid-drops to fail if one appears (lossless runs).
+
 Usage:
   python3 tools/check_trace.py trace.json
   python3 tools/check_trace.py --jsonl trace.jsonl
+  python3 tools/check_trace.py --jsonl --forbid-drops trace.jsonl
 
 Exits 0 when the trace is well-formed, 1 with a diagnostic otherwise.
 Stdlib-only on purpose: it runs in CI right after the simulator.
@@ -27,6 +37,7 @@ KNOWN_KINDS = {
     "flow-unpark", "rate-decrease", "rate-timer", "phase", "iteration",
     "gate-open", "fault-apply", "fault-recover", "solve", "link-throughput",
     "link-queue", "job-submit", "job-admit", "job-reject", "job-depart",
+    "trace-drops",
 }
 
 
@@ -35,7 +46,37 @@ def fail(msg):
     sys.exit(1)
 
 
-def check_chrome(path):
+class DropsChecker:
+    """Shared trace-drops invariants for both serialized formats."""
+
+    def __init__(self):
+        self.count = 0
+        self.dropped = 0.0
+
+    def saw_drops(self, where, value):
+        self.count += 1
+        if self.count > 1:
+            fail(f"{where}: more than one trace-drops record")
+        if not isinstance(value, (int, float)) or value <= 0:
+            fail(f"{where}: trace-drops must carry a positive dropped "
+                 f"count, got {value!r}")
+        self.dropped = value
+
+    def saw_event(self, where):
+        if self.count > 0:
+            fail(f"{where}: event after the trace-drops record — the drops "
+                 "report must be the final record (drain-ordering broken)")
+
+    def finish(self, expect_drops, forbid_drops):
+        if expect_drops and self.count == 0:
+            fail("expected a trace-drops record (--expect-drops) but the "
+                 "trace has none")
+        if forbid_drops and self.count > 0:
+            fail(f"trace reports {self.dropped:.0f} dropped events but "
+                 "--forbid-drops was given (lossless run expected)")
+
+
+def check_chrome(path, expect_drops=False, forbid_drops=False):
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -48,6 +89,7 @@ def check_chrome(path):
     if not isinstance(events, list) or not events:
         fail("'traceEvents' must be a non-empty array")
 
+    drops = DropsChecker()
     slice_depth = {}   # (pid, tid) -> open B count
     async_open = {}    # (cat, id) -> open b count
     n_slices = n_counters = 0
@@ -62,6 +104,14 @@ def check_chrome(path):
             fail(f"{where}: missing integer 'pid'")
         if ph != "M" and not isinstance(ev.get("ts"), (int, float)):
             fail(f"{where}: missing numeric 'ts'")
+        if ev.get("name") == "trace-drops":
+            drops.saw_drops(where, (ev.get("args") or {}).get("dropped"))
+            continue
+        # ChromeTraceSink buffers and reorders on flush (metadata first,
+        # trailing slice closes last), so only non-synthetic records count
+        # against the "nothing after the drops report" invariant.
+        if ph not in ("M", "E"):
+            drops.saw_event(where)
         if ph in ("B", "E"):
             key = (ev["pid"], ev.get("tid"))
             slice_depth[key] = slice_depth.get(key, 0) + (1 if ph == "B" else -1)
@@ -90,11 +140,14 @@ def check_chrome(path):
         fail("no duration slices (B) at all — job phases missing")
     if n_counters == 0:
         fail("no counter events (C) at all — link series missing")
+    drops.finish(expect_drops, forbid_drops)
+    extra = f", {drops.dropped:.0f} dropped" if drops.count else ""
     print(f"check_trace: OK: {len(events)} events, {n_slices} slices, "
-          f"{n_counters} counter samples")
+          f"{n_counters} counter samples{extra}")
 
 
-def check_jsonl(path):
+def check_jsonl(path, expect_drops=False, forbid_drops=False):
+    drops = DropsChecker()
     n = 0
     try:
         with open(path) as f:
@@ -110,26 +163,38 @@ def check_jsonl(path):
                     fail(f"line {lineno}: not an object")
                 if not isinstance(ev.get("t_us"), (int, float)):
                     fail(f"line {lineno}: missing numeric 't_us'")
-                if ev.get("kind") not in KNOWN_KINDS:
-                    fail(f"line {lineno}: unknown kind {ev.get('kind')!r}")
+                kind = ev.get("kind")
+                if kind not in KNOWN_KINDS:
+                    fail(f"line {lineno}: unknown kind {kind!r}")
+                if kind == "trace-drops":
+                    drops.saw_drops(f"line {lineno}", ev.get("value"))
+                else:
+                    drops.saw_event(f"line {lineno}")
                 n += 1
     except OSError as e:
         fail(f"{path}: {e}")
     if n == 0:
         fail("no events in the file")
-    print(f"check_trace: OK: {n} events")
+    drops.finish(expect_drops, forbid_drops)
+    extra = f" ({drops.dropped:.0f} dropped)" if drops.count else ""
+    print(f"check_trace: OK: {n} events{extra}")
 
 
 def main(argv):
-    args = [a for a in argv[1:] if a != "--jsonl"]
-    jsonl = "--jsonl" in argv[1:]
-    if len(args) != 1:
+    flags = {a for a in argv[1:] if a.startswith("--")}
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    unknown = flags - {"--jsonl", "--expect-drops", "--forbid-drops"}
+    if unknown or len(args) != 1:
         print(__doc__, file=sys.stderr)
         return 2
-    if jsonl:
-        check_jsonl(args[0])
+    kwargs = {
+        "expect_drops": "--expect-drops" in flags,
+        "forbid_drops": "--forbid-drops" in flags,
+    }
+    if "--jsonl" in flags:
+        check_jsonl(args[0], **kwargs)
     else:
-        check_chrome(args[0])
+        check_chrome(args[0], **kwargs)
     return 0
 
 
