@@ -4,8 +4,30 @@
 #include <cassert>
 
 #include "net/network.h"
+#include "obs/trace_bus.h"
 
 namespace ccml {
+
+namespace {
+
+// Out of line so the per-flow rate loop stays tight when tracing is off
+// (same split as DCQCN's emit_rate_event).  TIMELY has no alpha, so value2
+// carries the normalized RTT gradient that drove the decrease.
+[[gnu::noinline]] void emit_decrease_event(TraceBus& bus, Counter& counter,
+                                           TimePoint now, const Flow& flow,
+                                           double rate_bps, double gradient) {
+  TraceEvent ev;
+  ev.time = now;
+  ev.kind = TraceEventKind::kRateDecrease;
+  ev.job = flow.spec.job;
+  ev.flow = flow.id;
+  ev.value = rate_bps;
+  ev.value2 = gradient;
+  bus.emit(ev);
+  counter.add();
+}
+
+}  // namespace
 
 TimelyPolicy::TimelyPolicy(TimelyConfig config) : config_(config) {
   assert(config_.t_high > config_.t_low);
@@ -84,9 +106,14 @@ void TimelyPolicy::on_link_capacity_changed(Network& net, LinkId /*link*/) {
   }
 }
 
-void TimelyPolicy::update_rates(Network& net, TimePoint /*now*/, Duration dt) {
+void TimelyPolicy::update_rates(Network& net, TimePoint now, Duration dt) {
   if (links_.size() < net.topology().link_count()) {
     links_.resize(net.topology().link_count());
+  }
+  TraceBus* bus = net.trace_bus();
+  if (bus != bus_cache_) {
+    bus_cache_ = bus;
+    c_decrease_ = bus ? &bus->counter("timely.decreases") : nullptr;
   }
 
   // Queue integration per link (same fluid model as the DCQCN CP); only
@@ -123,13 +150,14 @@ void TimelyPolicy::update_rates(Network& net, TimePoint /*now*/, Duration dt) {
   queues_clear_ = queues_clear;
 
   if (config_.reference_kernel) {
-    update_rates_reference(net, dt);
+    update_rates_reference(net, now, dt);
   } else {
-    update_rates_soa(net, dt);
+    update_rates_soa(net, now, dt);
   }
 }
 
-void TimelyPolicy::update_rates_reference(Network& net, Duration dt) {
+void TimelyPolicy::update_rates_reference(Network& net, TimePoint now,
+                                          Duration dt) {
   for (const std::uint32_t slot : net.active_slots()) {
     const Flow& flow = net.flow_at(slot);
     FlowState& s = state_[slot];
@@ -158,6 +186,7 @@ void TimelyPolicy::update_rates_reference(Network& net, Duration dt) {
         s.rtt_diff_ewma / config_.base_rtt.to_micros();  // normalized
     s.last_gradient = gradient;
 
+    bool decreased = false;
     if (rtt < config_.t_low) {
       s.rate += s.delta;
       ++s.completed_good_rounds;
@@ -166,6 +195,7 @@ void TimelyPolicy::update_rates_reference(Network& net, Duration dt) {
           1.0 - config_.beta * (1.0 - config_.t_high / rtt);
       s.rate = s.rate * shrink;
       s.completed_good_rounds = 0;
+      decreased = true;
     } else if (gradient <= 0.0) {
       ++s.completed_good_rounds;
       const int n =
@@ -174,9 +204,14 @@ void TimelyPolicy::update_rates_reference(Network& net, Duration dt) {
     } else {
       s.rate = s.rate * (1.0 - config_.beta * std::min(gradient, 1.0));
       s.completed_good_rounds = 0;
+      decreased = true;
     }
     s.rate = std::clamp(s.rate, config_.min_rate, s.line_rate);
     net.set_rate(slot, s.rate);
+    if (decreased && bus_cache_ != nullptr) [[unlikely]] {
+      emit_decrease_event(*bus_cache_, *c_decrease_, now, flow,
+                          s.rate.bits_per_sec(), gradient);
+    }
   }
 }
 
@@ -185,7 +220,7 @@ void TimelyPolicy::update_rates_reference(Network& net, Duration dt) {
 // wrappers so rounding matches to the bit), with the route walk taken from
 // the network's flat link array and rates scattered straight into the
 // network slab.
-void TimelyPolicy::update_rates_soa(Network& net, Duration dt) {
+void TimelyPolicy::update_rates_soa(Network& net, TimePoint now, Duration dt) {
   const std::span<const std::uint32_t> slots = net.active_slots();
   const std::span<double> rates = net.mutable_rates_bps();
   const std::int64_t dt_ns = dt.ns();
@@ -217,6 +252,7 @@ void TimelyPolicy::update_rates_soa(Network& net, Duration dt) {
     grad_col_[slot] = gradient;
 
     double rate = rate_bps_[slot];
+    bool decreased = false;
     if (rtt < config_.t_low) {
       rate += delta_bps_[slot];
       ++good_rounds_[slot];
@@ -225,6 +261,7 @@ void TimelyPolicy::update_rates_soa(Network& net, Duration dt) {
           1.0 - config_.beta * (1.0 - config_.t_high / rtt);
       rate = rate * shrink;
       good_rounds_[slot] = 0;
+      decreased = true;
     } else if (gradient <= 0.0) {
       ++good_rounds_[slot];
       const int n = good_rounds_[slot] >= config_.hai_threshold ? 5 : 1;
@@ -232,10 +269,15 @@ void TimelyPolicy::update_rates_soa(Network& net, Duration dt) {
     } else {
       rate = rate * (1.0 - config_.beta * std::min(gradient, 1.0));
       good_rounds_[slot] = 0;
+      decreased = true;
     }
     rate = std::clamp(rate, min_bps, line_bps_[slot]);
     rate_bps_[slot] = rate;
     rates[slot] = rate;
+    if (decreased && bus_cache_ != nullptr) [[unlikely]] {
+      emit_decrease_event(*bus_cache_, *c_decrease_, now, net.flow_at(slot),
+                          rate, gradient);
+    }
   }
 }
 

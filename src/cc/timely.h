@@ -27,6 +27,9 @@
 
 namespace ccml {
 
+class Counter;
+class TraceBus;
+
 struct TimelyConfig {
   Duration t_low = Duration::micros(50);
   Duration t_high = Duration::micros(500);
@@ -89,8 +92,8 @@ class TimelyPolicy final : public BandwidthPolicy {
     std::uint64_t stamp = 0;  ///< last queue pass that touched this link
   };
 
-  void update_rates_reference(Network& net, Duration dt);
-  void update_rates_soa(Network& net, Duration dt);
+  void update_rates_reference(Network& net, TimePoint now, Duration dt);
+  void update_rates_soa(Network& net, TimePoint now, Duration dt);
   void resize_soa(std::size_t n);
 
   TimelyConfig config_;
@@ -111,6 +114,9 @@ class TimelyPolicy final : public BandwidthPolicy {
   std::vector<std::int64_t> since_ns_;
   std::vector<std::int32_t> good_rounds_;
   std::vector<LinkState> links_;
+  // Re-resolved when the bound trace bus changes (same idiom as DCQCN).
+  TraceBus* bus_cache_ = nullptr;
+  Counter* c_decrease_ = nullptr;
   bool queues_clear_ = true;  // refreshed by the queue pass each step
   std::uint64_t step_stamp_ = 0;
   std::vector<std::uint32_t> wet_links_;  // links with backlog after the

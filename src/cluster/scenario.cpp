@@ -104,8 +104,17 @@ ScenarioResult run_dumbbell_scenario(const std::vector<ScenarioJob>& setups,
   std::unique_ptr<TraceThroughputSampler> sampler;
   if (config.trace != nullptr) {
     for (std::size_t i = 0; i < setups.size(); ++i) {
-      config.trace->register_job(JobId{static_cast<std::int32_t>(i)},
-                                 setups[i].name);
+      const JobId id{static_cast<std::int32_t>(i)};
+      config.trace->register_job(id, setups[i].name);
+      // Dedicated-network baseline into the stream, so the trace alone is
+      // enough for slowdown-vs-dedicated analytics (online or replayed).
+      TraceEvent ev;
+      ev.time = sim.now();
+      ev.kind = TraceEventKind::kSoloBaseline;
+      ev.job = id;
+      ev.value =
+          setups[i].profile.solo_iteration(scenario_goodput(config)).to_millis();
+      config.trace->emit(ev);
     }
     sampler = bind_trace_bus(*config.trace, net);
   }
@@ -150,6 +159,7 @@ ScenarioResult run_dumbbell_scenario(const std::vector<ScenarioJob>& setups,
   // restoration or job-set change.
   bool any_gated = false;
   for (const ScenarioJob& s : setups) any_gated |= s.gate.has_value();
+  any_gated |= config.flow_schedule;
   const auto resolve_gates = [&] {
     std::vector<std::size_t> members;
     std::vector<CommProfile> profiles;
@@ -230,6 +240,9 @@ ScenarioResult run_dumbbell_scenario(const std::vector<ScenarioJob>& setups,
     });
   }
 
+  // CASSINI-style start-of-run flow schedule: solve once for the full job
+  // set and gate everyone before the first iteration.
+  if (config.flow_schedule) resolve_gates();
   for (auto& j : jobs) j->start();
   if (injector) injector->arm();
   sim.run_for(config.duration);

@@ -66,6 +66,12 @@ struct ScenarioConfig {
   /// Re-solve communication gates when a fault changes the topology or job
   /// set (only takes effect when at least one job is gated).
   bool resolve_gates_on_fault = true;
+  /// Solve a compatibility-based flow schedule at run start and gate every
+  /// job with it (the CASSINI-style interleaved mode), instead of requiring
+  /// callers to pre-compute per-job gates.  Emits a kSolve event when a
+  /// trace bus is bound, so measured interleaving can be compared against
+  /// the solver's prediction.
+  bool flow_schedule = false;
   /// Solver options used for mid-run gate re-solves.
   SolverOptions solver;
   /// Relative slack on iteration time for recovery convergence checks.

@@ -12,20 +12,25 @@ namespace ccml {
 
 namespace {
 
-TraceEvent flow_event(TraceEventKind kind, TimePoint t, const Flow& flow) {
+TraceEvent flow_event(TraceEventKind kind, TimePoint t, const Flow& flow,
+                      const Network& net) {
   TraceEvent ev;
   ev.time = t;
   ev.kind = kind;
   ev.job = flow.spec.job;
   ev.flow = flow.id;
+  // Attribute the event to the route's limiting link so per-link analytics
+  // (interleaving scores, queue histograms) can group flows by bottleneck.
+  ev.link = net.route_bottleneck(flow.spec.route);
   return ev;
 }
 
 // Out of line so the completion loop in step() stays tight when tracing is
 // off (the event construction otherwise inflates the hot function).
 [[gnu::noinline]] void emit_finish_event(TraceBus& bus, Counter& counter,
-                                         TimePoint finish, const Flow& flow) {
-  TraceEvent ev = flow_event(TraceEventKind::kFlowFinish, finish, flow);
+                                         TimePoint finish, const Flow& flow,
+                                         const Network& net) {
+  TraceEvent ev = flow_event(TraceEventKind::kFlowFinish, finish, flow, net);
   ev.value = flow.spec.size.count();
   ev.value2 = (finish - flow.start_time).to_millis();
   bus.emit(ev);
@@ -144,16 +149,19 @@ FlowId Network::start_flow(FlowSpec spec, FlowCompletionFn on_complete) {
     activate_flow(id, slot);
   }
   if (bus_ != nullptr) {
-    TraceEvent ev = flow_event(TraceEventKind::kFlowStart, sim_->now(), flow);
+    TraceEvent ev =
+        flow_event(TraceEventKind::kFlowStart, sim_->now(), flow, *this);
     ev.value = flow.spec.size.count();
     bus_->emit(ev);
     c_flows_started_->add();
     if (rerouted) {
-      bus_->emit(flow_event(TraceEventKind::kFlowReroute, sim_->now(), flow));
+      bus_->emit(
+          flow_event(TraceEventKind::kFlowReroute, sim_->now(), flow, *this));
       c_reroutes_->add();
     }
     if (parked) {
-      bus_->emit(flow_event(TraceEventKind::kFlowPark, sim_->now(), flow));
+      bus_->emit(
+        flow_event(TraceEventKind::kFlowPark, sim_->now(), flow, *this));
       c_flows_parked_->add();
     }
   }
@@ -215,7 +223,8 @@ void Network::park_flow(FlowId id, std::uint32_t slot) {
   // fresh flow start (an RDMA connection re-established after path loss).
   policy_->on_flow_finished(*this, flow);
   if (bus_ != nullptr) {
-    bus_->emit(flow_event(TraceEventKind::kFlowPark, sim_->now(), flow));
+    bus_->emit(
+        flow_event(TraceEventKind::kFlowPark, sim_->now(), flow, *this));
     c_flows_parked_->add();
   }
 }
@@ -238,9 +247,11 @@ bool Network::try_unpark_flow(FlowId id, std::uint32_t slot) {
   slab_[slot].parked = false;
   activate_flow(id, slot);
   if (bus_ != nullptr) {
-    bus_->emit(flow_event(TraceEventKind::kFlowUnpark, sim_->now(), flow));
+    bus_->emit(
+        flow_event(TraceEventKind::kFlowUnpark, sim_->now(), flow, *this));
     if (rerouted) {
-      bus_->emit(flow_event(TraceEventKind::kFlowReroute, sim_->now(), flow));
+      bus_->emit(
+          flow_event(TraceEventKind::kFlowReroute, sim_->now(), flow, *this));
       c_reroutes_->add();
     }
   }
@@ -321,7 +332,8 @@ void Network::abort_flow(FlowId id) {
   if (!extracted.parked) policy_->on_flow_finished(*this, extracted.flow);
   if (bus_ != nullptr) {
     bus_->emit(
-        flow_event(TraceEventKind::kFlowAbort, sim_->now(), extracted.flow));
+        flow_event(TraceEventKind::kFlowAbort, sim_->now(), extracted.flow,
+                   *this));
     c_flows_aborted_->add();
   }
 }
@@ -413,7 +425,8 @@ void Network::step(TimePoint now, Duration dt) {
     const Slot extracted = extract_flow(d.id, it->second);
     policy_->on_flow_finished(*this, extracted.flow);
     if (bus_ != nullptr) [[unlikely]] {
-      emit_finish_event(*bus_, *c_flows_finished_, d.finish, extracted.flow);
+      emit_finish_event(*bus_, *c_flows_finished_, d.finish, extracted.flow,
+                        *this);
     }
     if (extracted.on_complete) extracted.on_complete(extracted.flow, d.finish);
   }

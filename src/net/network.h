@@ -116,6 +116,24 @@ class Network : public Stepper {
     return eff_capacity_[link.value];
   }
 
+  /// The route's limiting link: minimum *nominal* capacity, earliest on the
+  /// route when tied.  Nominal (not runtime-degraded) capacity keeps the
+  /// attribution stable for a flow's whole lifetime, so trace analytics can
+  /// charge a flow's start and finish to the same link even across a
+  /// mid-flight brownout.  Invalid for an empty route.
+  LinkId route_bottleneck(const Route& route) const {
+    LinkId best;
+    Rate best_cap;
+    for (const LinkId lid : route.links) {
+      const Rate cap = nominal_capacity_[static_cast<std::size_t>(lid.value)];
+      if (!best.valid() || cap < best_cap) {
+        best = lid;
+        best_cap = cap;
+      }
+    }
+    return best;
+  }
+
   // --- Runtime link state (fault injection) --------------------------------
 
   /// Sets `link`'s capacity factor: 1 restores nominal capacity, values in

@@ -1,0 +1,128 @@
+#include "obs/analytics/trace_reader.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_set>
+
+namespace ccml {
+
+namespace {
+
+// TraceEvent::detail must point at static-storage strings; replayed details
+// are interned here for the life of the process.  std::string's heap buffer
+// is stable across rehashes, so the returned pointers never move.
+const char* intern_detail(const std::string& s) {
+  static std::unordered_set<std::string> pool;
+  return pool.insert(s).first->c_str();
+}
+
+bool take(const char*& p, const char* literal) {
+  const std::size_t n = std::strlen(literal);
+  if (std::strncmp(p, literal, n) != 0) return false;
+  p += n;
+  return true;
+}
+
+bool take_double(const char*& p, double& out) {
+  char* end = nullptr;
+  out = std::strtod(p, &end);
+  if (end == p) return false;
+  p = end;
+  return true;
+}
+
+bool take_quoted(const char*& p, std::string& out) {
+  // Kind and detail strings are emitted verbatim by JsonlSink (no escapes).
+  const char* close = std::strchr(p, '"');
+  if (close == nullptr) return false;
+  out.assign(p, close);
+  p = close + 1;
+  return true;
+}
+
+bool fail(std::string* error, const char* message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+bool parse_trace_jsonl_line(const std::string& line, TraceEvent& out,
+                            std::string* error) {
+  const char* p = line.c_str();
+  out = TraceEvent{};
+
+  double t_us = 0.0;
+  if (!take(p, "{\"t_us\":") || !take_double(p, t_us)) {
+    return fail(error, "expected {\"t_us\":<number>");
+  }
+  // t_us carries three decimals = whole nanoseconds; llround undoes the
+  // division's representation error exactly.
+  out.time =
+      TimePoint::origin() + Duration::nanos(std::llround(t_us * 1000.0));
+
+  std::string kind;
+  if (!take(p, ",\"kind\":\"") || !take_quoted(p, kind)) {
+    return fail(error, "expected \"kind\":\"...\"");
+  }
+  if (!trace_event_kind_from_string(kind.c_str(), out.kind)) {
+    if (error != nullptr) *error = "unknown event kind \"" + kind + "\"";
+    return false;
+  }
+
+  if (take(p, ",\"job\":")) {
+    double v = 0.0;
+    if (!take_double(p, v)) return fail(error, "bad \"job\" value");
+    out.job = JobId{static_cast<std::int32_t>(v)};
+  }
+  if (take(p, ",\"flow\":")) {
+    double v = 0.0;
+    if (!take_double(p, v)) return fail(error, "bad \"flow\" value");
+    out.flow = FlowId{static_cast<std::int64_t>(v)};
+  }
+  if (take(p, ",\"link\":")) {
+    double v = 0.0;
+    if (!take_double(p, v)) return fail(error, "bad \"link\" value");
+    out.link = LinkId{static_cast<std::int32_t>(v)};
+  }
+  if (take(p, ",\"value\":")) {
+    if (!take_double(p, out.value)) return fail(error, "bad \"value\"");
+  }
+  if (take(p, ",\"value2\":")) {
+    if (!take_double(p, out.value2)) return fail(error, "bad \"value2\"");
+  }
+  if (take(p, ",\"detail\":\"")) {
+    std::string detail;
+    if (!take_quoted(p, detail)) return fail(error, "bad \"detail\"");
+    out.detail = intern_detail(detail);
+  }
+  if (!take(p, "}")) return fail(error, "expected closing }");
+  return true;
+}
+
+bool replay_trace_jsonl(std::istream& in, TraceSink& sink,
+                        TraceReplayStats& stats, std::string* error) {
+  std::string line;
+  std::uint64_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) {
+      ++stats.blank_lines;
+      continue;
+    }
+    TraceEvent ev;
+    std::string why;
+    if (!parse_trace_jsonl_line(line, ev, &why)) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(lineno) + ": " + why;
+      }
+      return false;
+    }
+    sink.on_event(ev);
+    ++stats.events;
+  }
+  return true;
+}
+
+}  // namespace ccml

@@ -1,0 +1,42 @@
+// Offline companion to the streaming analyzers: parses JSONL traces (the
+// JsonlSink wire format) back into TraceEvents and replays them through any
+// TraceSink — in practice the AnalyticsEngine, giving `ccml_sim analyze`
+// the exact same code path as online analysis.
+//
+// The round trip is exact: t_us is written with three decimals (whole
+// nanoseconds), value/value2 with %.17g (lossless for doubles), ids as
+// integers, and omitted fields default to the same invalid/zero values the
+// producer left unset — so a replayed event folds identically to the live
+// one and the offline report is byte-identical to the online report
+// (proved by tests/obs_analytics_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <string>
+
+#include "obs/trace_bus.h"
+#include "obs/trace_event.h"
+
+namespace ccml {
+
+/// Parses one JSONL trace line into `out`.  Returns false (with a message
+/// in `error` when non-null) on malformed input or an unknown event kind.
+/// `detail` strings are interned into a process-lifetime pool to satisfy
+/// TraceEvent's static-storage contract (single-threaded use only).
+bool parse_trace_jsonl_line(const std::string& line, TraceEvent& out,
+                            std::string* error = nullptr);
+
+struct TraceReplayStats {
+  std::uint64_t events = 0;        ///< events delivered to the sink
+  std::uint64_t blank_lines = 0;   ///< empty lines skipped
+};
+
+/// Streams a JSONL trace through `sink` line by line.  Stops at the first
+/// malformed line (returns false, fills `error` with the line number and
+/// reason); the caller is responsible for calling sink.flush() after a
+/// successful replay.
+bool replay_trace_jsonl(std::istream& in, TraceSink& sink,
+                        TraceReplayStats& stats, std::string* error = nullptr);
+
+}  // namespace ccml

@@ -240,6 +240,35 @@ void ChromeTraceSink::on_event(const TraceEvent& ev) {
                     kCtrlPid, ts, ev.value);
       add();
       break;
+    case TraceEventKind::kSoloBaseline:
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"solo-baseline\",\"ph\":\"i\",\"s\":\"g\","
+                    "\"pid\":%d,\"tid\":0,\"ts\":%.3f,"
+                    "\"args\":{\"job\":%d,\"solo_ms\":%.6g}}",
+                    kCtrlPid, ts, ev.job.value, ev.value);
+      add();
+      break;
+    case TraceEventKind::kAnomalyPhaseDrift:
+    case TraceEventKind::kAnomalyQueueOscillation:
+    case TraceEventKind::kAnomalyStarvation:
+    case TraceEventKind::kAnomalyCongestionCollapse:
+      // Analytics-derived anomalies: global instants in the control process
+      // so degradations line up against faults and solver runs.
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"g\",\"pid\":%d,"
+                    "\"tid\":0,\"ts\":%.3f,"
+                    "\"args\":{\"value\":%.6g,\"value2\":%.6g}}",
+                    to_string(ev.kind), kCtrlPid, ts, ev.value, ev.value2);
+      add();
+      break;
+    case TraceEventKind::kHistogramSummary:
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"histogram-summary\",\"ph\":\"i\",\"s\":\"g\","
+                    "\"pid\":%d,\"tid\":0,\"ts\":%.3f,"
+                    "\"args\":{\"p99\":%.6g,\"count\":%.0f}}",
+                    kCtrlPid, ts, ev.value, ev.value2);
+      add();
+      break;
     case TraceEventKind::kJobSubmit:
     case TraceEventKind::kJobAdmit:
     case TraceEventKind::kJobReject:

@@ -1,5 +1,7 @@
 #include "obs/trace_event.h"
 
+#include <cstring>
+
 namespace ccml {
 
 const char* to_string(TraceEventKind kind) {
@@ -25,8 +27,57 @@ const char* to_string(TraceEventKind kind) {
     case TraceEventKind::kLinkThroughput: return "link-throughput";
     case TraceEventKind::kLinkQueue: return "link-queue";
     case TraceEventKind::kTraceDrops: return "trace-drops";
+    case TraceEventKind::kSoloBaseline: return "solo-baseline";
+    case TraceEventKind::kAnomalyPhaseDrift: return "anomaly.phase_drift";
+    case TraceEventKind::kAnomalyQueueOscillation:
+      return "anomaly.queue_oscillation";
+    case TraceEventKind::kAnomalyStarvation: return "anomaly.starvation";
+    case TraceEventKind::kAnomalyCongestionCollapse:
+      return "anomaly.congestion_collapse";
+    case TraceEventKind::kHistogramSummary: return "histogram-summary";
   }
   return "unknown";
+}
+
+bool trace_event_kind_from_string(const char* name, TraceEventKind& out) {
+  // The kind space is small and this only runs in the offline reader, so a
+  // linear scan over the canonical spellings keeps one source of truth.
+  constexpr TraceEventKind kAll[] = {
+      TraceEventKind::kFlowStart,
+      TraceEventKind::kFlowFinish,
+      TraceEventKind::kFlowAbort,
+      TraceEventKind::kFlowReroute,
+      TraceEventKind::kFlowPark,
+      TraceEventKind::kFlowUnpark,
+      TraceEventKind::kRateDecrease,
+      TraceEventKind::kRateTimer,
+      TraceEventKind::kPhase,
+      TraceEventKind::kIteration,
+      TraceEventKind::kGateOpen,
+      TraceEventKind::kFaultApply,
+      TraceEventKind::kFaultRecover,
+      TraceEventKind::kSolve,
+      TraceEventKind::kJobSubmit,
+      TraceEventKind::kJobAdmit,
+      TraceEventKind::kJobReject,
+      TraceEventKind::kJobDepart,
+      TraceEventKind::kLinkThroughput,
+      TraceEventKind::kLinkQueue,
+      TraceEventKind::kTraceDrops,
+      TraceEventKind::kSoloBaseline,
+      TraceEventKind::kAnomalyPhaseDrift,
+      TraceEventKind::kAnomalyQueueOscillation,
+      TraceEventKind::kAnomalyStarvation,
+      TraceEventKind::kAnomalyCongestionCollapse,
+      TraceEventKind::kHistogramSummary,
+  };
+  for (const TraceEventKind k : kAll) {
+    if (std::strcmp(name, to_string(k)) == 0) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace ccml

@@ -64,10 +64,39 @@ enum class TraceEventKind : std::uint8_t {
   // events dropped since the previous report.  Always delivered in-stream
   // after the drained events it accounts for.
   kTraceDrops,
+
+  // Run metadata for the streaming analytics (src/obs/analytics).  Emitted
+  // by harnesses that know each job's dedicated-network iteration time
+  // (scenario / orchestrator), so a serialized trace is self-contained: the
+  // offline `ccml_sim analyze` replay reproduces slowdown-vs-dedicated
+  // without access to the job profiles.
+  kSoloBaseline,  ///< value = dedicated-run iteration ms for `job`
+
+  // Streaming analytics (src/obs/analytics).  Derived events folded back
+  // into the stream by the AnalyticsEngine, deterministically ordered right
+  // after the raw event that triggered them.  Anomalies carry the measured
+  // quantity in value and its reference in value2; the AnalyticsEngine
+  // ignores these kinds on input so replaying an annotated trace re-derives
+  // (rather than double-counts) them.
+  kAnomalyPhaseDrift,         ///< value = windowed overlap fraction,
+                              ///  value2 = overlap at arming (baseline)
+  kAnomalyQueueOscillation,   ///< value = swings in window, value2 = max
+                              ///  swing amplitude (bytes)
+  kAnomalyStarvation,         ///< value = ms since the job's last iteration,
+                              ///  value2 = its median iteration ms
+  kAnomalyCongestionCollapse, ///< value = windowed goodput (bits/s),
+                              ///  value2 = established peak (bits/s)
+  kHistogramSummary,          ///< flush-time digest; detail =
+                              ///  "iteration_ms" | "queue_bytes",
+                              ///  value = p99, value2 = sample count
 };
 
 /// Stable lower-kebab-case name of the kind (serialized into JSONL traces).
 const char* to_string(TraceEventKind kind);
+
+/// Reverse of to_string(); false when `name` is not a known kind.  Used by
+/// the offline trace reader (src/obs/analytics/trace_reader.h).
+bool trace_event_kind_from_string(const char* name, TraceEventKind& out);
 
 struct TraceEvent {
   TimePoint time;

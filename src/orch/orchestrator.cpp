@@ -165,6 +165,20 @@ ClusterRunReport Orchestrator::run() {
     nic_goodput = net.effective_capacity(topo_.links_from(host).front());
     break;
   }
+  if (trace != nullptr) {
+    // Dedicated-network baselines into the stream — the same solo iteration
+    // times the cluster report prints — so run-health analytics (live or
+    // replayed from the serialized trace) measure slowdown-vs-dedicated.
+    for (std::size_t j = 0; j < n; ++j) {
+      TraceEvent ev;
+      ev.time = sim.now();
+      ev.kind = TraceEventKind::kSoloBaseline;
+      ev.job = JobId{static_cast<std::int32_t>(j)};
+      ev.value = schedule_.jobs[j].request.profile.solo_iteration(nic_goodput)
+                     .to_millis();
+      trace->emit(ev);
+    }
+  }
 
   // --- Per-arrival live state ----------------------------------------------
   struct JobState {

@@ -32,6 +32,7 @@
 
 namespace ccml {
 
+
 struct OrchestratorConfig {
   PolicyKind policy = PolicyKind::kDcqcn;
   DcqcnConfig dcqcn;

@@ -1,0 +1,185 @@
+// HDR histogram unit tests: log-bucket accuracy bounds, exact max tracking,
+// percentile edge cases, and — the property the sweep/shard merging path
+// leans on — merge associativity: integer bucket counts make any merge
+// order bit-identical to single-pass recording.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/analytics/hdr_histogram.h"
+
+namespace ccml {
+namespace {
+
+// Deterministic pseudo-random value stream (no <random> to keep the test
+// hermetic across standard-library implementations).
+std::vector<double> value_stream(std::size_t n, std::uint64_t seed) {
+  std::vector<double> out;
+  out.reserve(n);
+  std::uint64_t x = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    // Spread across ~6 decades: 1e-3 .. 1e3.
+    const double mag = static_cast<double>(x % 6'000'000) / 1e6;  // [0, 6)
+    out.push_back(1e-3 * std::pow(10.0, mag));
+  }
+  return out;
+}
+
+TEST(HdrHistogram, EmptyReportsZeros) {
+  HdrHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.percentile(50.0), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(HdrHistogram, SingleValueEverywhere) {
+  HdrHistogram h;
+  h.record(42.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.max(), 42.0);
+  // Every percentile is the single sample's bucket, clamped to the max.
+  EXPECT_LE(h.percentile(0.0), 42.0);
+  EXPECT_EQ(h.percentile(50.0), h.percentile(99.0));
+  EXPECT_EQ(h.percentile(100.0), h.percentile(1.0));
+}
+
+TEST(HdrHistogram, RelativeErrorBoundedBySubBuckets) {
+  // With k sub-buckets per octave the bucket width is a 1/k fraction of the
+  // octave, so a midpoint is within one bucket width of the true value:
+  // relative error < 1/k of the octave span (factor 2) = 2/k.
+  HdrHistogramConfig cfg;
+  cfg.sub_buckets_per_octave = 32;
+  const double tol = 2.0 / cfg.sub_buckets_per_octave;
+  for (const double v : {0.01, 0.5, 1.0, 3.3, 47.0, 999.0, 12345.6}) {
+    HdrHistogram h(cfg);
+    h.record(v);
+    const double p = h.percentile(50.0);
+    EXPECT_NEAR(p, v, v * tol) << "value " << v;
+  }
+}
+
+TEST(HdrHistogram, MaxIsExactAndPercentileClamped) {
+  HdrHistogram h;
+  h.record(100.0);
+  h.record(101.7);
+  EXPECT_DOUBLE_EQ(h.max(), 101.7);
+  // p100 must never overshoot the exactly-tracked max.
+  EXPECT_LE(h.percentile(100.0), 101.7);
+
+  // 100.9's bucket midpoint is 101.0 — above the true max, so the report
+  // clamps to the exact maximum instead of the midpoint.
+  HdrHistogram clamp;
+  clamp.record(100.9);
+  EXPECT_DOUBLE_EQ(clamp.percentile(100.0), 100.9);
+
+  // Values beyond the covered octaves clamp into the top bucket: the exact
+  // max survives, and the (saturated) percentile stays at or below it.
+  HdrHistogram top;
+  top.record(1e15);
+  EXPECT_DOUBLE_EQ(top.max(), 1e15);
+  EXPECT_LE(top.percentile(99.0), 1e15);
+  EXPECT_GE(top.percentile(99.0), 1e12);  // last covered octave (~2^50*1e-3)
+}
+
+TEST(HdrHistogram, ValuesBelowMinClampToFirstBucket) {
+  HdrHistogramConfig cfg;
+  cfg.min_value = 1e-3;
+  HdrHistogram h(cfg);
+  h.record(0.0);
+  h.record(-5.0);
+  h.record(1e-9);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 1e-9);  // clamped to the true max
+}
+
+TEST(HdrHistogram, PercentilesAreMonotone) {
+  HdrHistogram h;
+  for (const double v : value_stream(2000, 0x9E3779B97F4A7C15ull)) h.record(v);
+  double prev = 0.0;
+  for (double q = 0.0; q <= 100.0; q += 2.5) {
+    const double p = h.percentile(q);
+    EXPECT_GE(p, prev) << "q=" << q;
+    prev = p;
+  }
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), h.max());
+}
+
+TEST(HdrHistogram, MergeEqualsSinglePass) {
+  const auto values = value_stream(3000, 1234567ull);
+  HdrHistogram whole;
+  HdrHistogram a, b, c;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    whole.record(values[i]);
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).record(values[i]);
+  }
+  HdrHistogram merged;
+  merged.merge(a);
+  merged.merge(b);
+  merged.merge(c);
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+  for (const double q : {1.0, 25.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(merged.percentile(q), whole.percentile(q)) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(merged.mean(), whole.mean());
+}
+
+TEST(HdrHistogram, MergeIsAssociative) {
+  const auto values = value_stream(1500, 42ull);
+  HdrHistogram a, b, c;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).record(values[i]);
+  }
+  // (a + b) + c
+  HdrHistogram left = a;
+  left.merge(b);
+  left.merge(c);
+  // a + (b + c)
+  HdrHistogram bc = b;
+  bc.merge(c);
+  HdrHistogram right = a;
+  right.merge(bc);
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_DOUBLE_EQ(left.max(), right.max());
+  for (const double q : {10.0, 50.0, 95.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(left.percentile(q), right.percentile(q)) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(left.mean(), right.mean());
+}
+
+TEST(HdrHistogram, MergeEmptyIsIdentity) {
+  HdrHistogram a;
+  a.record(3.0);
+  a.record(7.0);
+  const double p50 = a.percentile(50.0);
+  HdrHistogram empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.percentile(50.0), p50);
+}
+
+TEST(HdrHistogram, MergeRejectsGeometryMismatch) {
+  HdrHistogramConfig fine;
+  fine.sub_buckets_per_octave = 64;
+  HdrHistogram a;
+  HdrHistogram b(fine);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(HdrHistogram, ConstructorRejectsBadConfig) {
+  HdrHistogramConfig bad;
+  bad.min_value = 0.0;
+  EXPECT_THROW(HdrHistogram{bad}, std::invalid_argument);
+  HdrHistogramConfig bad2;
+  bad2.sub_buckets_per_octave = 0;
+  EXPECT_THROW(HdrHistogram{bad2}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ccml

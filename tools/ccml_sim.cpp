@@ -6,6 +6,8 @@
 //   solve                    run the compatibility solver on job profiles
 //   scenario                 simulate jobs sharing a dumbbell bottleneck
 //   faults                   scenario + scripted faults and recovery report
+//   analyze                  replay a JSONL trace through the streaming
+//                            analyzers and emit a run-health report
 //
 // Examples:
 //   ccml_sim zoo
@@ -14,6 +16,8 @@
 //   ccml_sim scenario --policy dcqcn --seconds 20
 //       --job model=DLRM,batch=2000,timer_us=55,rai_mbps=80
 //       --job model=DLRM,batch=2000,timer_us=300,rai_mbps=40
+//   ccml_sim analyze trace.jsonl --health-report health.json
+//       --slo-min-fairness 0.8 --slo-max-anomalies 0
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +32,8 @@
 
 #include "cluster/scenario.h"
 #include "core/solver.h"
+#include "obs/analytics/engine.h"
+#include "obs/analytics/trace_reader.h"
 #include "obs/sinks.h"
 #include "obs/trace_bus.h"
 #include "orch/orchestrator.h"
@@ -51,11 +57,15 @@ commands:
                               compatibility of jobs on one link
        job keys: period_ms, comm_ms (or model+batch), demand_gbps
   scenario --job K=V[,K=V...] [--job ...] [--policy P] [--seconds S]
-           [--trace FILE] [--trace-format chrome|jsonl]
-           [--trace-cadence-ms N] [--trace-async block|drop]
+           [--flow-schedule 0|1] [--trace FILE]
+           [--trace-format chrome|jsonl] [--trace-cadence-ms N]
+           [--trace-async block|drop] [--health-report FILE|-] [--slo-*]
                               simulate jobs on a shared dumbbell bottleneck
        job keys: model, batch, name, compute_ms, comm_ms, timer_us,
                  rai_mbps, priority, weight, start_ms
+       --flow-schedule 1 solves a CASSINI-style compatibility schedule at
+       run start and gates every job with it (emits a solve event so the
+       measured interleaving can be compared with the prediction)
   sweep --job K=V[,K=V...] [--job ...] --param P --values V1,V2,...
         [--policy P] [--seconds S] [--threads N]
                               run the scenario once per grid value, fanned
@@ -76,7 +86,8 @@ commands:
        depart keys:    at_ms, job
        arrive keys:    at_ms, job
        also accepts --trace / --trace-format / --trace-cadence-ms /
-                            --trace-async
+                            --trace-async / --flow-schedule /
+                            --health-report / --slo-*
   cluster [--seed N] [--seconds S] [--rate JOBS_PER_MIN] [--service-s S]
           [--admission locality|compat] [--queue-cap N] [--queue-timeout-s S]
           [--workers-min N] [--workers-max N] [--tors N] [--hosts N]
@@ -88,7 +99,12 @@ commands:
                               byte-deterministic for a given seed
        flap/brownout keys as above (default link: tor0->spine0)
        also accepts --trace / --trace-format / --trace-cadence-ms /
-                            --trace-async
+                            --trace-async / --health-report / --slo-*
+  analyze FILE [--health-report FILE|-] [--slo-*]
+                              replay a JSONL trace (from --trace-format
+                              jsonl) through the same streaming analyzers
+                              the live run uses and emit the run-health
+                              report; exits 1 when an SLO check fails
   policies: maxmin | wfq | priority | dcqcn | dcqcn-adaptive | timely
 
 tracing (scenario and faults):
@@ -109,6 +125,24 @@ tracing (scenario and faults):
                             inline delivery).  MODE drop: never stalls the
                             sim; overflow is counted in trace.dropped_events
                             and reported by a trailing trace-drops event
+
+run health (scenario, faults, cluster and analyze):
+  --health-report DEST      fold the event stream through the streaming
+                            analyzers (src/obs/analytics) and write a
+                            run-health JSON report — iteration/queue HDR
+                            percentiles, measured interleaving vs the
+                            solver's prediction, Jain fairness windows,
+                            anomaly events and SLO verdicts — to DEST
+                            ("-" = stdout).  On live runs this chains the
+                            analytics in front of any --trace sink, so
+                            derived anomaly.* events also land in the trace.
+  --slo-min-fairness F      fail unless every fairness window's Jain >= F
+  --slo-max-slowdown F      fail when mean slowdown-vs-dedicated > F
+  --slo-max-p99-ms F        fail when any job's p99 iteration > F ms
+  --slo-max-anomalies N     fail when more than N anomaly events fire
+  --slo-require-anomaly 1   fail unless at least one anomaly fired (fault
+                            runs must detect *something*)
+  any --slo-* flag implies --health-report - ; a failed check exits 1
 )");
   std::exit(2);
 }
@@ -254,37 +288,108 @@ int cmd_solve(const std::vector<std::string>& job_args,
   return r.compatible ? 0 : 1;
 }
 
-/// Builds the trace bus + file sink requested by --trace / --trace-format /
-/// --trace-cadence-ms.  `configure` returns the bus to hang on the scenario
-/// config (nullptr when tracing is off); `finish` finalizes the file and
-/// prints the run-metrics summary.
+/// Parses the --slo-* family into the engine's SLO gate config.
+SloConfig parse_slo(const std::map<std::string, std::string>& opts) {
+  SloConfig slo;
+  if (opts.contains("slo-min-fairness")) {
+    slo.min_fairness = std::atof(opts.at("slo-min-fairness").c_str());
+  }
+  if (opts.contains("slo-max-slowdown")) {
+    slo.max_mean_slowdown = std::atof(opts.at("slo-max-slowdown").c_str());
+  }
+  if (opts.contains("slo-max-p99-ms")) {
+    slo.max_p99_iteration_ms = std::atof(opts.at("slo-max-p99-ms").c_str());
+  }
+  if (opts.contains("slo-max-anomalies")) {
+    slo.max_anomalies = std::atoi(opts.at("slo-max-anomalies").c_str());
+  }
+  if (opts.contains("slo-require-anomaly")) {
+    slo.require_anomaly = std::atoi(opts.at("slo-require-anomaly").c_str()) != 0;
+  }
+  return slo;
+}
+
+/// True when the command line asks for run-health analytics.
+bool wants_analytics(const std::map<std::string, std::string>& opts) {
+  if (opts.contains("health-report")) return true;
+  for (const auto& [key, value] : opts) {
+    if (key.rfind("slo-", 0) == 0) return true;
+  }
+  return false;
+}
+
+/// Renders the run-health report to --health-report's destination ("-" or
+/// unset = stdout) and prints the lower-bound warning when the async ring
+/// dropped events.  Returns 1 when an SLO check failed, else 0.
+int emit_health_report(const AnalyticsEngine& engine,
+                       const std::map<std::string, std::string>& opts) {
+  const RunHealthReport report = engine.report(parse_slo(opts));
+  const std::string dest =
+      opts.contains("health-report") ? opts.at("health-report") : "-";
+  if (dest == "-") {
+    std::printf("%s", report.json.c_str());
+  } else {
+    std::ofstream f(dest);
+    if (!f) usage(("cannot open health report file: " + dest).c_str());
+    f << report.json;
+    std::printf("\nrun-health report written to %s (%s)\n", dest.c_str(),
+                report.pass ? "PASS" : "FAIL");
+  }
+  if (engine.trace_drops() > 0) {
+    std::fprintf(stderr,
+                 "warning: %llu trace events were dropped (--trace-async "
+                 "drop); analytics and anomaly counts are a lower bound\n",
+                 static_cast<unsigned long long>(engine.trace_drops()));
+  }
+  return report.pass ? 0 : 1;
+}
+
+/// Builds the trace bus, the optional file sink requested by --trace /
+/// --trace-format / --trace-cadence-ms, and the optional AnalyticsEngine
+/// requested by --health-report / --slo-*.  When both are present the
+/// engine is the bus's only sink and *chains* to the file sink, so derived
+/// anomaly.* events interleave deterministically with the raw stream.
+/// `configure` returns the bus to hang on the scenario config (nullptr when
+/// neither is requested); `finish` finalizes the file and prints the
+/// run-metrics summary; `health_exit_code` evaluates the SLO gates.
 struct TraceSetup {
   TraceBus* configure(const std::map<std::string, std::string>& opts) {
-    const auto it = opts.find("trace");
-    if (it == opts.end()) return nullptr;
-    path = it->second;
-    out.open(path);
-    if (!out) usage(("cannot open trace file: " + path).c_str());
-    const std::string format =
-        opts.contains("trace-format") ? opts.at("trace-format") : "chrome";
+    const bool want_file = opts.contains("trace");
+    const bool want_health = wants_analytics(opts);
+    if (!want_file && !want_health) return nullptr;
     const Duration cadence = Duration::from_millis_f(
         opts.contains("trace-cadence-ms")
             ? std::atof(opts.at("trace-cadence-ms").c_str())
             : 5.0);
-    if (format == "chrome") {
-      ChromeTraceSinkOptions copts;
-      copts.sample_cadence = cadence;
-      sink = std::make_unique<ChromeTraceSink>(out, copts);
-    } else if (format == "jsonl") {
-      JsonlSinkOptions jopts;
-      jopts.sample_cadence = cadence;
-      sink = std::make_unique<JsonlSink>(out, jopts);
-    } else {
-      usage(("unknown trace format: " + format +
-             " (expected chrome or jsonl)")
-                .c_str());
+    if (want_file) {
+      path = opts.at("trace");
+      out.open(path);
+      if (!out) usage(("cannot open trace file: " + path).c_str());
+      const std::string format =
+          opts.contains("trace-format") ? opts.at("trace-format") : "chrome";
+      if (format == "chrome") {
+        ChromeTraceSinkOptions copts;
+        copts.sample_cadence = cadence;
+        sink = std::make_unique<ChromeTraceSink>(out, copts);
+      } else if (format == "jsonl") {
+        JsonlSinkOptions jopts;
+        jopts.sample_cadence = cadence;
+        sink = std::make_unique<JsonlSink>(out, jopts);
+      } else {
+        usage(("unknown trace format: " + format +
+               " (expected chrome or jsonl)")
+                  .c_str());
+      }
     }
-    bus.add_sink(*sink);
+    if (want_health) {
+      AnalyticsConfig acfg;
+      acfg.sample_cadence = cadence;
+      engine = std::make_unique<AnalyticsEngine>(acfg);
+      engine->set_output(sink.get());
+      bus.add_sink(*engine);
+    } else {
+      bus.add_sink(*sink);
+    }
     if (opts.contains("trace-async")) {
       TraceAsyncOptions aopts;
       const std::string& mode = opts.at("trace-async");
@@ -304,9 +409,16 @@ struct TraceSetup {
   void finish() {
     if (!enabled) return;
     bus.flush();  // stops the async consumer (full drain) before finalizing
-    out.close();
-    std::printf("\ntrace written to %s\n", path.c_str());
+    if (!path.empty()) {
+      out.close();
+      std::printf("\ntrace written to %s\n", path.c_str());
+    }
     std::printf("\n%s", bus.metrics_summary().c_str());
+  }
+
+  /// Call after finish(); 1 when an enabled SLO gate failed, else 0.
+  int health_exit_code(const std::map<std::string, std::string>& opts) const {
+    return engine ? emit_health_report(*engine, opts) : 0;
   }
 
   bool enabled = false;
@@ -314,6 +426,7 @@ struct TraceSetup {
   std::ofstream out;
   TraceBus bus;
   std::unique_ptr<TraceSink> sink;
+  std::unique_ptr<AnalyticsEngine> engine;
 };
 
 std::vector<ScenarioJob> parse_scenario_jobs(
@@ -354,6 +467,9 @@ int cmd_scenario(const std::vector<std::string>& job_args,
       Duration::seconds(opts.contains("seconds")
                             ? std::atoi(opts.at("seconds").c_str())
                             : 20);
+  if (opts.contains("flow-schedule")) {
+    cfg.flow_schedule = std::atoi(opts.at("flow-schedule").c_str()) != 0;
+  }
   TraceSetup trace;
   cfg.trace = trace.configure(opts);
   const auto result = run_dumbbell_scenario(jobs, cfg);
@@ -374,7 +490,7 @@ int cmd_scenario(const std::vector<std::string>& job_args,
   }
   std::printf("%s", table.render().c_str());
   trace.finish();
-  return 0;
+  return trace.health_exit_code(opts);
 }
 
 FaultPlan parse_fault_plan(
@@ -435,6 +551,9 @@ int cmd_faults(
                             ? std::atoi(opts.at("seconds").c_str())
                             : 20);
   cfg.faults = parse_fault_plan(fault_args, jobs.size(), opts);
+  if (opts.contains("flow-schedule")) {
+    cfg.flow_schedule = std::atoi(opts.at("flow-schedule").c_str()) != 0;
+  }
   TraceSetup trace;
   cfg.trace = trace.configure(opts);
 
@@ -461,11 +580,12 @@ int cmd_faults(
                           .name.c_str());
   }
   trace.finish();
+  const int health_rc = trace.health_exit_code(opts);
   if (result.recovery) {
     std::printf("\n%s", result.recovery->summary().c_str());
-    return result.recovery->all_converged() ? 0 : 1;
+    if (!result.recovery->all_converged()) return 1;
   }
-  return 0;
+  return health_rc;
 }
 
 int cmd_sweep(const std::vector<std::string>& job_args,
@@ -609,7 +729,32 @@ int cmd_cluster(
       cfg.horizon.to_seconds());
   std::printf("%s", report.summary().c_str());
   trace.finish();
-  return 0;
+  return trace.health_exit_code(opts);
+}
+
+int cmd_analyze(const std::vector<std::string>& positional,
+                const std::map<std::string, std::string>& opts) {
+  if (positional.size() != 1) {
+    usage("analyze needs exactly one trace file (JSONL format)");
+  }
+  const std::string& file = positional[0];
+  std::ifstream in(file);
+  if (!in) usage(("cannot open trace file: " + file).c_str());
+
+  // One code path, online and offline: the replay folds every event through
+  // the same AnalyticsEngine a live --health-report run subscribes to the
+  // bus, so analyzing a run's JSONL trace reproduces that run's report.
+  AnalyticsEngine engine;
+  TraceReplayStats stats;
+  std::string error;
+  if (!replay_trace_jsonl(in, engine, stats, &error)) {
+    std::fprintf(stderr, "error: %s: %s\n", file.c_str(), error.c_str());
+    return 2;
+  }
+  engine.flush();
+  std::fprintf(stderr, "analyzed %llu events from %s\n",
+               static_cast<unsigned long long>(stats.events), file.c_str());
+  return emit_health_report(engine, opts);
 }
 
 }  // namespace
@@ -619,10 +764,16 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   std::vector<std::string> job_args;
   std::vector<std::pair<std::string, std::string>> fault_args;
+  std::vector<std::string> positional;
   std::map<std::string, std::string> opts;
   for (int i = 2; i < argc; ++i) {
     std::string a = argv[i];
-    if (a.rfind("--", 0) != 0) usage(("unexpected argument: " + a).c_str());
+    if (a.rfind("--", 0) != 0) {
+      // Only analyze takes a positional operand (the trace file).
+      if (cmd != "analyze") usage(("unexpected argument: " + a).c_str());
+      positional.push_back(a);
+      continue;
+    }
     a = a.substr(2);
     if (i + 1 >= argc) usage(("missing value for --" + a).c_str());
     const std::string value = argv[++i];
@@ -644,6 +795,7 @@ int main(int argc, char** argv) {
     if (cmd == "sweep") return cmd_sweep(job_args, opts);
     if (cmd == "faults") return cmd_faults(job_args, fault_args, opts);
     if (cmd == "cluster") return cmd_cluster(fault_args, opts);
+    if (cmd == "analyze") return cmd_analyze(positional, opts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
