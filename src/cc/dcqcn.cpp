@@ -4,7 +4,9 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <utility>
 
+#include "ckpt/snapshot.h"
 #include "net/network.h"
 #include "obs/trace_bus.h"
 
@@ -567,6 +569,63 @@ DcqcnPolicy::RpState DcqcnPolicy::rp_state(FlowId id) const {
   }
   return {Rate::bps(rc_bps_[slot]), Rate::bps(rt_bps_[slot]),
           alpha_col_[slot], timer_rounds_col_[slot], byte_rounds_col_[slot]};
+}
+
+std::string DcqcnPolicy::serialize_state() const {
+  // Ascending flow id: `slots_` is a hash map, and the checkpoint contract
+  // is that identical live state yields identical bytes.
+  std::vector<std::pair<std::int64_t, std::uint32_t>> flows;
+  flows.reserve(slots_.size());
+  for (const auto& [id, slot] : slots_) flows.emplace_back(id.value, slot);
+  std::sort(flows.begin(), flows.end());
+
+  StateBuf out;
+  out.put_u8(config_.reference_kernel ? 1 : 0);
+  out.put_u64(flows.size());
+  for (const auto& [id, slot] : flows) {
+    out.put_i64(id);
+    out.put_u32(slot);
+    if (config_.reference_kernel) {
+      const FlowState& s = state_[slot];
+      out.put_f64(s.rc.bits_per_sec());
+      out.put_f64(s.rt.bits_per_sec());
+      out.put_f64(s.line_rate.bits_per_sec());
+      out.put_f64(s.alpha);
+      out.put_i64(s.timer.ns());
+      out.put_f64(s.rai.bits_per_sec());
+      out.put_i64(s.time_since_increase.ns());
+      out.put_f64(s.bytes_since_increase.count());
+      out.put_u32(static_cast<std::uint32_t>(s.timer_rounds));
+      out.put_u32(static_cast<std::uint32_t>(s.byte_rounds));
+      out.put_i64(s.since_last_cnp.ns());
+      out.put_i64(s.alpha_clock.ns());
+      out.put_f64(s.expected_marks);
+      out.put_i64(s.clean_streak.ns());
+    } else {
+      out.put_f64(rc_bps_[slot]);
+      out.put_f64(rt_bps_[slot]);
+      out.put_f64(line_bps_[slot]);
+      out.put_f64(alpha_col_[slot]);
+      out.put_i64(timer_ns_[slot]);
+      out.put_f64(rai_bps_[slot]);
+      out.put_i64(tsi_ns_[slot]);
+      out.put_f64(bsi_bytes_[slot]);
+      out.put_u32(static_cast<std::uint32_t>(timer_rounds_col_[slot]));
+      out.put_u32(static_cast<std::uint32_t>(byte_rounds_col_[slot]));
+      out.put_i64(cnp_ns_[slot]);
+      out.put_i64(aclk_ns_[slot]);
+      out.put_f64(emarks_[slot]);
+      out.put_i64(clean_ns_[slot]);
+    }
+  }
+  out.put_u64(links_.size());
+  for (const LinkState& l : links_) {
+    out.put_f64(l.queue_b);
+    out.put_f64(l.cap_bps);
+  }
+  out.put_bytes(rng_.save_state());
+  out.put_u8(queues_clear_ ? 1 : 0);
+  return out.take();
 }
 
 }  // namespace ccml

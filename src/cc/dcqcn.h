@@ -106,6 +106,10 @@ class DcqcnPolicy : public BandwidthPolicy {
   /// With all switch queues drained nothing evolves between steps while no
   /// flow is active, so the kernel may fast-forward across compute phases.
   bool quiescent() const override { return queues_clear_; }
+  /// Rate-machine columns (whichever representation is live), link queues
+  /// and the marking RNG stream, in ascending-flow-id order (see the
+  /// BandwidthPolicy contract in net/policy.h).
+  std::string serialize_state() const override;
 
   const DcqcnConfig& config() const { return config_; }
 

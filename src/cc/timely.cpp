@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
+#include "ckpt/snapshot.h"
 #include "net/network.h"
 #include "obs/trace_bus.h"
 
@@ -308,6 +310,46 @@ TimelyPolicy::FlowDiag TimelyPolicy::diag(FlowId id) const {
   }
   return {Rate::bps(rate_bps_[slot]), Duration::nanos(prev_rtt_ns_[slot]),
           grad_col_[slot]};
+}
+
+std::string TimelyPolicy::serialize_state() const {
+  // Ascending flow id, same contract as DcqcnPolicy::serialize_state.
+  std::vector<std::pair<std::int64_t, std::uint32_t>> flows;
+  flows.reserve(slots_.size());
+  for (const auto& [id, slot] : slots_) flows.emplace_back(id.value, slot);
+  std::sort(flows.begin(), flows.end());
+
+  StateBuf out;
+  out.put_u8(config_.reference_kernel ? 1 : 0);
+  out.put_u64(flows.size());
+  for (const auto& [id, slot] : flows) {
+    out.put_i64(id);
+    out.put_u32(slot);
+    if (config_.reference_kernel) {
+      const FlowState& s = state_[slot];
+      out.put_f64(s.rate.bits_per_sec());
+      out.put_f64(s.line_rate.bits_per_sec());
+      out.put_f64(s.delta.bits_per_sec());
+      out.put_i64(s.prev_rtt.ns());
+      out.put_f64(s.rtt_diff_ewma);
+      out.put_u32(static_cast<std::uint32_t>(s.completed_good_rounds));
+      out.put_i64(s.since_update.ns());
+      out.put_f64(s.last_gradient);
+    } else {
+      out.put_f64(rate_bps_[slot]);
+      out.put_f64(line_bps_[slot]);
+      out.put_f64(delta_bps_[slot]);
+      out.put_i64(prev_rtt_ns_[slot]);
+      out.put_f64(ewma_col_[slot]);
+      out.put_u32(static_cast<std::uint32_t>(good_rounds_[slot]));
+      out.put_i64(since_ns_[slot]);
+      out.put_f64(grad_col_[slot]);
+    }
+  }
+  out.put_u64(links_.size());
+  for (const LinkState& l : links_) out.put_f64(l.queue.count());
+  out.put_u8(queues_clear_ ? 1 : 0);
+  return out.take();
 }
 
 }  // namespace ccml

@@ -65,6 +65,9 @@ class TimelyPolicy final : public BandwidthPolicy {
   /// With all queues drained nothing evolves between steps while no flow is
   /// active, so the kernel may fast-forward across compute phases.
   bool quiescent() const override { return queues_clear_; }
+  /// RTT-gradient state and link queues in ascending-flow-id order (see the
+  /// BandwidthPolicy contract in net/policy.h).
+  std::string serialize_state() const override;
 
   const TimelyConfig& config() const { return config_; }
 

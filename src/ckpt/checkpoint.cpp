@@ -1,0 +1,141 @@
+#include "ckpt/checkpoint.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "obs/trace_bus.h"
+#include "sim/simulator.h"
+
+namespace ccml {
+namespace {
+
+void write_atomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) throw SnapshotError("cannot create snapshot temp '" + tmp + "'");
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    f.flush();
+    if (!f) throw SnapshotError("short write to snapshot temp '" + tmp + "'");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw SnapshotError("cannot rename snapshot into place: " + ec.message());
+  }
+}
+
+}  // namespace
+
+CheckpointCoordinator::CheckpointCoordinator(Options options)
+    : options_(std::move(options)) {
+  if (!options_.every.is_positive()) {
+    throw std::invalid_argument("checkpoint cadence must be positive");
+  }
+  if (options_.mode != Mode::kReplayOnly && options_.dir.empty()) {
+    throw std::invalid_argument("checkpoint directory must be set");
+  }
+}
+
+void CheckpointCoordinator::add_provider(std::string name,
+                                         std::function<std::string()> capture) {
+  providers_.emplace_back(std::move(name), std::move(capture));
+}
+
+void CheckpointCoordinator::install(Simulator& sim, TraceBus* bus) {
+  sim_ = &sim;
+  bus_ = bus;
+  if (bus_ != nullptr) c_snapshots_ = &bus_->counter("ckpt.snapshots");
+  if (options_.mode == Mode::kRecord && !options_.dir.empty()) {
+    std::filesystem::create_directories(options_.dir);
+  }
+  sim_->schedule_after(options_.every, [this] { tick(); });
+}
+
+Snapshot CheckpointCoordinator::capture() {
+  Snapshot snap;
+  snap.set("spec", options_.run_spec);
+  StateBuf cur;
+  cur.put_i64(sim_->now().since_origin().ns());
+  cur.put_u64(sim_->events_executed());
+  cur.put_u64(trace_bytes_fn_ ? trace_bytes_fn_() : 0);
+  cur.put_u64(seq_);
+  snap.set("cursor", cur.take());
+  for (const auto& [name, fn] : providers_) snap.set(name, fn());
+  return snap;
+}
+
+CheckpointCoordinator::Cursor CheckpointCoordinator::read_cursor(
+    const Snapshot& snap) {
+  StateBuf in(snap.get("cursor"));
+  Cursor c;
+  c.time_ns = in.get_i64();
+  c.events_executed = in.get_u64();
+  c.trace_bytes = in.get_u64();
+  c.seq = in.get_u64();
+  return c;
+}
+
+void CheckpointCoordinator::tick() {
+  // Identical per-tick sequence in every mode — record and replay must walk
+  // byte-identical trajectories, and this tick is part of the trajectory.
+  if (bus_ != nullptr) bus_->sync();
+  ++seq_;
+  Snapshot snap = capture();
+  const std::string bytes = snap.serialize();
+
+  const bool at_cursor =
+      options_.mode != Mode::kRecord && seq_ == options_.target_seq;
+  if (at_cursor) {
+    // Byte-compare the re-captured state against the loaded snapshot,
+    // section by section, so a divergence names the subsystem that drifted.
+    const std::vector<std::string> want = options_.target.names();
+    const std::vector<std::string> got = snap.names();
+    if (want != got) {
+      throw ResumeDivergence(
+          "resume divergence at checkpoint " + std::to_string(seq_) +
+          ": section list mismatch (snapshot has " +
+          std::to_string(want.size()) + " sections, replay captured " +
+          std::to_string(got.size()) + ")");
+    }
+    for (const std::string& name : want) {
+      if (options_.target.get(name) != snap.get(name)) {
+        throw ResumeDivergence(
+            "resume divergence at checkpoint " + std::to_string(seq_) +
+            ": section '" + name +
+            "' re-captured differently — the replayed run does not "
+            "reproduce the snapshotted one (changed binary, spec, or "
+            "nondeterminism)");
+      }
+    }
+    verified_ = true;
+  }
+
+  const bool write =
+      options_.mode == Mode::kRecord ||
+      (options_.mode == Mode::kReplayVerify && seq_ > options_.target_seq);
+  if (write) {
+    std::filesystem::create_directories(options_.dir);
+    last_path_ = options_.dir + "/ckpt_" + std::to_string(seq_) + ".ccml";
+    write_atomic(last_path_, bytes);
+    write_atomic(options_.dir + "/latest.ccml", bytes);
+  }
+
+  if (bus_ != nullptr) {
+    c_snapshots_->add();
+    TraceEvent ev;
+    ev.time = sim_->now();
+    ev.kind = TraceEventKind::kCkptWrite;
+    ev.value = static_cast<double>(seq_);
+    ev.value2 = static_cast<double>(bytes.size());
+    bus_->emit(ev);
+  }
+
+  // The what-if variation is applied only after the tick fully matched the
+  // recorded one, so the fork point itself is provably shared history.
+  if (at_cursor && on_cursor) on_cursor();
+
+  sim_->schedule_after(options_.every, [this] { tick(); });
+}
+
+}  // namespace ccml

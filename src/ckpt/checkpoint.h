@@ -1,0 +1,138 @@
+// Periodic checkpointing and replay-based restore for live runs.
+//
+// The event queue holds closures, so a snapshot cannot be deserialized back
+// into a running simulator directly.  The repo's determinism contract makes
+// a stronger scheme available: a run is a pure function of its spec, so the
+// snapshot stores (canonical run spec, cursor, full live-state sections) and
+// *restore is deterministic re-execution*.  The driver rebuilds the run from
+// the stored spec, replays it from t=0 with trace output suppressed up to
+// the snapshot's byte position, and this coordinator re-captures every state
+// section at the cursor tick and byte-compares it against the loaded
+// snapshot.  A single mismatched byte — RNG drift, a reordered float, a
+// config that silently changed — aborts the resume with ResumeDivergence
+// instead of continuing from corrupt state.  Past the cursor the run is
+// simply... the run, emitting trace bytes and fresh snapshots as usual.
+//
+// The same machinery powers what-if branching (`ccml_sim branch`): replay in
+// capture-only mode to the cursor, verify, then apply a variation (other
+// admission policy, extra faults, different transport) and let the run
+// continue — a fork of the original timeline cheap enough to fan out under
+// the SweepRunner.
+//
+// Checkpoint ticks are ordinary discrete events (they consume event-queue
+// sequence numbers and the watchdog's event budget), so the checkpoint
+// cadence is part of the run spec: comparing runs with different
+// `--checkpoint-every` values is comparing different runs.  Each tick, in
+// every mode, performs the identical sequence — sync the trace bus, capture
+// all sections, count and trace the snapshot — so record and replay walk
+// byte-identical trajectories.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ckpt/snapshot.h"
+#include "util/time.h"
+
+namespace ccml {
+
+class Simulator;
+class TraceBus;
+class Counter;
+
+/// Thrown when a replayed run's re-captured state does not byte-match the
+/// snapshot it is resuming from.  Continuing would silently diverge from
+/// the original timeline, so the driver aborts with its own exit code.
+class ResumeDivergence : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class CheckpointCoordinator {
+ public:
+  enum class Mode {
+    kRecord,        ///< normal run: write ckpt_<seq>.ccml + latest.ccml
+    kReplayVerify,  ///< resume: capture only until the cursor, verify there,
+                    ///  then fall through to kRecord for the remainder
+    kReplayOnly,    ///< branch: capture + verify at the cursor, never write
+  };
+
+  struct Options {
+    /// Checkpoint cadence in simulated time.  Must be positive.
+    Duration every;
+    /// Directory snapshots land in (kRecord, and kReplayVerify past the
+    /// cursor).  Ignored by kReplayOnly.
+    std::string dir;
+    /// Canonical run spec stored as the "spec" section of every snapshot.
+    std::string run_spec;
+    Mode mode = Mode::kRecord;
+    /// Replay modes: the snapshot being resumed/branched from and the
+    /// sequence number of the tick it was taken at (its "cursor" section).
+    Snapshot target;
+    std::uint64_t target_seq = 0;
+  };
+
+  explicit CheckpointCoordinator(Options options);
+
+  /// Registers a named state-capture provider.  Sections are captured (and
+  /// verified) in registration order; the order, like everything else, must
+  /// match between the recording and the replaying run — both sides derive
+  /// it from the same harness code, so it does.
+  void add_provider(std::string name, std::function<std::string()> capture);
+
+  /// Logical trace-sink byte position (bytes the JSONL sink has written, or
+  /// on replay: suppressed + written).  Captured into the cursor so resume
+  /// knows where to cut the trace file; optional when untraced.
+  void set_trace_bytes_fn(std::function<std::uint64_t()> fn) {
+    trace_bytes_fn_ = std::move(fn);
+  }
+
+  /// Fired once, at the cursor tick, after verification succeeded (replay
+  /// modes only).  Branching applies its what-if variation here.
+  std::function<void()> on_cursor;
+
+  /// Schedules the periodic capture ticks on `sim` (first tick one cadence
+  /// after sim.now()).  `bus` may be null (un-traced checkpointed run);
+  /// when set, each tick bumps the `ckpt.snapshots` counter and emits a
+  /// kCkptWrite event (value = seq, value2 = serialized snapshot bytes).
+  /// Call exactly once, after the harness finished wiring the run.
+  void install(Simulator& sim, TraceBus* bus);
+
+  /// Extracts (time, events-executed, trace-bytes, seq) from a loaded
+  /// snapshot's "cursor" section.
+  struct Cursor {
+    std::int64_t time_ns = 0;
+    std::uint64_t events_executed = 0;
+    std::uint64_t trace_bytes = 0;
+    std::uint64_t seq = 0;
+  };
+  static Cursor read_cursor(const Snapshot& snap);
+
+  std::uint64_t snapshots_taken() const { return seq_; }
+  /// True once the cursor tick verified clean (replay modes).
+  bool verified() const { return verified_; }
+  /// Path of the most recently written snapshot (kRecord).
+  const std::string& last_path() const { return last_path_; }
+  const Options& options() const { return options_; }
+
+ private:
+  void tick();
+  Snapshot capture();
+
+  Options options_;
+  std::vector<std::pair<std::string, std::function<std::string()>>>
+      providers_;
+  std::function<std::uint64_t()> trace_bytes_fn_;
+  Simulator* sim_ = nullptr;
+  TraceBus* bus_ = nullptr;
+  Counter* c_snapshots_ = nullptr;
+  std::uint64_t seq_ = 0;  ///< ticks completed; next tick is seq_ + 1
+  bool verified_ = false;
+  std::string last_path_;
+};
+
+}  // namespace ccml

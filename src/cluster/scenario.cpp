@@ -3,6 +3,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "ckpt/checkpoint.h"
+#include "ckpt/snapshot.h"
 #include "core/schedule.h"
 #include "faults/injector.h"
 #include "net/routing.h"
@@ -245,6 +247,36 @@ ScenarioResult run_dumbbell_scenario(const std::vector<ScenarioJob>& setups,
   if (config.flow_schedule) resolve_gates();
   for (auto& j : jobs) j->start();
   if (injector) injector->arm();
+
+  // --- Checkpointing -------------------------------------------------------
+  // Registered at a fixed point (after arming, before the run) so record and
+  // replay schedule the first tick from identical event-queue states.  The
+  // provider lambdas capture run-local state by reference; the coordinator
+  // must not tick after this function returns.
+  if (config.checkpoint != nullptr) {
+    CheckpointCoordinator& ck = *config.checkpoint;
+    ck.add_provider("sim", [&sim] {
+      StateBuf b;
+      b.put_u64(sim.pending_events());
+      return b.take();
+    });
+    ck.add_provider("net", [&net] { return net.serialize_state(); });
+    ck.add_provider("cc", [&net] { return net.policy().serialize_state(); });
+    ck.add_provider("jobs", [&jobs] {
+      StateBuf b;
+      b.put_u64(jobs.size());
+      for (const auto& j : jobs) b.put_bytes(j->serialize_state());
+      return b.take();
+    });
+    ck.add_provider("faults", [&injector] {
+      return injector ? injector->serialize_state() : std::string();
+    });
+    if (config.on_cursor) {
+      ck.on_cursor = [&sim, &net, &config] { config.on_cursor(sim, net); };
+    }
+    ck.install(sim, config.trace);
+  }
+
   sim.run_for(config.duration);
   net.flush_observers();
 

@@ -25,6 +25,8 @@
 
 namespace ccml {
 
+class CheckpointCoordinator;
+
 struct ScenarioJob {
   std::string name;
   JobProfile profile;
@@ -76,6 +78,18 @@ struct ScenarioConfig {
   SolverOptions solver;
   /// Relative slack on iteration time for recovery convergence checks.
   double fault_tolerance = 0.08;
+
+  /// Optional checkpoint/restore coordinator (src/ckpt).  The scenario
+  /// registers its state-capture providers (sim, net, cc, jobs, faults) and
+  /// installs the periodic ticks just before the run; the coordinator's
+  /// mode decides whether snapshots are written (record), verified against
+  /// a loaded one (resume), or captured only (branch).  Must outlive the
+  /// run; its providers dangle afterwards — one coordinator per run.
+  CheckpointCoordinator* checkpoint = nullptr;
+  /// Replay modes: fired at the snapshot cursor, after state verification
+  /// succeeded — the what-if variation hook (swap the transport, script
+  /// extra faults, ...).
+  std::function<void(Simulator&, Network&)> on_cursor;
 };
 
 /// Throws std::invalid_argument with a descriptive message when the job list

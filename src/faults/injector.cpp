@@ -1,5 +1,7 @@
 #include "faults/injector.h"
 
+#include "ckpt/snapshot.h"
+
 #include <stdexcept>
 #include <string>
 
@@ -199,6 +201,22 @@ std::string FaultInjector::diagnose() const {
   }
   if (out.empty()) out = "  no degraded links or parked flows\n";
   return "fault state:\n" + out;
+}
+
+std::string FaultInjector::serialize_state() const {
+  StateBuf out;
+  out.put_u8(armed_ ? 1 : 0);
+  out.put_u64(applied_.size());
+  for (const FaultEvent& ev : applied_) {
+    out.put_i64(ev.at.since_origin().ns());
+    out.put_u8(static_cast<std::uint8_t>(ev.kind));
+    out.put_u32(static_cast<std::uint32_t>(ev.link.value));
+    out.put_u8(ev.duplex ? 1 : 0);
+    out.put_u32(static_cast<std::uint32_t>(ev.job.value));
+    out.put_f64(ev.factor);
+  }
+  out.put_u64(plan_.events.size() - applied_.size());  // still pending
+  return out.take();
 }
 
 }  // namespace ccml

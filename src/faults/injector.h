@@ -61,6 +61,13 @@ class FaultInjector {
   /// flow; suitable as a Simulator watchdog diagnostic provider.
   std::string diagnose() const;
 
+  /// Checkpoint capture (src/ckpt): the applied-event audit trail plus the
+  /// count of plan events still pending, as deterministic bytes.  Restore
+  /// is by replay, so the pending events themselves live in the plan (part
+  /// of the run spec); this section pins down *where* in the plan the run
+  /// was cut, including an outage whose restoring event is still in flight.
+  std::string serialize_state() const;
+
  private:
   void apply(const FaultEvent& ev);
   void apply_link_event(FaultEvent& ev);

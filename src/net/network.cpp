@@ -1,5 +1,7 @@
 #include "net/network.h"
 
+#include "ckpt/snapshot.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -89,6 +91,47 @@ void Network::flush_observers() {
       obs->on_idle_gap(*this, last_step_, tick);
     }
     last_step_ = tick;
+  }
+}
+
+std::string Network::serialize_state() const {
+  StateBuf out;
+  out.put_i64(next_flow_id_);
+  out.put_u64(capacity_factor_.size());
+  for (const double f : capacity_factor_) out.put_f64(f);
+  out.put_u64(active_ids_.size());
+  for (std::size_t i = 0; i < active_ids_.size(); ++i) {
+    const std::uint32_t slot = active_slots_[i];
+    const Flow& f = slab_[slot].flow;
+    out.put_i64(active_ids_[i].value);
+    out.put_u32(slot);
+    out.put_u32(static_cast<std::uint32_t>(f.spec.job.value));
+    out.put_f64(size_b_[slot]);
+    out.put_f64(remaining_b_[slot]);
+    out.put_f64(rate_bps_[slot]);
+    const auto links = route_links(slot);
+    out.put_u64(links.size());
+    for (const std::int32_t l : links) out.put_u32(static_cast<std::uint32_t>(l));
+  }
+  out.put_u64(parked_ids_.size());
+  for (const FlowId id : parked_ids_) {
+    const std::uint32_t slot = index_.at(id.value);
+    out.put_i64(id.value);
+    out.put_f64(size_b_[slot]);
+    out.put_f64(remaining_b_[slot]);
+  }
+  return out.take();
+}
+
+void Network::replace_policy(std::unique_ptr<BandwidthPolicy> policy) {
+  assert(policy != nullptr);
+  policy_ = std::move(policy);
+  // Re-introduce every active flow to the new transport in deterministic
+  // (ascending id) order.  on_flow_started resets the flow's rate to the
+  // policy's starting allocation — identical to what a freshly unparked
+  // flow experiences — while remaining_b_ keeps the delivered progress.
+  for (std::size_t i = 0; i < active_ids_.size(); ++i) {
+    policy_->on_flow_started(*this, slab_[active_slots_[i]].flow);
   }
 }
 

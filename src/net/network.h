@@ -108,6 +108,25 @@ class Network : public Stepper {
   const BandwidthPolicy& policy() const { return *policy_; }
   Simulator& sim() { return *sim_; }
 
+  /// Next id start_flow() will hand out; part of the checkpointed state so
+  /// a resumed run keeps allocating the same ids.
+  std::int64_t next_flow_id() const { return next_flow_id_; }
+
+  /// Checkpoint capture (src/ckpt): link health, the active/parked flow
+  /// sets with byte progress and routes, and the id allocator, as
+  /// deterministic bytes (ascending ids/links).  The policy's own state is
+  /// captured separately via BandwidthPolicy::serialize_state.
+  std::string serialize_state() const;
+
+  /// Swaps the bandwidth policy mid-run (what-if branching: continue the
+  /// same flows under a different transport).  Every active flow is
+  /// re-introduced to the new policy via on_flow_started in active-id order
+  /// — the same fresh-start semantics a parked flow gets on unpark — so the
+  /// new transport begins from its own initial rates while byte progress is
+  /// preserved.  Parked flows need nothing: they re-enter through
+  /// on_flow_started when they unpark anyway.
+  void replace_policy(std::unique_ptr<BandwidthPolicy> policy);
+
   /// Capacity available to goodput on `link`: nominal capacity scaled by the
   /// goodput factor and the link's runtime capacity factor.
   Rate effective_capacity(LinkId link) const {

@@ -2,6 +2,8 @@
 // control scheme.  Implementations live in src/cc.
 #pragma once
 
+#include <string>
+
 #include "net/flow.h"
 #include "net/types.h"
 #include "util/time.h"
@@ -79,6 +81,14 @@ class BandwidthPolicy {
     (void)link;
     return Bytes::zero();
   }
+
+  /// Full mutable policy state (per-flow rate machines, per-link queues,
+  /// RNG streams) as an opaque byte string for the checkpoint layer
+  /// (src/ckpt).  The only contract is determinism: the bytes must be a
+  /// pure function of the live state, because restore verifies a replayed
+  /// run by byte-comparing re-captured sections against the snapshot.
+  /// Stateless policies keep the empty default.
+  virtual std::string serialize_state() const { return {}; }
 };
 
 }  // namespace ccml

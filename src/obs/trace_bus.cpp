@@ -14,6 +14,8 @@ void TraceBus::start_async(TraceAsyncOptions opts) {
   if (ring_) return;
   overflow_ = opts.overflow;
   stop_flag_.store(false, std::memory_order_relaxed);
+  produced_ = 0;
+  consumed_.store(0, std::memory_order_relaxed);
   ring_ = std::make_unique<SpscRing<TraceEvent>>(opts.capacity);
   consumer_ = std::thread([this] { consume_loop(); });
 }
@@ -43,7 +45,10 @@ void TraceBus::stop_async() {
 
 void TraceBus::emit_async(const TraceEvent& ev) {
   last_emit_time_ = ev.time;
-  if (ring_->try_push(ev)) return;
+  if (ring_->try_push(ev)) {
+    ++produced_;
+    return;
+  }
   if (overflow_ == TraceOverflowPolicy::kBlock) {
     // Lossless mode: wait for the consumer to free a slot.  Bounded by sink
     // throughput, and the consumer never blocks on the producer, so this
@@ -51,6 +56,7 @@ void TraceBus::emit_async(const TraceEvent& ev) {
     do {
       std::this_thread::yield();
     } while (!ring_->try_push(ev));
+    ++produced_;
   } else {
     dropped_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -61,11 +67,13 @@ void TraceBus::consume_loop() {
   while (true) {
     if (ring_->try_pop(ev)) {
       for (TraceSink* s : sinks_) s->on_event(ev);
+      consumed_.fetch_add(1, std::memory_order_release);
       continue;
     }
     if (stop_flag_.load(std::memory_order_acquire)) {
       while (ring_->try_pop(ev)) {
         for (TraceSink* s : sinks_) s->on_event(ev);
+        consumed_.fetch_add(1, std::memory_order_release);
       }
       return;
     }

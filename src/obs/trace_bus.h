@@ -132,6 +132,19 @@ class TraceBus {
 
   bool async_active() const { return ring_ != nullptr; }
 
+  /// Producer-side barrier: returns once every event emitted so far has been
+  /// fanned out to the sinks by the consumer thread.  Synchronous delivery
+  /// makes this a no-op.  Used by the checkpoint layer, which must know the
+  /// sinks' byte position at the snapshot instant; events dropped by the
+  /// kDropNewest policy never reach the sinks and are not waited for (the
+  /// checkpoint layer refuses drop mode outright for exactly that reason).
+  void sync() {
+    if (!ring_) return;
+    while (consumed_.load(std::memory_order_acquire) < produced_) {
+      std::this_thread::yield();
+    }
+  }
+
   /// Events discarded by TraceOverflowPolicy::kDropNewest so far.
   std::uint64_t dropped_events() const {
     return dropped_.load(std::memory_order_relaxed);
@@ -197,6 +210,10 @@ class TraceBus {
   std::thread consumer_;
   std::atomic<bool> stop_flag_{false};
   std::atomic<std::uint64_t> dropped_{0};
+  /// Events successfully enqueued (producer-owned) vs. fanned out by the
+  /// consumer; sync() spins on their difference.
+  std::uint64_t produced_ = 0;
+  std::atomic<std::uint64_t> consumed_{0};
   TraceOverflowPolicy overflow_ = TraceOverflowPolicy::kBlock;
   TimePoint last_emit_time_;
 };

@@ -35,6 +35,8 @@ const char* to_string(TraceEventKind kind) {
     case TraceEventKind::kAnomalyCongestionCollapse:
       return "anomaly.congestion_collapse";
     case TraceEventKind::kHistogramSummary: return "histogram-summary";
+    case TraceEventKind::kCkptWrite: return "ckpt.write";
+    case TraceEventKind::kCkptBranch: return "ckpt.branch";
   }
   return "unknown";
 }
@@ -70,6 +72,8 @@ bool trace_event_kind_from_string(const char* name, TraceEventKind& out) {
       TraceEventKind::kAnomalyStarvation,
       TraceEventKind::kAnomalyCongestionCollapse,
       TraceEventKind::kHistogramSummary,
+      TraceEventKind::kCkptWrite,
+      TraceEventKind::kCkptBranch,
   };
   for (const TraceEventKind k : kAll) {
     if (std::strcmp(name, to_string(k)) == 0) {

@@ -89,6 +89,15 @@ enum class TraceEventKind : std::uint8_t {
   kHistogramSummary,          ///< flush-time digest; detail =
                               ///  "iteration_ms" | "queue_bytes",
                               ///  value = p99, value2 = sample count
+
+  // Checkpoint/restore (src/ckpt).  In-stream records of the snapshot
+  // machinery itself, so a resumed trace documents where it was cut and a
+  // branched trace documents where the what-if diverged.
+  kCkptWrite,   ///< snapshot written; value = sequence number,
+                ///  value2 = serialized size in bytes
+  kCkptBranch,  ///< what-if continuation forked here; value = branch index,
+                ///  detail = the varied dimension ("admission"|"transport"|
+                ///  "faults"|"baseline")
 };
 
 /// Stable lower-kebab-case name of the kind (serialized into JSONL traces).

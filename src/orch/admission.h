@@ -89,6 +89,11 @@ class AdmissionController {
   int free_host_count() const;
   const AdmissionConfig& config() const { return config_; }
 
+  /// Switches the scoring policy mid-run (what-if branching: continue the
+  /// same cluster under the other admission discipline).  Queue capacity
+  /// and timeout are unchanged; the next offer() uses the new policy.
+  void set_policy(AdmissionPolicyKind kind) { config_.policy = kind; }
+
  private:
   struct Candidate {
     std::vector<std::pair<NodeId, int>> splits;  // (tor, hosts taken)

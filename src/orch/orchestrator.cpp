@@ -8,6 +8,8 @@
 #include <optional>
 #include <stdexcept>
 
+#include "ckpt/checkpoint.h"
+#include "ckpt/snapshot.h"
 #include "core/schedule.h"
 #include "faults/injector.h"
 #include "obs/trace_bus.h"
@@ -428,6 +430,62 @@ ClusterRunReport Orchestrator::run() {
            ", parked: " + std::to_string(net.parked_flows().size()) + "\n";
     return out;
   });
+
+  // --- Checkpointing --------------------------------------------------------
+  // Registered at a fixed point (after fault arming and the watchdog, before
+  // the event loop) so record and replay schedule the first checkpoint tick
+  // from identical event-queue states.  Providers capture run-locals by
+  // reference: the coordinator must not tick after run() returns.
+  OrchestratorCursorContext cursor_ctx{sim, net, admission, drain_queue};
+  if (config_.checkpoint != nullptr) {
+    CheckpointCoordinator& ck = *config_.checkpoint;
+    ck.add_provider("sim", [&sim] {
+      StateBuf b;
+      b.put_u64(sim.pending_events());
+      return b.take();
+    });
+    ck.add_provider("net", [&net] { return net.serialize_state(); });
+    ck.add_provider("cc", [&net] { return net.policy().serialize_state(); });
+    ck.add_provider("orch", [&] {
+      StateBuf b;
+      b.put_u64(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        const JobState& s = state[j];
+        b.put_u8(static_cast<std::uint8_t>(s.state));
+        b.put_u8(s.submitted ? 1 : 0);
+        b.put_i64(s.admitted_at.since_origin().ns());
+        b.put_u64(s.links.size());
+        for (const LinkId lid : s.links) b.put_i64(lid.value);
+        b.put_u8(s.rotation ? 1 : 0);
+        b.put_i64(s.rotation ? s.rotation->ns() : 0);
+        b.put_u8(s.job ? 1 : 0);
+        if (s.job) b.put_bytes(s.job->serialize_state());
+      }
+      b.put_u64(queue.size());
+      for (const std::size_t j : queue) b.put_u64(j);
+      b.put_u8(fabric_degraded ? 1 : 0);
+      // Resolver progress: counters (minus nondeterministic wall-clock) and
+      // the cache signature set, so a resumed run provably reuses the same
+      // warm cache it would have had.
+      const ResolveStats& rs = resolver.stats();
+      b.put_u64(rs.solves);
+      b.put_u64(rs.cache_hits);
+      b.put_u64(rs.warm_start_hits);
+      b.put_u64(rs.nodes_explored);
+      const std::vector<std::string> keys = resolver.cache_keys();
+      b.put_u64(keys.size());
+      for (const std::string& k : keys) b.put_bytes(k);
+      b.put_i64(admission.free_host_count());
+      return b.take();
+    });
+    ck.add_provider("faults", [&injector] {
+      return injector ? injector->serialize_state() : std::string();
+    });
+    if (config_.on_cursor) {
+      ck.on_cursor = [this, &cursor_ctx] { config_.on_cursor(cursor_ctx); };
+    }
+    ck.install(sim, trace);
+  }
 
   sim.run_until(TimePoint::origin() + config_.horizon);
   net.flush_observers();

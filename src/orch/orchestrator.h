@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -32,6 +33,21 @@
 
 namespace ccml {
 
+class CheckpointCoordinator;
+
+/// Live handles handed to OrchestratorConfig::on_cursor when a resumed or
+/// branched run reaches its snapshot cursor: enough to swap the transport,
+/// change the admission policy (and re-drain the queue under the new rules),
+/// or script extra faults into the continuation.
+struct OrchestratorCursorContext {
+  Simulator& sim;
+  Network& net;
+  AdmissionController& admission;
+  /// Re-runs the admission loop over the current queue; call after
+  /// `admission.set_policy(...)` so the new policy takes effect immediately
+  /// rather than at the next churn event.
+  std::function<void()> drain_queue;
+};
 
 struct OrchestratorConfig {
   PolicyKind policy = PolicyKind::kDcqcn;
@@ -60,6 +76,15 @@ struct OrchestratorConfig {
   /// solver runs and the usual flow/job/fault events are published to its
   /// sinks.
   TraceBus* trace = nullptr;
+
+  /// Optional checkpoint/restore coordinator (src/ckpt).  The run registers
+  /// its state-capture providers (sim, net, cc, orch, faults) and installs
+  /// the periodic ticks just before the event loop.  Must outlive run();
+  /// one coordinator per run.
+  CheckpointCoordinator* checkpoint = nullptr;
+  /// Replay modes: fired at the snapshot cursor after verification — the
+  /// what-if variation hook.
+  std::function<void(OrchestratorCursorContext&)> on_cursor;
 };
 
 struct ClusterJobOutcome {

@@ -72,6 +72,16 @@ class IncrementalResolver {
   std::size_t cache_size() const { return cache_.size(); }
   void clear();
 
+  /// Cache keys in map (= deterministic) order, for checkpoint capture: the
+  /// signature cache is part of the state a resumed run must reproduce so
+  /// its hit/miss stream (and thus the solve trace) stays byte-identical.
+  std::vector<std::string> cache_keys() const {
+    std::vector<std::string> keys;
+    keys.reserve(cache_.size());
+    for (const auto& [sig, result] : cache_) keys.push_back(sig);
+    return keys;
+  }
+
  private:
   SolverOptions options_;
   // std::map: pointers into values stay valid across inserts.

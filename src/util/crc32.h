@@ -1,0 +1,18 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte spans.
+//
+// Used by the snapshot format (src/ckpt) to detect bit rot and truncation
+// per section before any state is trusted.  Table-driven, no dependencies;
+// the table is built once at static-init time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ccml {
+
+/// CRC of `len` bytes starting at `data`, seeded with `seed` (pass the
+/// previous return value to checksum a buffer in pieces; the default seed
+/// starts a fresh computation).
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+}  // namespace ccml

@@ -7,6 +7,8 @@
 
 #include <cstdint>
 #include <random>
+#include <sstream>
+#include <string>
 
 namespace ccml {
 
@@ -41,6 +43,30 @@ class Rng {
   }
 
   std::mt19937_64& engine() { return eng_; }
+
+  /// Full stream state as a portable ASCII token string (the standard's
+  /// textual mt19937_64 representation).  load_state(save_state()) restores
+  /// the exact position in the stream, so a checkpointed component resumes
+  /// drawing the same values it would have drawn uninterrupted.  The
+  /// distribution cache is reset on load: uniform_real_distribution carries
+  /// no state for this engine, and resetting keeps save/load involutive.
+  std::string save_state() const {
+    std::ostringstream os;
+    os << eng_;
+    return os.str();
+  }
+
+  /// Restores a state produced by save_state().  Returns false (leaving the
+  /// engine untouched on failure paths where extraction failed part-way the
+  /// engine may be modified — callers treat false as corrupt input) when the
+  /// text does not parse as an mt19937_64 state.
+  bool load_state(const std::string& text) {
+    std::istringstream is(text);
+    is >> eng_;
+    if (!is) return false;
+    unit_.reset();
+    return true;
+  }
 
  private:
   std::mt19937_64 eng_;

@@ -1,5 +1,7 @@
 #include "workload/job.h"
 
+#include "ckpt/snapshot.h"
+
 #include <cassert>
 #include <stdexcept>
 #include <string>
@@ -323,6 +325,28 @@ void TrainingJob::finish_iteration(TimePoint t) {
   // The interpolated finish `t` may precede the simulator clock (flows end
   // mid-step); account the next iteration from `t` but schedule work now.
   begin_iteration(t);
+}
+
+std::string TrainingJob::serialize_state() const {
+  StateBuf out;
+  out.put_u8(static_cast<std::uint8_t>(phase_));
+  out.put_u8(static_cast<std::uint8_t>(paused_phase_));
+  out.put_u64(phase_index_);
+  out.put_i64(iter_start_.since_origin().ns());
+  out.put_u64(flows_in_flight_);
+  out.put_i64(last_flow_finish_.since_origin().ns());
+  out.put_u64(live_flows_.size());
+  for (const FlowId id : live_flows_) out.put_i64(id.value);
+  out.put_u64(iteration_times_.size());
+  for (const Duration d : iteration_times_) out.put_i64(d.ns());
+  out.put_u64(iteration_starts_.size());
+  for (const TimePoint t : iteration_starts_) {
+    out.put_i64(t.since_origin().ns());
+  }
+  out.put_f64(compute_scale_);
+  out.put_u8(pending_event_ != kInvalidEventId ? 1 : 0);
+  out.put_bytes(jitter_rng_.save_state());
+  return out.take();
 }
 
 }  // namespace ccml

@@ -142,6 +142,10 @@ class TrainingJob {
     return iteration_starts_;
   }
 
+  /// Checkpoint capture (src/ckpt): phase machine, in-flight flow set,
+  /// iteration history and the jitter RNG stream, as deterministic bytes.
+  std::string serialize_state() const;
+
   /// Fired when max_iterations completes.
   std::function<void(const TrainingJob&)> on_done;
 

@@ -1,0 +1,234 @@
+// End-to-end checkpoint/restore tests (src/ckpt/checkpoint.h): a scenario
+// recorded with periodic snapshots must replay-verify byte-identically from
+// any of them, a tampered section must abort with ResumeDivergence, and —
+// the edge cases that make restore *robust* rather than merely possible —
+// checkpoints landing mid-outage, with flows parked awaiting requeue, and
+// under an armed watchdog must all round-trip cleanly.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.h"
+#include "ckpt/snapshot.h"
+#include "cluster/scenario.h"
+#include "faults/fault_plan.h"
+
+namespace ccml {
+namespace {
+
+JobProfile toy(double compute_ms, double comm_ms) {
+  return ModelZoo::synthetic(
+      "toy", Duration::from_millis_f(compute_ms),
+      Rate::gbps(42.5) * Duration::from_millis_f(comm_ms));
+}
+
+std::string fresh_dir(const char* name) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   (std::string("ccml_resume_test_") + name);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+/// Records `cfg` with checkpoints every `every` into `dir` and returns the
+/// scenario result.  The same (jobs, cfg) are then fed to replay_verify.
+ScenarioResult record(const std::vector<ScenarioJob>& jobs, ScenarioConfig cfg,
+                      const std::string& dir, Duration every) {
+  CheckpointCoordinator ck(CheckpointCoordinator::Options{
+      every, dir, "test-spec", CheckpointCoordinator::Mode::kRecord, {}, 0});
+  cfg.checkpoint = &ck;
+  ScenarioResult r = run_dumbbell_scenario(jobs, cfg);
+  EXPECT_GE(ck.snapshots_taken(), 1u);
+  return r;
+}
+
+/// Replays the identical run in kReplayVerify mode against `target`,
+/// returning the coordinator's verified() flag.
+bool replay_verify(const std::vector<ScenarioJob>& jobs, ScenarioConfig cfg,
+                   const std::string& dir, Duration every, Snapshot target) {
+  const auto cursor = CheckpointCoordinator::read_cursor(target);
+  CheckpointCoordinator ck(CheckpointCoordinator::Options{
+      every, dir, "test-spec", CheckpointCoordinator::Mode::kReplayVerify,
+      std::move(target), cursor.seq});
+  cfg.checkpoint = &ck;
+  run_dumbbell_scenario(jobs, cfg);
+  return ck.verified();
+}
+
+TEST(Resume, CleanRunVerifiesFromEveryCheckpoint) {
+  const std::string dir = fresh_dir("clean");
+  const std::vector<ScenarioJob> jobs = {{"a", toy(40, 20)},
+                                         {"b", toy(60, 25)}};
+  ScenarioConfig cfg;
+  cfg.duration = Duration::seconds(2);
+  const auto ref = record(jobs, cfg, dir, Duration::millis(400));
+
+  for (const std::uint64_t seq : {1, 3, 4}) {
+    const Snapshot snap =
+        Snapshot::load(dir + "/ckpt_" + std::to_string(seq) + ".ccml");
+    EXPECT_TRUE(replay_verify(jobs, cfg, fresh_dir("clean_replay"),
+                              Duration::millis(400), snap))
+        << "checkpoint " << seq;
+  }
+}
+
+TEST(Resume, ReplayReproducesTheRecordedResult) {
+  const std::string dir = fresh_dir("result");
+  const std::vector<ScenarioJob> jobs = {{"a", toy(40, 20)},
+                                         {"b", toy(60, 25)}};
+  ScenarioConfig cfg;
+  cfg.duration = Duration::seconds(2);
+  const auto ref = record(jobs, cfg, dir, Duration::millis(500));
+
+  const Snapshot snap = Snapshot::load(dir + "/latest.ccml");
+  const auto cursor = CheckpointCoordinator::read_cursor(snap);
+  CheckpointCoordinator ck(CheckpointCoordinator::Options{
+      Duration::millis(500), fresh_dir("result_replay"), "test-spec",
+      CheckpointCoordinator::Mode::kReplayVerify, snap, cursor.seq});
+  ScenarioConfig cfg2 = cfg;
+  cfg2.checkpoint = &ck;
+  const auto resumed = run_dumbbell_scenario(jobs, cfg2);
+  ASSERT_TRUE(ck.verified());
+  ASSERT_EQ(resumed.jobs.size(), ref.jobs.size());
+  for (std::size_t i = 0; i < ref.jobs.size(); ++i) {
+    EXPECT_EQ(resumed.jobs[i].iterations, ref.jobs[i].iterations);
+    EXPECT_EQ(resumed.jobs[i].iteration_ms, ref.jobs[i].iteration_ms);
+  }
+}
+
+TEST(Resume, TamperedSectionDiverges) {
+  const std::string dir = fresh_dir("tamper");
+  const std::vector<ScenarioJob> jobs = {{"a", toy(40, 20)}};
+  ScenarioConfig cfg;
+  cfg.duration = Duration::seconds(1);
+  record(jobs, cfg, dir, Duration::millis(300));
+
+  Snapshot snap = Snapshot::load(dir + "/latest.ccml");
+  std::string cc = snap.get("cc");
+  ASSERT_FALSE(cc.empty());
+  cc[cc.size() / 2] = static_cast<char>(cc[cc.size() / 2] ^ 0x01);
+  snap.set("cc", cc);  // valid container, lying payload: CRC is recomputed
+
+  const auto cursor = CheckpointCoordinator::read_cursor(snap);
+  CheckpointCoordinator ck(CheckpointCoordinator::Options{
+      Duration::millis(300), fresh_dir("tamper_replay"), "test-spec",
+      CheckpointCoordinator::Mode::kReplayVerify, std::move(snap),
+      cursor.seq});
+  ScenarioConfig cfg2 = cfg;
+  cfg2.checkpoint = &ck;
+  try {
+    run_dumbbell_scenario(jobs, cfg2);
+    FAIL() << "expected ResumeDivergence";
+  } catch (const ResumeDivergence& e) {
+    EXPECT_NE(std::string(e.what()).find("'cc'"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Resume, DifferentConfigDiverges) {
+  // Replaying with a changed spec (one job's CC timer nudged) must be caught
+  // at the cursor, not silently continued.
+  const std::string dir = fresh_dir("spec_drift");
+  std::vector<ScenarioJob> jobs = {{"a", toy(40, 20)}, {"b", toy(40, 20)}};
+  ScenarioConfig cfg;
+  cfg.policy = PolicyKind::kDcqcn;
+  cfg.duration = Duration::seconds(1);
+  record(jobs, cfg, dir, Duration::millis(300));
+
+  const Snapshot snap = Snapshot::load(dir + "/latest.ccml");
+  jobs[0].cc_timer = Duration::from_micros_f(55);  // the drifted "binary"
+  const auto cursor = CheckpointCoordinator::read_cursor(snap);
+  CheckpointCoordinator ck(CheckpointCoordinator::Options{
+      Duration::millis(300), fresh_dir("spec_drift_replay"), "test-spec",
+      CheckpointCoordinator::Mode::kReplayVerify, snap, cursor.seq});
+  ScenarioConfig cfg2 = cfg;
+  cfg2.checkpoint = &ck;
+  EXPECT_THROW(run_dumbbell_scenario(jobs, cfg2), ResumeDivergence);
+}
+
+// --- Fault-injector edge cases ----------------------------------------------
+
+TEST(Resume, CheckpointDuringOutageRoundTrips) {
+  // A link outage is in flight across the 600 ms checkpoint: the snapshot
+  // captures zeroed capacity factors, parked flows, and the injector's
+  // mid-plan position — and the replay must re-reach that exact state.
+  const std::string dir = fresh_dir("outage");
+  const std::vector<ScenarioJob> jobs = {{"a", toy(40, 20)},
+                                         {"b", toy(60, 25)}};
+  ScenarioConfig cfg;
+  cfg.duration = Duration::seconds(2);
+  cfg.faults.flap(TimePoint::origin() + Duration::millis(500),
+                  Duration::millis(400), "swL->swR");
+  const auto ref = record(jobs, cfg, dir, Duration::millis(300));
+  ASSERT_FALSE(ref.faults_applied.empty());
+
+  // ckpt_2 at 600 ms sits inside the [500, 900) ms outage.
+  const Snapshot snap = Snapshot::load(dir + "/ckpt_2.ccml");
+  const auto cursor = CheckpointCoordinator::read_cursor(snap);
+  EXPECT_EQ(cursor.time_ns, 600 * 1'000'000);
+  EXPECT_TRUE(replay_verify(jobs, cfg, fresh_dir("outage_replay"),
+                            Duration::millis(300), snap));
+}
+
+TEST(Resume, ParkedFlowsRestoredMidRecovery) {
+  // Longer outage: several checkpoints land while flows sit parked waiting
+  // for requeue, and one lands just after restoration while the requeued
+  // flows are catching up.  Every one must replay-verify.
+  const std::string dir = fresh_dir("parked");
+  const std::vector<ScenarioJob> jobs = {{"a", toy(30, 30)},
+                                         {"b", toy(30, 30)}};
+  ScenarioConfig cfg;
+  cfg.duration = Duration::seconds(3);
+  cfg.faults.flap(TimePoint::origin() + Duration::millis(400),
+                  Duration::millis(900), "swL->swR");
+  record(jobs, cfg, dir, Duration::millis(250));
+
+  for (const std::uint64_t seq : {2, 4, 6}) {  // 500 / 1000 / 1500 ms
+    const Snapshot snap =
+        Snapshot::load(dir + "/ckpt_" + std::to_string(seq) + ".ccml");
+    EXPECT_TRUE(replay_verify(jobs, cfg, fresh_dir("parked_replay"),
+                              Duration::millis(250), snap))
+        << "checkpoint " << seq;
+  }
+}
+
+TEST(Resume, WatchdogArmedRunRoundTrips) {
+  // An explicit, tight-but-sufficient watchdog is part of the run spec; the
+  // replay consumes the same event budget (checkpoint ticks included) and
+  // must neither trip spuriously nor diverge.
+  const std::string dir = fresh_dir("watchdog");
+  const std::vector<ScenarioJob> jobs = {{"a", toy(40, 20)}};
+  ScenarioConfig cfg;
+  cfg.duration = Duration::seconds(2);
+  cfg.faults.brownout(TimePoint::origin() + Duration::millis(600),
+                      Duration::millis(500), "swL->swR", 0.3);
+  cfg.watchdog.max_sim_time = Duration::seconds(8);
+  cfg.watchdog.max_events = 5'000'000;
+  record(jobs, cfg, dir, Duration::millis(400));
+
+  const Snapshot snap = Snapshot::load(dir + "/ckpt_2.ccml");  // mid-brownout
+  EXPECT_TRUE(replay_verify(jobs, cfg, fresh_dir("watchdog_replay"),
+                            Duration::millis(400), snap));
+}
+
+TEST(Resume, SnapshotSectionsCoverEverySubsystem) {
+  const std::string dir = fresh_dir("sections");
+  const std::vector<ScenarioJob> jobs = {{"a", toy(40, 20)}};
+  ScenarioConfig cfg;
+  cfg.duration = Duration::seconds(1);
+  cfg.faults.flap(TimePoint::origin() + Duration::millis(300),
+                  Duration::millis(100), "swL->swR");
+  record(jobs, cfg, dir, Duration::millis(500));
+
+  const Snapshot snap = Snapshot::load(dir + "/latest.ccml");
+  EXPECT_EQ(snap.names(),
+            (std::vector<std::string>{"spec", "cursor", "sim", "net", "cc",
+                                      "jobs", "faults"}));
+  EXPECT_EQ(snap.get("spec"), "test-spec");
+}
+
+}  // namespace
+}  // namespace ccml

@@ -1,0 +1,202 @@
+// Unit tests for the CCKP snapshot container (src/ckpt/snapshot.h): StateBuf
+// round-trips, section ordering, atomic save, and — most importantly — that
+// every flavor of corrupt or incompatible file is *refused* with a specific
+// SnapshotError instead of handing out suspect state.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "ckpt/snapshot.h"
+#include "util/crc32.h"
+#include "util/rng.h"
+
+namespace ccml {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("ccml_ckpt_test_") + name))
+      .string();
+}
+
+TEST(StateBuf, RoundTripsEveryType) {
+  StateBuf w;
+  w.put_u8(7);
+  w.put_u32(0xDEADBEEFu);
+  w.put_u64(0x0123456789ABCDEFull);
+  w.put_i64(-42);
+  w.put_f64(3.141592653589793);
+  w.put_f64(-0.0);
+  w.put_bytes("hello\0world");  // embedded NUL truncates the literal; fine
+  w.put_bytes("");
+
+  StateBuf r(w.take());
+  EXPECT_EQ(r.get_u8(), 7);
+  EXPECT_EQ(r.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.get_i64(), -42);
+  EXPECT_EQ(r.get_f64(), 3.141592653589793);
+  const double neg_zero = r.get_f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));  // bit pattern preserved, not value
+  EXPECT_EQ(r.get_bytes(), "hello");
+  EXPECT_EQ(r.get_bytes(), "");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(StateBuf, OverReadThrows) {
+  StateBuf w;
+  w.put_u32(1);
+  StateBuf r(w.take());
+  r.get_u32();
+  EXPECT_THROW(r.get_u8(), SnapshotError);
+  EXPECT_THROW(StateBuf("ab").get_u32(), SnapshotError);
+}
+
+TEST(StateBuf, LittleEndianOnTheWire) {
+  StateBuf w;
+  w.put_u32(0x04030201u);
+  const std::string& b = w.bytes();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(b[0]), 0x01);
+  EXPECT_EQ(static_cast<unsigned char>(b[3]), 0x04);
+}
+
+TEST(Crc32, MatchesKnownVectors) {
+  // IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0x00000000u);
+  // Seed chaining over split input equals one-shot.
+  const std::uint32_t first = crc32("1234", 4);
+  EXPECT_EQ(crc32("56789", 5, first), 0xCBF43926u);
+}
+
+TEST(Snapshot, SerializeParseRoundTripPreservesOrder) {
+  Snapshot s;
+  s.set("zeta", "payload-z");
+  s.set("alpha", std::string("\x00\x01\x02", 3));
+  s.set("mid", "");
+
+  const Snapshot back = Snapshot::parse(s.serialize());
+  EXPECT_EQ(back.names(), (std::vector<std::string>{"zeta", "alpha", "mid"}));
+  EXPECT_EQ(back.get("zeta"), "payload-z");
+  EXPECT_EQ(back.get("alpha"), std::string("\x00\x01\x02", 3));
+  EXPECT_EQ(back.get("mid"), "");
+  EXPECT_THROW(back.get("absent"), SnapshotError);
+  // Identical state serializes to identical bytes.
+  EXPECT_EQ(back.serialize(), s.serialize());
+}
+
+TEST(Snapshot, SaveIsAtomicAndLoadable) {
+  const std::string path = temp_path("atomic.ccml");
+  Snapshot s;
+  s.set("state", "abc");
+  s.save(path);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_EQ(Snapshot::load(path).get("state"), "abc");
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, RefusesBadMagic) {
+  try {
+    Snapshot::parse("JUNKxxxxxxxxxxxxxxxx");
+    FAIL() << "expected SnapshotError";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos);
+  }
+  EXPECT_THROW(Snapshot::parse("CC"), SnapshotError);  // shorter than magic
+}
+
+TEST(Snapshot, RefusesFutureVersion) {
+  Snapshot s;
+  s.set("a", "b");
+  std::string bytes = s.serialize();
+  bytes[4] = static_cast<char>(kSnapshotVersion + 1);  // little-endian u32
+  try {
+    Snapshot::parse(bytes);
+    FAIL() << "expected SnapshotError";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST(Snapshot, RefusesEveryFlippedPayloadByte) {
+  Snapshot s;
+  s.set("sec", "some payload worth guarding");
+  const std::string good = s.serialize();
+  // Flip each byte of the payload region (the tail of the file) and demand
+  // a CRC refusal every time.
+  const std::size_t payload_start = good.size() - 27;
+  for (std::size_t i = payload_start; i < good.size(); ++i) {
+    std::string bad = good;
+    bad[i] = static_cast<char>(bad[i] ^ 0xFF);
+    try {
+      Snapshot::parse(bad);
+      FAIL() << "accepted a corrupt byte at offset " << i;
+    } catch (const SnapshotError& e) {
+      EXPECT_NE(std::string(e.what()).find("CRC mismatch"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(Snapshot, RefusesTruncationAndTrailingGarbage) {
+  Snapshot s;
+  s.set("sec", "payload");
+  const std::string good = s.serialize();
+  for (const std::size_t cut : {good.size() - 1, good.size() - 4,
+                                std::size_t{13}}) {
+    EXPECT_THROW(Snapshot::parse(good.substr(0, cut)), SnapshotError);
+  }
+  EXPECT_THROW(Snapshot::parse(good + "x"), SnapshotError);
+}
+
+TEST(Snapshot, LoadErrorNamesThePath) {
+  const std::string path = temp_path("corrupt.ccml");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "CCKP this is not a valid snapshot";
+  }
+  try {
+    Snapshot::load(path);
+    FAIL() << "expected SnapshotError";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+  std::remove(path.c_str());
+  EXPECT_THROW(Snapshot::load(temp_path("does_not_exist.ccml")),
+               SnapshotError);
+}
+
+// Satellite: RNG streams expose and restore full engine state, so a restored
+// stream continues exactly where the saved one left off.
+TEST(Rng, SaveRestoreContinuesIdentically) {
+  Rng a(1234);
+  for (int i = 0; i < 1000; ++i) a.uniform();  // advance mid-stream
+  const std::string state = a.save_state();
+
+  Rng b(999);  // different seed, different position
+  ASSERT_TRUE(b.load_state(state));
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.engine()(), b.engine()()) << "drift at draw " << i;
+  }
+  // The distribution cache is reset on load too: uniform() draws match.
+  const std::string state2 = a.save_state();
+  Rng c(0);
+  ASSERT_TRUE(c.load_state(state2));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_DOUBLE_EQ(a.uniform(), c.uniform());
+  }
+}
+
+TEST(Rng, LoadRejectsGarbage) {
+  Rng r(1);
+  EXPECT_FALSE(r.load_state("not an mt19937_64 stream"));
+}
+
+}  // namespace
+}  // namespace ccml

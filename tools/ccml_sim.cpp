@@ -8,6 +8,10 @@
 //   faults                   scenario + scripted faults and recovery report
 //   analyze                  replay a JSONL trace through the streaming
 //                            analyzers and emit a run-health report
+//   branch                   fork what-if continuations from a checkpoint
+//
+// Long runs can be checkpointed (--checkpoint-every) and, after a crash,
+// resumed (--resume) with byte-identical output; see docs/robustness.md.
 //
 // Examples:
 //   ccml_sim zoo
@@ -18,9 +22,11 @@
 //       --job model=DLRM,batch=2000,timer_us=300,rai_mbps=40
 //   ccml_sim analyze trace.jsonl --health-report health.json
 //       --slo-min-fairness 0.8 --slo-max-anomalies 0
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -30,8 +36,11 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
+#include "ckpt/snapshot.h"
 #include "cluster/scenario.h"
 #include "core/solver.h"
+#include "faults/injector.h"
 #include "obs/analytics/engine.h"
 #include "obs/analytics/trace_reader.h"
 #include "obs/sinks.h"
@@ -105,6 +114,17 @@ commands:
                               jsonl) through the same streaming analyzers
                               the live run uses and emit the run-health
                               report; exits 1 when an SLO check fails
+  branch --from SNAPSHOT [--vary admission=locality|compat]
+         [--vary transport=POLICY] [--with-flap K=V,...]
+         [--with-brownout K=V,...] [--threads N]
+                              fork what-if continuations from a checkpoint:
+                              each branch deterministically replays the
+                              recorded history to the snapshot's cursor,
+                              verifies it byte-for-byte, applies its
+                              variation (admission policy, transport swap,
+                              extra post-cursor link faults), runs to the
+                              original horizon in memory, and is diffed
+                              against the unmodified baseline continuation
   policies: maxmin | wfq | priority | dcqcn | dcqcn-adaptive | timely
 
 tracing (scenario and faults):
@@ -143,6 +163,35 @@ run health (scenario, faults, cluster and analyze):
   --slo-require-anomaly 1   fail unless at least one anomaly fired (fault
                             runs must detect *something*)
   any --slo-* flag implies --health-report - ; a failed check exits 1
+
+checkpointing (scenario, faults and cluster):
+  --checkpoint-every MS     take a crash-safe snapshot of the full live
+                            state (clock, flows, CC state, RNG streams,
+                            fault and orchestrator state) every MS of
+                            simulated time; each file is self-contained,
+                            CRC-guarded and atomically renamed into
+                            --checkpoint-dir (ckpt_<n>.ccml + latest.ccml)
+  --checkpoint-dir DIR      snapshot directory [default: checkpoints]
+  --resume FILE             resume a killed run: re-issue the *identical*
+                            command line plus --resume FILE.  The run is
+                            replayed from t=0 to the snapshot's cursor,
+                            re-captured state is verified byte-for-byte
+                            against the snapshot, the trace file is cut at
+                            the cursor and appended to — the final trace
+                            and health report are byte-identical to an
+                            uninterrupted run's.  Checkpointed traces need
+                            --trace-format jsonl; --trace-async drop is
+                            incompatible with checkpointing
+
+exit codes:
+  0  success
+  1  an SLO gate failed, or a faulted scenario never reconverged
+  2  usage or generic runtime error
+  3  watchdog tripped: the simulation wedged (SimulatorWedged)
+  4  snapshot refused: corrupt, truncated, CRC mismatch, version from the
+     future, or recorded by a different command line (SnapshotError)
+  5  resume divergence: the replay did not byte-reproduce the snapshot
+     (changed binary, changed spec, or nondeterminism) (ResumeDivergence)
 )");
   std::exit(2);
 }
@@ -188,6 +237,133 @@ JobProfile job_profile_from(const std::map<std::string, std::string>& kv) {
   return ModelZoo::synthetic(
       want_str(kv, "name", "job"), Duration::from_millis_f(compute_ms),
       Rate::gbps(42.5) * Duration::from_millis_f(comm_ms));
+}
+
+// --- Checkpoint plumbing -----------------------------------------------------
+
+bool wants_analytics(const std::map<std::string, std::string>& opts);
+
+/// Counts every logical byte the trace sink produces and forwards them to
+/// the real file buffer — except the first `suppress` bytes, which a resume
+/// replay regenerates but which are already on disk.  The count therefore
+/// always means "bytes since t=0 of the run", whichever process wrote them.
+class CountingBuf : public std::streambuf {
+ public:
+  CountingBuf(std::streambuf* dst, std::uint64_t suppress)
+      : dst_(dst), suppress_(suppress) {}
+
+  std::uint64_t logical_bytes() const { return count_; }
+
+ protected:
+  int overflow(int ch) override {
+    if (ch == traits_type::eof()) return 0;
+    ++count_;
+    if (count_ <= suppress_) return ch;
+    return dst_->sputc(static_cast<char>(ch));
+  }
+
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    const std::uint64_t before = count_;
+    count_ += static_cast<std::uint64_t>(n);
+    if (count_ <= suppress_) return n;  // still inside the replayed prefix
+    const char* start = s;
+    std::streamsize m = n;
+    if (before < suppress_) {
+      const auto skip = static_cast<std::streamsize>(suppress_ - before);
+      start += skip;
+      m -= skip;
+    }
+    dst_->sputn(start, m);
+    return n;
+  }
+
+  int sync() override { return dst_->pubsync(); }
+
+ private:
+  std::streambuf* dst_;
+  std::uint64_t suppress_;
+  std::uint64_t count_ = 0;
+};
+
+/// Canonical textual spec of a run, stored as the "spec" section of every
+/// snapshot: the command, every --job and fault flag in command-line order,
+/// and every option that shapes the simulated trajectory.  Output paths
+/// (--trace, --health-report, --checkpoint-dir) are normalized to presence
+/// markers so a resumed run may write elsewhere, and --slo-* values only
+/// gate the exit code; everything else — including --checkpoint-every,
+/// whose ticks consume event budget — must match the recording run exactly.
+std::string canonical_run_spec(
+    const std::string& cmd, const std::vector<std::string>& job_args,
+    const std::vector<std::pair<std::string, std::string>>& fault_args,
+    const std::map<std::string, std::string>& opts) {
+  std::string s = "ccml-run-spec v1\ncmd=" + cmd + "\n";
+  for (const auto& j : job_args) s += "job=" + j + "\n";
+  for (const auto& [kind, arg] : fault_args) {
+    s += "fault." + kind + "=" + arg + "\n";
+  }
+  for (const auto& [k, v] : opts) {
+    if (k == "resume" || k == "checkpoint-dir" || k == "threads" ||
+        k == "health-report" || k.rfind("slo-", 0) == 0) {
+      continue;
+    }
+    if (k == "trace") {
+      s += "opt.trace=1\n";
+      continue;
+    }
+    s += "opt." + k + "=" + v + "\n";
+  }
+  if (wants_analytics(opts)) s += "opt.health=1\n";
+  return s;
+}
+
+/// A spec parsed back out of a snapshot — enough to reconstruct and replay
+/// the recorded run without the original command line (`ccml_sim branch`).
+struct RunSpec {
+  std::string cmd;
+  std::vector<std::string> job_args;
+  std::vector<std::pair<std::string, std::string>> fault_args;
+  std::map<std::string, std::string> opts;
+  bool traced = false;  ///< the recording run had a --trace file sink
+  bool health = false;  ///< ... and/or a run-health analytics engine
+};
+
+RunSpec parse_run_spec(const std::string& spec) {
+  RunSpec rs;
+  std::stringstream ss(spec);
+  std::string line;
+  bool header = false;
+  while (std::getline(ss, line)) {
+    if (line.empty()) continue;
+    if (line == "ccml-run-spec v1") {
+      header = true;
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw SnapshotError("malformed run spec line: " + line);
+    }
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key == "cmd") {
+      rs.cmd = value;
+    } else if (key == "job") {
+      rs.job_args.push_back(value);
+    } else if (key.rfind("fault.", 0) == 0) {
+      rs.fault_args.emplace_back(key.substr(6), value);
+    } else if (key == "opt.trace") {
+      rs.traced = true;
+    } else if (key == "opt.health") {
+      rs.health = true;
+    } else if (key.rfind("opt.", 0) == 0) {
+      rs.opts[key.substr(4)] = value;
+    } else {
+      throw SnapshotError("malformed run spec line: " + line);
+    }
+  }
+  if (!header || rs.cmd.empty()) {
+    throw SnapshotError("snapshot run spec is not in ccml-run-spec v1 format");
+  }
+  return rs;
 }
 
 int cmd_zoo() {
@@ -353,6 +529,13 @@ int emit_health_report(const AnalyticsEngine& engine,
 /// neither is requested); `finish` finalizes the file and prints the
 /// run-metrics summary; `health_exit_code` evaluates the SLO gates.
 struct TraceSetup {
+  /// Resume only: logical trace bytes at the snapshot's cursor.  Set before
+  /// configure(); the existing file is cut to exactly this many bytes and
+  /// re-opened for append, and the first resume_suppress bytes the replay
+  /// regenerates are discarded instead of re-written — the stitched file is
+  /// byte-identical to the one an uninterrupted run would have produced.
+  std::uint64_t resume_suppress = 0;
+
   TraceBus* configure(const std::map<std::string, std::string>& opts) {
     const bool want_file = opts.contains("trace");
     const bool want_health = wants_analytics(opts);
@@ -363,18 +546,40 @@ struct TraceSetup {
             : 5.0);
     if (want_file) {
       path = opts.at("trace");
-      out.open(path);
+      std::uint64_t suppress = 0;
+      std::error_code ec;
+      if (resume_suppress > 0 && std::filesystem::exists(path, ec)) {
+        const std::uint64_t size = std::filesystem::file_size(path);
+        if (size < resume_suppress) {
+          throw SnapshotError(
+              "trace file '" + path + "' has " + std::to_string(size) +
+              " bytes but the snapshot's cursor is at byte " +
+              std::to_string(resume_suppress) +
+              " — this is not the file the snapshotted run was writing");
+        }
+        // Drop bytes the killed run wrote past the checkpoint; the replay
+        // regenerates them (and everything after) deterministically.
+        if (size > resume_suppress) {
+          std::filesystem::resize_file(path, resume_suppress);
+        }
+        out.open(path, std::ios::binary | std::ios::app);
+        suppress = resume_suppress;
+      } else {
+        out.open(path, std::ios::binary | std::ios::trunc);
+      }
       if (!out) usage(("cannot open trace file: " + path).c_str());
+      counting = std::make_unique<CountingBuf>(out.rdbuf(), suppress);
+      stream = std::make_unique<std::ostream>(counting.get());
       const std::string format =
           opts.contains("trace-format") ? opts.at("trace-format") : "chrome";
       if (format == "chrome") {
         ChromeTraceSinkOptions copts;
         copts.sample_cadence = cadence;
-        sink = std::make_unique<ChromeTraceSink>(out, copts);
+        sink = std::make_unique<ChromeTraceSink>(*stream, copts);
       } else if (format == "jsonl") {
         JsonlSinkOptions jopts;
         jopts.sample_cadence = cadence;
-        sink = std::make_unique<JsonlSink>(out, jopts);
+        sink = std::make_unique<JsonlSink>(*stream, jopts);
       } else {
         usage(("unknown trace format: " + format +
                " (expected chrome or jsonl)")
@@ -410,6 +615,7 @@ struct TraceSetup {
     if (!enabled) return;
     bus.flush();  // stops the async consumer (full drain) before finalizing
     if (!path.empty()) {
+      stream->flush();
       out.close();
       std::printf("\ntrace written to %s\n", path.c_str());
     }
@@ -421,12 +627,110 @@ struct TraceSetup {
     return engine ? emit_health_report(*engine, opts) : 0;
   }
 
+  bool has_file() const { return counting != nullptr; }
+
+  /// Logical bytes the file sink has produced since t=0 of the run
+  /// (suppressed + written), flushed through to the OS first so a SIGKILL
+  /// after the snapshot lands can never lose bytes its cursor claims exist.
+  std::uint64_t logical_trace_bytes() {
+    if (stream) stream->flush();
+    return counting ? counting->logical_bytes() : 0;
+  }
+
   bool enabled = false;
   std::string path;
   std::ofstream out;
+  std::unique_ptr<CountingBuf> counting;
+  std::unique_ptr<std::ostream> stream;
   TraceBus bus;
   std::unique_ptr<TraceSink> sink;
   std::unique_ptr<AnalyticsEngine> engine;
+};
+
+/// Parses --checkpoint-every / --checkpoint-dir / --resume into a
+/// CheckpointCoordinator.  On resume it loads and validates the snapshot,
+/// refuses a spec recorded by a different command line, and primes the
+/// TraceSetup with the cursor's trace-byte position for file stitching.
+struct CheckpointSetup {
+  std::unique_ptr<CheckpointCoordinator> ck;
+  bool resuming = false;
+
+  CheckpointCoordinator* configure(const std::string& spec,
+                                   const std::map<std::string, std::string>& opts,
+                                   TraceSetup& trace) {
+    const bool resume = opts.contains("resume");
+    if (!opts.contains("checkpoint-every")) {
+      if (resume) {
+        usage("--resume needs the recording run's --checkpoint-every (re-issue "
+              "the identical command line plus --resume)");
+      }
+      return nullptr;
+    }
+    // Checkpointing counts and stitches trace bytes, which needs the
+    // line-oriented lossless path: the chrome sink buffers everything until
+    // the end of the run, and drop-mode async discards events the byte
+    // counter never sees.
+    if (opts.contains("trace")) {
+      const std::string format =
+          opts.contains("trace-format") ? opts.at("trace-format") : "chrome";
+      if (format != "jsonl") {
+        usage("checkpointing a traced run requires --trace-format jsonl");
+      }
+    }
+    if (opts.contains("trace-async") && opts.at("trace-async") == "drop") {
+      usage("--trace-async drop discards events nondeterministically and "
+            "cannot be checkpointed; use block");
+    }
+    const double every_ms = std::atof(opts.at("checkpoint-every").c_str());
+    if (every_ms <= 0) usage("--checkpoint-every must be a positive ms value");
+
+    CheckpointCoordinator::Options co;
+    co.every = Duration::from_millis_f(every_ms);
+    co.dir = opts.contains("checkpoint-dir") ? opts.at("checkpoint-dir")
+                                             : "checkpoints";
+    co.run_spec = spec;
+    if (resume) {
+      Snapshot target = Snapshot::load(opts.at("resume"));
+      if (target.get("spec") != spec) {
+        throw SnapshotError(
+            "snapshot '" + opts.at("resume") +
+            "' was recorded by a different run: re-issue the identical "
+            "command line plus --resume (output paths may differ; jobs, "
+            "faults, seeds, durations and --checkpoint-every may not)");
+      }
+      const auto cursor = CheckpointCoordinator::read_cursor(target);
+      co.mode = CheckpointCoordinator::Mode::kReplayVerify;
+      co.target_seq = cursor.seq;
+      co.target = std::move(target);
+      trace.resume_suppress = cursor.trace_bytes;
+      resuming = true;
+      std::fprintf(stderr,
+                   "resuming from %s: checkpoint %llu at %.1f ms (%llu events, "
+                   "%llu trace bytes); replaying to the cursor...\n",
+                   opts.at("resume").c_str(),
+                   static_cast<unsigned long long>(cursor.seq),
+                   static_cast<double>(cursor.time_ns) / 1e6,
+                   static_cast<unsigned long long>(cursor.events_executed),
+                   static_cast<unsigned long long>(cursor.trace_bytes));
+    }
+    ck = std::make_unique<CheckpointCoordinator>(std::move(co));
+    return ck.get();
+  }
+
+  /// Call after the run: a resume whose replay ended before ever reaching
+  /// the cursor verified nothing and must not pass silently.
+  void check_verified() const {
+    if (resuming && ck && !ck->verified()) {
+      throw ResumeDivergence(
+          "replay finished without reaching the snapshot's cursor (checkpoint " +
+          std::to_string(ck->options().target_seq) +
+          ") — was the recorded run longer than this one?");
+    }
+    if (resuming && ck) {
+      std::fprintf(stderr, "resume verified byte-identical at the cursor; "
+                           "continued to completion\n");
+    }
+  }
 };
 
 std::vector<ScenarioJob> parse_scenario_jobs(
@@ -455,11 +759,10 @@ std::vector<ScenarioJob> parse_scenario_jobs(
   return jobs;
 }
 
-int cmd_scenario(const std::vector<std::string>& job_args,
-                 const std::map<std::string, std::string>& opts) {
-  if (job_args.empty()) usage("scenario needs at least one --job");
-  const std::vector<ScenarioJob> jobs = parse_scenario_jobs(job_args);
-  ScenarioConfig cfg;
+/// The --policy / --seconds / --flow-schedule trio shared by scenario,
+/// faults, and branch replays of either.
+void apply_scenario_opts(ScenarioConfig& cfg,
+                         const std::map<std::string, std::string>& opts) {
   if (opts.contains("policy")) {
     cfg.policy = parse_policy_kind(opts.at("policy"));
   }
@@ -470,9 +773,25 @@ int cmd_scenario(const std::vector<std::string>& job_args,
   if (opts.contains("flow-schedule")) {
     cfg.flow_schedule = std::atoi(opts.at("flow-schedule").c_str()) != 0;
   }
+}
+
+int cmd_scenario(const std::vector<std::string>& job_args,
+                 const std::map<std::string, std::string>& opts) {
+  if (job_args.empty()) usage("scenario needs at least one --job");
+  const std::vector<ScenarioJob> jobs = parse_scenario_jobs(job_args);
+  ScenarioConfig cfg;
+  apply_scenario_opts(cfg, opts);
+  const std::string spec = canonical_run_spec("scenario", job_args, {}, opts);
   TraceSetup trace;
+  CheckpointSetup ckpt;
+  cfg.checkpoint = ckpt.configure(spec, opts, trace);
   cfg.trace = trace.configure(opts);
+  if (cfg.checkpoint != nullptr && trace.has_file()) {
+    cfg.checkpoint->set_trace_bytes_fn(
+        [&trace] { return trace.logical_trace_bytes(); });
+  }
   const auto result = run_dumbbell_scenario(jobs, cfg);
+  ckpt.check_verified();
 
   std::printf("policy %s, %zu jobs, %.0f s simulated:\n\n",
               to_string(cfg.policy), jobs.size(), cfg.duration.to_seconds());
@@ -543,21 +862,21 @@ int cmd_faults(
   if (fault_args.empty()) usage("faults needs at least one fault flag");
   const std::vector<ScenarioJob> jobs = parse_scenario_jobs(job_args);
   ScenarioConfig cfg;
-  if (opts.contains("policy")) {
-    cfg.policy = parse_policy_kind(opts.at("policy"));
-  }
-  cfg.duration =
-      Duration::seconds(opts.contains("seconds")
-                            ? std::atoi(opts.at("seconds").c_str())
-                            : 20);
+  apply_scenario_opts(cfg, opts);
   cfg.faults = parse_fault_plan(fault_args, jobs.size(), opts);
-  if (opts.contains("flow-schedule")) {
-    cfg.flow_schedule = std::atoi(opts.at("flow-schedule").c_str()) != 0;
-  }
+  const std::string spec = canonical_run_spec("faults", job_args, fault_args,
+                                              opts);
   TraceSetup trace;
+  CheckpointSetup ckpt;
+  cfg.checkpoint = ckpt.configure(spec, opts, trace);
   cfg.trace = trace.configure(opts);
+  if (cfg.checkpoint != nullptr && trace.has_file()) {
+    cfg.checkpoint->set_trace_bytes_fn(
+        [&trace] { return trace.logical_trace_bytes(); });
+  }
 
   const auto result = run_dumbbell_scenario(jobs, cfg);
+  ckpt.check_verified();
 
   std::printf("policy %s, %zu jobs, %.0f s simulated, %zu fault events:\n\n",
               to_string(cfg.policy), jobs.size(), cfg.duration.to_seconds(),
@@ -654,7 +973,20 @@ int cmd_sweep(const std::vector<std::string>& job_args,
   return 0;
 }
 
-int cmd_cluster(
+/// Everything an orchestrator run is built from, reconstructible from the
+/// option map alone — cmd_cluster parses it from the command line, branch
+/// replays parse it back out of a snapshot's stored spec.
+struct ClusterSetup {
+  ArrivalConfig acfg;
+  ArrivalSchedule schedule;
+  Topology topo;
+  OrchestratorConfig cfg;
+  int tors;
+  int hosts;
+  int spines;
+};
+
+ClusterSetup make_cluster_setup(
     const std::vector<std::pair<std::string, std::string>>& fault_args,
     const std::map<std::string, std::string>& opts) {
   const auto num_opt = [&](const char* key, double fallback) {
@@ -669,13 +1001,13 @@ int cmd_cluster(
   acfg.mean_service_extra = Duration::from_seconds_f(num_opt("service-s", 12));
   acfg.min_workers = static_cast<int>(num_opt("workers-min", 2));
   acfg.max_workers = static_cast<int>(num_opt("workers-max", 4));
-  const ArrivalSchedule schedule = generate_arrivals(acfg);
+  ArrivalSchedule schedule = generate_arrivals(acfg);
 
   const int tors = static_cast<int>(num_opt("tors", 4));
   const int hosts = static_cast<int>(num_opt("hosts", 4));
   const int spines = static_cast<int>(num_opt("spines", 2));
-  const Topology topo = Topology::leaf_spine(tors, hosts, spines,
-                                             Rate::gbps(50), Rate::gbps(50));
+  Topology topo = Topology::leaf_spine(tors, hosts, spines, Rate::gbps(50),
+                                       Rate::gbps(50));
 
   OrchestratorConfig cfg;
   if (opts.contains("policy")) {
@@ -714,22 +1046,369 @@ int cmd_cluster(
     }
   }
 
-  TraceSetup trace;
-  cfg.trace = trace.configure(opts);
+  return ClusterSetup{std::move(acfg), std::move(schedule), std::move(topo),
+                      std::move(cfg),  tors,               hosts,
+                      spines};
+}
 
-  Orchestrator orch(topo, schedule, cfg);
+int cmd_cluster(
+    const std::vector<std::pair<std::string, std::string>>& fault_args,
+    const std::map<std::string, std::string>& opts) {
+  ClusterSetup cs = make_cluster_setup(fault_args, opts);
+  const std::string spec = canonical_run_spec("cluster", {}, fault_args, opts);
+  TraceSetup trace;
+  CheckpointSetup ckpt;
+  cs.cfg.checkpoint = ckpt.configure(spec, opts, trace);
+  cs.cfg.trace = trace.configure(opts);
+  if (cs.cfg.checkpoint != nullptr && trace.has_file()) {
+    cs.cfg.checkpoint->set_trace_bytes_fn(
+        [&trace] { return trace.logical_trace_bytes(); });
+  }
+
+  Orchestrator orch(cs.topo, cs.schedule, cs.cfg);
   const ClusterRunReport report = orch.run();
+  ckpt.check_verified();
 
   std::printf(
       "online cluster: %dx%d hosts, %d spines | %s admission, %s policy | "
       "seed %llu, %.1f jobs/min, %.0f s horizon\n",
-      tors, hosts, spines, to_string(cfg.admission.policy),
-      to_string(cfg.policy),
-      static_cast<unsigned long long>(acfg.seed), acfg.rate_per_min,
-      cfg.horizon.to_seconds());
+      cs.tors, cs.hosts, cs.spines, to_string(cs.cfg.admission.policy),
+      to_string(cs.cfg.policy),
+      static_cast<unsigned long long>(cs.acfg.seed), cs.acfg.rate_per_min,
+      cs.cfg.horizon.to_seconds());
   std::printf("%s", report.summary().c_str());
   trace.finish();
   return trace.health_exit_code(opts);
+}
+
+// --- What-if branching -------------------------------------------------------
+
+/// One fork of the recorded timeline.
+struct BranchDef {
+  std::string name;       ///< display name, e.g. "admission=locality"
+  std::string dimension;  ///< "baseline" | "admission" | "transport" | "faults"
+  std::string value;      ///< parsed variation value (policy name, ...)
+  FaultPlan extra;        ///< dimension == "faults": post-cursor link events
+};
+
+struct BranchOutcome {
+  std::string jsonl;    ///< the branch's full in-memory trace
+  std::string summary;  ///< one-line result stats
+};
+
+/// Replicates the recorded run's trace structure in memory.  The structure
+/// matters beyond diffing: a sampling sink schedules simulator events, so
+/// the replay only byte-matches the snapshot if the sampler cadence (or its
+/// absence) is exactly what the recording run had.  An un-traced recording
+/// gets a cadence-free JSONL sink, which adds no simulator events but still
+/// yields a diffable stream.
+struct BranchTrace {
+  explicit BranchTrace(const RunSpec& rs) {
+    const Duration cadence = Duration::from_millis_f(
+        rs.opts.contains("trace-cadence-ms")
+            ? std::atof(rs.opts.at("trace-cadence-ms").c_str())
+            : 5.0);
+    JsonlSinkOptions jopts;
+    if (rs.traced) jopts.sample_cadence = cadence;
+    sink = std::make_unique<JsonlSink>(oss, jopts);
+    if (rs.health) {
+      AnalyticsConfig acfg;
+      acfg.sample_cadence = cadence;
+      engine = std::make_unique<AnalyticsEngine>(acfg);
+      engine->set_output(sink.get());
+      bus.add_sink(*engine);
+    } else {
+      bus.add_sink(*sink);
+    }
+  }
+
+  std::uint64_t bytes() { return static_cast<std::uint64_t>(oss.tellp()); }
+
+  std::ostringstream oss;
+  TraceBus bus;
+  std::unique_ptr<JsonlSink> sink;
+  std::unique_ptr<AnalyticsEngine> engine;
+};
+
+Duration checkpoint_cadence_of(const RunSpec& rs) {
+  if (!rs.opts.contains("checkpoint-every")) {
+    throw SnapshotError(
+        "snapshot spec carries no --checkpoint-every; cannot replay");
+  }
+  return Duration::from_millis_f(
+      std::atof(rs.opts.at("checkpoint-every").c_str()));
+}
+
+CheckpointCoordinator make_branch_coordinator(const RunSpec& rs,
+                                              const Snapshot& target) {
+  CheckpointCoordinator::Options co;
+  co.every = checkpoint_cadence_of(rs);
+  co.run_spec = target.get("spec");
+  co.mode = CheckpointCoordinator::Mode::kReplayOnly;
+  co.target = target;
+  co.target_seq = CheckpointCoordinator::read_cursor(target).seq;
+  return CheckpointCoordinator(std::move(co));
+}
+
+void emit_branch_marker(TraceBus& bus, TimePoint now, std::size_t index,
+                        const BranchDef& b) {
+  TraceEvent ev;
+  ev.time = now;
+  ev.kind = TraceEventKind::kCkptBranch;
+  ev.value = static_cast<double>(index);
+  ev.detail = b.dimension.c_str();
+  bus.emit(ev);
+}
+
+BranchOutcome run_scenario_branch(const RunSpec& rs, const Snapshot& target,
+                                  const BranchDef& b, std::size_t index) {
+  const std::vector<ScenarioJob> jobs = parse_scenario_jobs(rs.job_args);
+  ScenarioConfig cfg;
+  apply_scenario_opts(cfg, rs.opts);
+  cfg.faults = parse_fault_plan(rs.fault_args, jobs.size(), rs.opts);
+
+  BranchTrace trace(rs);
+  CheckpointCoordinator ck = make_branch_coordinator(rs, target);
+  if (rs.traced) {
+    ck.set_trace_bytes_fn([&trace] { return trace.bytes(); });
+  }
+  std::unique_ptr<FaultInjector> extra;  // keeps cursor-applied faults alive
+  cfg.checkpoint = &ck;
+  cfg.trace = &trace.bus;
+  cfg.on_cursor = [&](Simulator& sim, Network& net) {
+    emit_branch_marker(trace.bus, sim.now(), index, b);
+    if (b.dimension == "transport") {
+      net.replace_policy(make_policy(parse_policy_kind(b.value), cfg.dcqcn));
+    } else if (b.dimension == "faults") {
+      extra = std::make_unique<FaultInjector>(sim, net, b.extra);
+      extra->arm();
+    }
+  };
+
+  const ScenarioResult result = run_dumbbell_scenario(jobs, cfg);
+  if (!ck.verified()) {
+    throw ResumeDivergence("branch '" + b.name +
+                           "' never reached the snapshot's cursor");
+  }
+  trace.bus.flush();
+
+  BranchOutcome out;
+  out.jsonl = trace.oss.str();
+  for (const auto& j : result.jobs) {
+    if (!out.summary.empty()) out.summary += " | ";
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%s: %zu iters, mean %.1f ms",
+                  j.name.c_str(), j.iterations, j.mean_ms);
+    out.summary += buf;
+  }
+  return out;
+}
+
+BranchOutcome run_cluster_branch(const RunSpec& rs, const Snapshot& target,
+                                 const BranchDef& b, std::size_t index) {
+  ClusterSetup cs = make_cluster_setup(rs.fault_args, rs.opts);
+
+  BranchTrace trace(rs);
+  CheckpointCoordinator ck = make_branch_coordinator(rs, target);
+  if (rs.traced) {
+    ck.set_trace_bytes_fn([&trace] { return trace.bytes(); });
+  }
+  std::unique_ptr<FaultInjector> extra;
+  cs.cfg.checkpoint = &ck;
+  cs.cfg.trace = &trace.bus;
+  cs.cfg.on_cursor = [&](OrchestratorCursorContext& ctx) {
+    emit_branch_marker(trace.bus, ctx.sim.now(), index, b);
+    if (b.dimension == "admission") {
+      ctx.admission.set_policy(b.value == "locality"
+                                   ? AdmissionPolicyKind::kLocalityOnly
+                                   : AdmissionPolicyKind::kCompatibilityAware);
+      ctx.drain_queue();
+    } else if (b.dimension == "transport") {
+      ctx.net.replace_policy(
+          make_policy(parse_policy_kind(b.value), cs.cfg.dcqcn));
+    } else if (b.dimension == "faults") {
+      extra = std::make_unique<FaultInjector>(ctx.sim, ctx.net, b.extra);
+      extra->arm();
+    }
+  };
+
+  Orchestrator orch(cs.topo, cs.schedule, cs.cfg);
+  const ClusterRunReport report = orch.run();
+  if (!ck.verified()) {
+    throw ResumeDivergence("branch '" + b.name +
+                           "' never reached the snapshot's cursor");
+  }
+  trace.bus.flush();
+
+  BranchOutcome out;
+  out.jsonl = trace.oss.str();
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%zu admitted, %zu rejected, %zu finished | mean slowdown "
+                "%.3f, worst %.3f | mean queue %.1f ms",
+                report.admitted, report.rejected, report.finished,
+                report.mean_slowdown(), report.max_slowdown(),
+                report.mean_queue_delay_ms());
+  out.summary = buf;
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < s.size()) {
+    const std::size_t nl = s.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(s.substr(start));
+      break;
+    }
+    lines.push_back(s.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+/// First line where a branch's stream diverges from the baseline's.  The
+/// ckpt.branch marker line every fork necessarily differs on is skipped —
+/// the interesting divergence is the first *behavioral* one.
+struct Divergence {
+  bool found = false;
+  std::size_t line = 0;
+  std::string base;
+  std::string branch;
+};
+
+Divergence first_divergence(const std::vector<std::string>& base,
+                            const std::vector<std::string>& other) {
+  const std::size_t n = std::min(base.size(), other.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (base[i] == other[i]) continue;
+    if (base[i].find("ckpt.branch") != std::string::npos &&
+        other[i].find("ckpt.branch") != std::string::npos) {
+      continue;
+    }
+    return {true, i + 1, base[i], other[i]};
+  }
+  if (base.size() != other.size()) {
+    return {true, n + 1,
+            n < base.size() ? base[n] : std::string("<end of stream>"),
+            n < other.size() ? other[n] : std::string("<end of stream>")};
+  }
+  return {};
+}
+
+std::string truncated(const std::string& s, std::size_t max = 110) {
+  return s.size() <= max ? s : s.substr(0, max) + "...";
+}
+
+int cmd_branch(
+    const std::vector<std::string>& vary_args,
+    const std::vector<std::pair<std::string, std::string>>& extra_fault_args,
+    const std::map<std::string, std::string>& opts) {
+  if (!opts.contains("from")) usage("branch needs --from SNAPSHOT");
+  const Snapshot target = Snapshot::load(opts.at("from"));
+  const RunSpec rs = parse_run_spec(target.get("spec"));
+  const auto cursor = CheckpointCoordinator::read_cursor(target);
+  const bool cluster = rs.cmd == "cluster";
+  if (!cluster && rs.cmd != "scenario" && rs.cmd != "faults") {
+    throw SnapshotError("snapshot records unbranchable command '" + rs.cmd +
+                        "'");
+  }
+
+  // The unmodified continuation runs first: it is the diff baseline.
+  std::vector<BranchDef> branches;
+  branches.push_back(BranchDef{"baseline", "baseline", "", {}});
+  for (const std::string& v : vary_args) {
+    const auto eq = v.find('=');
+    if (eq == std::string::npos) {
+      usage(("bad --vary (expected dimension=value): " + v).c_str());
+    }
+    const std::string dim = v.substr(0, eq);
+    const std::string val = v.substr(eq + 1);
+    if (dim == "admission") {
+      if (!cluster) usage("--vary admission= only applies to cluster snapshots");
+      if (val != "locality" && val != "compat") {
+        usage(("unknown admission policy: " + val +
+               " (expected locality or compat)").c_str());
+      }
+    } else if (dim == "transport") {
+      parse_policy_kind(val);  // throws on junk before any replay starts
+    } else {
+      usage(("unknown --vary dimension: " + dim +
+             " (expected admission or transport)").c_str());
+    }
+    branches.push_back(BranchDef{v, dim, val, {}});
+  }
+  if (!extra_fault_args.empty()) {
+    // All --with-* events fold into one extra fault plan, armed at the
+    // cursor; they must land on the continuation, not the shared history.
+    FaultPlan plan;
+    for (const auto& [kind, arg] : extra_fault_args) {
+      const auto kv = parse_kv(arg);
+      const double at_ms = want_num(kv, "at_ms");
+      if (at_ms * 1e6 <= static_cast<double>(cursor.time_ns)) {
+        usage(("--with-" + kind + " at_ms=" + std::to_string(at_ms) +
+               " is before the snapshot cursor (" +
+               std::to_string(static_cast<double>(cursor.time_ns) / 1e6) +
+               " ms); what-if faults must hit the continuation")
+                  .c_str());
+      }
+      const auto at =
+          TimePoint::origin() + Duration::from_millis_f(at_ms);
+      const std::string link =
+          want_str(kv, "link", cluster ? "tor0->spine0" : "swL->swR");
+      if (kind == "flap") {
+        plan.flap(at, Duration::from_millis_f(want_num(kv, "for_ms")), link);
+      } else {
+        plan.brownout(at, Duration::from_millis_f(want_num(kv, "for_ms")),
+                      link, want_num(kv, "factor"));
+      }
+    }
+    branches.push_back(BranchDef{"faults", "faults", "", std::move(plan)});
+  }
+  if (branches.size() == 1) {
+    usage("branch needs at least one --vary or --with-* variation");
+  }
+
+  SweepOptions sw;
+  if (opts.contains("threads")) {
+    sw.threads = static_cast<unsigned>(std::atoi(opts.at("threads").c_str()));
+  }
+  SweepRunner pool(sw);
+  const std::vector<BranchOutcome> outcomes =
+      pool.run(branches, [&](const BranchDef& b, std::size_t i) {
+        return cluster ? run_cluster_branch(rs, target, b, i)
+                       : run_scenario_branch(rs, target, b, i);
+      });
+
+  std::printf(
+      "branched %zu what-if continuations of '%s' from %s\n"
+      "  cursor: checkpoint %llu at %.1f ms, %llu events replayed and "
+      "verified byte-identical per branch\n\n",
+      branches.size(), rs.cmd.c_str(), opts.at("from").c_str(),
+      static_cast<unsigned long long>(cursor.seq),
+      static_cast<double>(cursor.time_ns) / 1e6,
+      static_cast<unsigned long long>(cursor.events_executed));
+
+  const std::vector<std::string> base_lines = split_lines(outcomes[0].jsonl);
+  for (std::size_t i = 0; i < branches.size(); ++i) {
+    std::printf("[%zu] %-24s %s\n", i, branches[i].name.c_str(),
+                outcomes[i].summary.c_str());
+    if (i == 0) continue;
+    const Divergence d =
+        first_divergence(base_lines, split_lines(outcomes[i].jsonl));
+    if (!d.found) {
+      std::printf("     no divergence from baseline (%zu identical trace "
+                  "lines)\n",
+                  base_lines.size());
+    } else {
+      std::printf("     first divergence from baseline at trace line %zu:\n",
+                  d.line);
+      std::printf("       baseline: %s\n", truncated(d.base).c_str());
+      std::printf("       branch:   %s\n", truncated(d.branch).c_str());
+    }
+  }
+  return 0;
 }
 
 int cmd_analyze(const std::vector<std::string>& positional,
@@ -764,6 +1443,8 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   std::vector<std::string> job_args;
   std::vector<std::pair<std::string, std::string>> fault_args;
+  std::vector<std::string> vary_args;
+  std::vector<std::pair<std::string, std::string>> with_fault_args;
   std::vector<std::string> positional;
   std::map<std::string, std::string> opts;
   for (int i = 2; i < argc; ++i) {
@@ -783,6 +1464,10 @@ int main(int argc, char** argv) {
                a == "pause" || a == "depart" || a == "arrive") {
       // Fault flags repeat; order within the command line is preserved.
       fault_args.emplace_back(a, value);
+    } else if (a == "vary") {
+      vary_args.push_back(value);
+    } else if (a == "with-flap" || a == "with-brownout") {
+      with_fault_args.emplace_back(a.substr(5), value);
     } else {
       opts[a] = value;
     }
@@ -796,6 +1481,16 @@ int main(int argc, char** argv) {
     if (cmd == "faults") return cmd_faults(job_args, fault_args, opts);
     if (cmd == "cluster") return cmd_cluster(fault_args, opts);
     if (cmd == "analyze") return cmd_analyze(positional, opts);
+    if (cmd == "branch") return cmd_branch(vary_args, with_fault_args, opts);
+  } catch (const ResumeDivergence& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 5;
+  } catch (const SnapshotError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 4;
+  } catch (const SimulatorWedged& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

@@ -38,7 +38,7 @@ KNOWN_KINDS = {
     "flow-unpark", "rate-decrease", "rate-timer", "phase", "iteration",
     "gate-open", "fault-apply", "fault-recover", "solve", "link-throughput",
     "link-queue", "job-submit", "job-admit", "job-reject", "job-depart",
-    "trace-drops", "solo-baseline",
+    "trace-drops", "solo-baseline", "ckpt.write", "ckpt.branch",
     "anomaly.phase_drift", "anomaly.queue_oscillation", "anomaly.starvation",
     "anomaly.congestion_collapse", "histogram-summary",
 }
