@@ -34,10 +34,13 @@ ClusterRunReport run_policy(const Topology& topo,
 }  // namespace
 
 int main() {
-  // Small enough that multi-worker jobs routinely span ToRs — the regime
-  // where admission policy matters at all.
+  // Small enough that multi-worker jobs routinely span ToRs, and 2:1
+  // oversubscribed through a single spine so spanning jobs actually share
+  // and contend for uplinks — the regime where admission policy matters
+  // at all.  (On a 1:1 fabric contended-link pruning dissolves every
+  // sharing group and both policies coincide; see docs/fabric.md.)
   const Topology topo =
-      Topology::leaf_spine(4, 2, 2, Rate::gbps(50), Rate::gbps(50));
+      Topology::leaf_spine(4, 2, 1, Rate::gbps(50), Rate::gbps(50));
 
   ArrivalConfig acfg;
   acfg.rate_per_min = 18.0;
@@ -45,7 +48,7 @@ int main() {
   acfg.min_workers = 3;
   acfg.max_workers = 5;
 
-  std::printf("online orchestrator: 4 ToRs x 2 hosts, 2 spines, "
+  std::printf("online orchestrator: 4 ToRs x 2 hosts, 1 spine (2:1), "
               "%.0f jobs/min, %.0f s horizon, 3 seeds\n\n",
               acfg.rate_per_min, acfg.horizon.to_seconds());
 

@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 
+#include "core/interference_graph.h"
 #include "workload/job.h"
 
 namespace ccml {
@@ -99,32 +100,54 @@ std::vector<JobPath> ring_paths(const Topology& topo, const Router& router,
   return paths;
 }
 
+namespace {
+
+/// Graph vertices for the placed jobs: each job's profile plus every link
+/// its ring traverses, with `index[k]` mapping vertex k back to its request.
+struct PlacedGraph {
+  std::vector<GraphJob> jobs;
+  std::vector<std::size_t> index;
+};
+
+PlacedGraph build_placed_graph(const Topology& topo, const Router& router,
+                               const std::vector<JobRequest>& requests,
+                               const std::vector<Placement>& placements) {
+  PlacedGraph g;
+  for (std::size_t j = 0; j < placements.size(); ++j) {
+    if (placements[j].hosts.empty()) continue;
+    std::set<std::int32_t> links;
+    for (const JobPath& p :
+         ring_paths(topo, router, placements[j].hosts, j)) {
+      for (const LinkId lid : p.route.links) links.insert(lid.value);
+    }
+    GraphJob gj;
+    gj.profile = requests[j].comm_profile;
+    gj.links.assign(links.begin(), links.end());
+    g.jobs.push_back(std::move(gj));
+    g.index.push_back(j);
+  }
+  return g;
+}
+
+}  // namespace
+
 std::vector<PlacementReport::SharedLink> audit_shared_links(
     const Topology& topo, const Router& router,
     const std::vector<JobRequest>& requests,
     const std::vector<Placement>& placements, const SolverOptions& solver) {
-  std::map<LinkId, std::set<std::size_t>> sharers;
-  for (std::size_t j = 0; j < placements.size(); ++j) {
-    if (placements[j].hosts.empty()) continue;
-    for (const JobPath& p :
-         ring_paths(topo, router, placements[j].hosts, j)) {
-      for (const LinkId lid : p.route.links) {
-        sharers[lid].insert(j);
-      }
-    }
-  }
+  const PlacedGraph g =
+      build_placed_graph(topo, router, requests, placements);
+  InterferenceGraphOptions options;
+  options.solver = solver;
+  const GraphResult r = InterferenceGraph(options).solve(g.jobs);
   std::vector<PlacementReport::SharedLink> out;
-  CompatibilitySolver cs(solver);
-  for (const auto& [lid, jobs] : sharers) {
-    if (jobs.size() < 2) continue;
+  out.reserve(r.links.size());
+  for (const LinkVerdict& v : r.links) {
     PlacementReport::SharedLink sl;
-    sl.link = lid;
-    sl.jobs.assign(jobs.begin(), jobs.end());
-    std::vector<CommProfile> profiles;
-    for (const std::size_t j : sl.jobs) {
-      profiles.push_back(requests[j].comm_profile);
-    }
-    sl.compatible = cs.solve(profiles).compatible;
+    sl.link = LinkId{v.link};
+    for (const std::size_t k : v.jobs) sl.jobs.push_back(g.index[k]);
+    sl.violation = v.violation_fraction;
+    sl.compatible = v.violation_fraction == 0.0;
     out.push_back(std::move(sl));
   }
   return out;
@@ -176,11 +199,17 @@ PlacementReport CompatibilityAwarePlacement::place(
     }
     if (placed) continue;
 
-    // Must span.  Enumerate ordered rack pairs that can hold the job.
+    // Must span.  Enumerate ordered rack pairs that can hold the job and
+    // score each by its MARGINAL interference-graph cost: one joint solve
+    // over the tentative cluster, counting links the newcomer crosses that
+    // stay violated under globally consistent rotations, tie-broken by the
+    // summed residual violation (jobs already placed are a constant
+    // baseline, so comparing totals compares marginals).
     struct Option {
       std::vector<NodeId> hosts;
       std::vector<std::pair<NodeId, int>> taken;  // for rollback
       int incompatible_links = 0;
+      double graph_cost = 0.0;
     };
     std::optional<Option> best;
     auto consider = [&](const std::vector<std::pair<NodeId, int>>& splits) {
@@ -190,17 +219,22 @@ PlacementReport CompatibilityAwarePlacement::place(
         opt.hosts.insert(opt.hosts.end(), got.begin(), got.end());
         opt.taken.emplace_back(tor, cnt);
       }
-      // Audit: does this placement share links only with compatible jobs?
       std::vector<Placement> tentative = report.placements;
       tentative.push_back({opt.hosts, true});
       std::vector<JobRequest> so_far(requests.begin(),
                                      requests.begin() + jr + 1);
-      const auto shared = audit_shared_links(topo, router, so_far, tentative,
-                                             solver_options_);
-      for (const auto& sl : shared) {
-        const bool involves_new =
-            std::find(sl.jobs.begin(), sl.jobs.end(), jr) != sl.jobs.end();
-        if (involves_new && !sl.compatible) ++opt.incompatible_links;
+      const PlacedGraph g =
+          build_placed_graph(topo, router, so_far, tentative);
+      InterferenceGraphOptions igo;
+      igo.solver = solver_options_;
+      const GraphResult r = InterferenceGraph(igo).solve(g.jobs);
+      opt.graph_cost = r.total_violation;
+      for (const LinkVerdict& v : r.links) {
+        if (v.violation_fraction == 0.0) continue;
+        const bool involves_new = std::any_of(
+            v.jobs.begin(), v.jobs.end(),
+            [&](std::size_t k) { return g.index[k] == jr; });
+        if (involves_new) ++opt.incompatible_links;
       }
       // Roll back; the winner is re-taken below.
       for (auto it = opt.taken.rbegin(); it != opt.taken.rend(); ++it) {
@@ -210,7 +244,9 @@ PlacementReport CompatibilityAwarePlacement::place(
         opt.hosts.resize(opt.hosts.size() - it->second);
       }
       // opt.hosts was consumed by rollback bookkeeping; re-derive on accept.
-      if (!best || opt.incompatible_links < best->incompatible_links) {
+      if (!best || opt.incompatible_links < best->incompatible_links ||
+          (opt.incompatible_links == best->incompatible_links &&
+           opt.graph_cost < best->graph_cost)) {
         opt.hosts.clear();
         best = opt;
       }

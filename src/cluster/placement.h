@@ -42,10 +42,17 @@ struct Placement {
 struct PlacementReport {
   std::vector<Placement> placements;  ///< per request, in order
   /// For each fabric link that carries >= 2 jobs: the job indices sharing it.
+  /// Verdicts come from ONE interference-graph solve over all placed jobs
+  /// (core/interference_graph.h): every job uses a single rotation across
+  /// all its links, so a link is `compatible` only when it is violation-free
+  /// under that globally consistent assignment — per-link independent solves
+  /// could each pick a different rotation for the same job and over-report
+  /// compatibility.
   struct SharedLink {
     LinkId link;
     std::vector<std::size_t> jobs;
-    bool compatible = false;  ///< solver verdict for the sharing group
+    bool compatible = false;    ///< violation-free under consistent rotations
+    double violation = 0.0;     ///< residual violated fraction on this link
   };
   std::vector<SharedLink> shared_links;
   int failed = 0;  ///< requests that could not be placed

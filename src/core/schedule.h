@@ -7,6 +7,7 @@
 #include <span>
 #include <vector>
 
+#include "core/interference_graph.h"
 #include "core/profile.h"
 #include "util/time.h"
 
@@ -39,5 +40,15 @@ struct FlowSchedule {
 FlowSchedule make_flow_schedule(std::span<const CommProfile> jobs,
                                 std::span<const Duration> rotations,
                                 TimePoint epoch);
+
+/// Multi-bottleneck variant: slots from an interference-graph solution
+/// (core/interference_graph.h).  Slot geometry depends only on each job's
+/// own profile and its single global rotation; the guard window is the
+/// minimum over the job's shared links of that link's per-circle guard —
+/// a start delayed by less than it cannot collide on ANY contended link.
+/// Jobs sharing no link get their own period as the window.
+FlowSchedule make_graph_flow_schedule(std::span<const GraphJob> jobs,
+                                      const GraphResult& result,
+                                      TimePoint epoch);
 
 }  // namespace ccml

@@ -27,11 +27,11 @@ void collect(const CircularIntervalSet& set, double demand_bps,
   }
 }
 
-/// Fraction of the circle where the constraint is violated under the given
-/// rotations.
-double violation_fraction(const UnifiedCircle& circle,
-                          std::span<const Duration> rotations,
-                          const SolverOptions& opts) {
+}  // namespace
+
+double circle_violation_fraction(const UnifiedCircle& circle,
+                                 std::span<const Duration> rotations,
+                                 const SolverOptions& opts) {
   std::vector<Boundary> bounds;
   for (std::size_t j = 0; j < circle.job_count(); ++j) {
     collect(circle.job_arcs(j, rotations[j]),
@@ -56,6 +56,8 @@ double violation_fraction(const UnifiedCircle& circle,
   return static_cast<double>(violated) /
          static_cast<double>(circle.perimeter().ns());
 }
+
+namespace {
 
 /// Compute-phase coverage of job j on the unified circle: the complement of
 /// its comm arcs within its own period, replicated (used by the GPU
@@ -219,7 +221,7 @@ SolverResult CompatibilitySolver::solve(
       warm[j] = wrap_to_circle(options_.warm_start[j], jobs[j].period);
     }
     const double v =
-        violation_fraction(circle, warm, options_) +
+        circle_violation_fraction(circle, warm, options_) +
         gpu_violation_fraction(circle, warm, options_.gpu_groups);
     if (v == 0.0) {
       result.compatible = true;
@@ -442,7 +444,7 @@ SolverResult CompatibilitySolver::solve(
     }
   }
   auto total_violation = [&](std::span<const Duration> r) {
-    return violation_fraction(circle, r, options_) +
+    return circle_violation_fraction(circle, r, options_) +
            gpu_violation_fraction(circle, r, options_.gpu_groups);
   };
   double best_v = total_violation(rot);

@@ -99,6 +99,17 @@ class CompatibilitySolver {
   /// best rotation for each.
   SolverResult solve(std::span<const CommProfile> jobs) const;
 
+  /// Multi-link entry point (CASSINI-style): the jobs contend on several
+  /// links at once and `job_links[j]` names the links job j's traffic
+  /// crosses (opaque int32 keys).  Returns ONE rotation per job, consistent
+  /// across every link it crosses, solved via the (job, link) interference
+  /// graph; `violation_fraction` is the worst per-link residual.  With every
+  /// job on one common link this reduces to solve().  Defined in
+  /// interference_graph.cpp.
+  SolverResult solve_multi(
+      std::span<const CommProfile> jobs,
+      std::span<const std::vector<std::int32_t>> job_links) const;
+
   /// Quick analytic necessary condition: the total communication time per
   /// unified revolution cannot exceed the revolution (count mode) /
   /// capacity-weighted equivalent (bandwidth mode).  A `false` here proves
@@ -110,5 +121,13 @@ class CompatibilitySolver {
  private:
   SolverOptions options_;
 };
+
+/// Fraction of `circle` where the constraint selected by `opts` (count or
+/// bandwidth) is violated under the given per-job rotations.  Shared by the
+/// solver's search and the interference graph's joint evaluation of a global
+/// rotation assignment (core/interference_graph.h).
+double circle_violation_fraction(const UnifiedCircle& circle,
+                                 std::span<const Duration> rotations,
+                                 const SolverOptions& opts);
 
 }  // namespace ccml

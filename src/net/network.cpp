@@ -22,8 +22,12 @@ TraceEvent flow_event(TraceEventKind kind, TimePoint t, const Flow& flow,
   ev.job = flow.spec.job;
   ev.flow = flow.id;
   // Attribute the event to the route's limiting link so per-link analytics
-  // (interleaving scores, queue histograms) can group flows by bottleneck.
+  // (interleaving scores, queue histograms) can group flows by bottleneck —
+  // plus the FULL set of links tied at that capacity, so multi-bottleneck
+  // analytics charge the flow to every contended hop, not only the first.
   ev.link = net.route_bottleneck(flow.spec.route);
+  ev.link_count = static_cast<std::uint8_t>(net.route_contended_links(
+      flow.spec.route, ev.links, kTraceMaxContendedLinks));
   return ev;
 }
 

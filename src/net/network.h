@@ -136,10 +136,11 @@ class Network : public Stepper {
   }
 
   /// The route's limiting link: minimum *nominal* capacity, earliest on the
-  /// route when tied.  Nominal (not runtime-degraded) capacity keeps the
-  /// attribution stable for a flow's whole lifetime, so trace analytics can
-  /// charge a flow's start and finish to the same link even across a
-  /// mid-flight brownout.  Invalid for an empty route.
+  /// route when tied (strict `<` keeps the first minimum — the documented,
+  /// deterministic tie-break).  Nominal (not runtime-degraded) capacity
+  /// keeps the attribution stable for a flow's whole lifetime, so trace
+  /// analytics can charge a flow's start and finish to the same link even
+  /// across a mid-flight brownout.  Invalid for an empty route.
   LinkId route_bottleneck(const Route& route) const {
     LinkId best;
     Rate best_cap;
@@ -151,6 +152,32 @@ class Network : public Stepper {
       }
     }
     return best;
+  }
+
+  /// ALL links tied at the route's minimum nominal capacity, in route order:
+  /// the full contended set on an oversubscribed fabric, where a flow's
+  /// slowdown can come from any of several equally-thin hops.  Writes up to
+  /// `max` ids into `out` and returns the number written; out[0] ==
+  /// route_bottleneck(route) whenever the route is non-empty.
+  int route_contended_links(const Route& route, LinkId* out, int max) const {
+    Rate min_cap;
+    bool seen = false;
+    for (const LinkId lid : route.links) {
+      const Rate cap = nominal_capacity_[static_cast<std::size_t>(lid.value)];
+      if (!seen || cap < min_cap) {
+        min_cap = cap;
+        seen = true;
+      }
+    }
+    if (!seen) return 0;
+    int n = 0;
+    for (const LinkId lid : route.links) {
+      if (n >= max) break;
+      if (nominal_capacity_[static_cast<std::size_t>(lid.value)] == min_cap) {
+        out[n++] = lid;
+      }
+    }
+    return n;
   }
 
   // --- Runtime link state (fault injection) --------------------------------

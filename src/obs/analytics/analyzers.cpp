@@ -18,6 +18,21 @@ TraceEvent anomaly(TraceEventKind kind, TimePoint t, double value,
   return ev;
 }
 
+/// The event's contended-link set: `links[0..link_count)` when present,
+/// falling back to the single primary `link` (legacy traces, and replayed
+/// events whose route had one bottleneck).  Returns the count written.
+int contended_links(const TraceEvent& ev,
+                    std::int32_t (&out)[kTraceMaxContendedLinks]) {
+  if (ev.link_count > 0) {
+    const int n = std::min<int>(ev.link_count, kTraceMaxContendedLinks);
+    for (int i = 0; i < n; ++i) out[i] = ev.links[i].value;
+    return n;
+  }
+  if (!ev.link.valid()) return 0;
+  out[0] = ev.link.value;
+  return 1;
+}
+
 }  // namespace
 
 // --- IterationAnalyzer ------------------------------------------------------
@@ -201,10 +216,12 @@ void InterleavingAnalyzer::on_event(const TraceEvent& ev,
     case TraceEventKind::kFlowStart: {
       if (!ev.link.valid() || !ev.job.valid()) break;
       FlowState& fs = flows_[ev.flow.value];
-      fs.link = ev.link.value;
+      fs.nlinks = static_cast<std::uint8_t>(contended_links(ev, fs.links));
       fs.job = ev.job.value;
       fs.active = true;
-      link_flow_delta(fs.link, fs.job, +1, ev.time);
+      for (int i = 0; i < fs.nlinks; ++i) {
+        link_flow_delta(fs.links[i], fs.job, +1, ev.time);
+      }
       break;
     }
     case TraceEventKind::kFlowFinish:
@@ -212,7 +229,10 @@ void InterleavingAnalyzer::on_event(const TraceEvent& ev,
       const auto it = flows_.find(ev.flow.value);
       if (it == flows_.end()) break;
       if (it->second.active) {
-        link_flow_delta(it->second.link, it->second.job, -1, ev.time);
+        const FlowState& fs = it->second;
+        for (int i = 0; i < fs.nlinks; ++i) {
+          link_flow_delta(fs.links[i], fs.job, -1, ev.time);
+        }
       }
       flows_.erase(it);
       break;
@@ -220,27 +240,44 @@ void InterleavingAnalyzer::on_event(const TraceEvent& ev,
     case TraceEventKind::kFlowPark: {
       const auto it = flows_.find(ev.flow.value);
       if (it == flows_.end() || !it->second.active) break;
-      link_flow_delta(it->second.link, it->second.job, -1, ev.time);
-      it->second.active = false;
+      FlowState& fs = it->second;
+      for (int i = 0; i < fs.nlinks; ++i) {
+        link_flow_delta(fs.links[i], fs.job, -1, ev.time);
+      }
+      fs.active = false;
       break;
     }
     case TraceEventKind::kFlowUnpark: {
       const auto it = flows_.find(ev.flow.value);
       if (it == flows_.end() || it->second.active || !ev.link.valid()) break;
-      it->second.link = ev.link.value;  // the healed route's bottleneck
-      it->second.active = true;
-      link_flow_delta(it->second.link, it->second.job, +1, ev.time);
+      FlowState& fs = it->second;
+      // The healed (possibly rerouted) route's contended set.
+      fs.nlinks = static_cast<std::uint8_t>(contended_links(ev, fs.links));
+      fs.active = true;
+      for (int i = 0; i < fs.nlinks; ++i) {
+        link_flow_delta(fs.links[i], fs.job, +1, ev.time);
+      }
       break;
     }
     case TraceEventKind::kFlowReroute: {
       const auto it = flows_.find(ev.flow.value);
       if (it == flows_.end() || !ev.link.valid()) break;
       FlowState& fs = it->second;
-      if (fs.active && fs.link != ev.link.value) {
-        link_flow_delta(fs.link, fs.job, -1, ev.time);
-        link_flow_delta(ev.link.value, fs.job, +1, ev.time);
+      std::int32_t next[kTraceMaxContendedLinks] = {};
+      const int nnext = contended_links(ev, next);
+      const bool same =
+          nnext == fs.nlinks &&
+          std::equal(next, next + nnext, fs.links);
+      if (fs.active && !same) {
+        for (int i = 0; i < fs.nlinks; ++i) {
+          link_flow_delta(fs.links[i], fs.job, -1, ev.time);
+        }
+        for (int i = 0; i < nnext; ++i) {
+          link_flow_delta(next[i], fs.job, +1, ev.time);
+        }
       }
-      fs.link = ev.link.value;
+      std::copy(next, next + nnext, fs.links);
+      fs.nlinks = static_cast<std::uint8_t>(nnext);
       break;
     }
     default:

@@ -138,7 +138,12 @@ class InterleavingAnalyzer {
 
  private:
   struct FlowState {
-    std::int32_t link = -1;
+    /// Contended-link set the flow is charged to: the event's `links` array
+    /// when present, else the single primary `link` — so multi-bottleneck
+    /// traces attribute a flow to EVERY tied link, while legacy traces
+    /// behave exactly as before.
+    std::int32_t links[kTraceMaxContendedLinks] = {};
+    std::uint8_t nlinks = 0;
     std::int32_t job = -1;
     bool active = false;
   };

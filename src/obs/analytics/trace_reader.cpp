@@ -86,6 +86,22 @@ bool parse_trace_jsonl_line(const std::string& line, TraceEvent& out,
     if (!take_double(p, v)) return fail(error, "bad \"link\" value");
     out.link = LinkId{static_cast<std::int32_t>(v)};
   }
+  // Optional contended-link set (flow events on multi-bottleneck routes);
+  // absent for single-bottleneck routes and pre-multi-bottleneck traces.
+  if (take(p, ",\"links\":[")) {
+    int count = 0;
+    while (true) {
+      double v = 0.0;
+      if (!take_double(p, v)) return fail(error, "bad \"links\" entry");
+      if (count >= kTraceMaxContendedLinks) {
+        return fail(error, "too many \"links\" entries");
+      }
+      out.links[count++] = LinkId{static_cast<std::int32_t>(v)};
+      if (take(p, "]")) break;
+      if (!take(p, ",")) return fail(error, "expected , or ] in \"links\"");
+    }
+    out.link_count = static_cast<std::uint8_t>(count);
+  }
   if (take(p, ",\"value\":")) {
     if (!take_double(p, out.value)) return fail(error, "bad \"value\"");
   }

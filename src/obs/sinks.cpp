@@ -61,7 +61,7 @@ JsonlSink::JsonlSink(std::ostream& out, JsonlSinkOptions opts)
     : out_(out), opts_(opts) {}
 
 void JsonlSink::on_event(const TraceEvent& ev) {
-  char buf[256];
+  char buf[320];
   int n = std::snprintf(buf, sizeof(buf), "{\"t_us\":%.3f,\"kind\":\"%s\"",
                         ev.time.since_origin().to_micros(),
                         to_string(ev.kind));
@@ -73,6 +73,13 @@ void JsonlSink::on_event(const TraceEvent& ev) {
     add(",\"flow\":%lld", static_cast<long long>(ev.flow.value));
   }
   if (ev.link.valid()) add(",\"link\":%d", ev.link.value);
+  // The full contended-link set, only when it says more than "link" alone
+  // (a single-bottleneck route serializes exactly as before).
+  if (ev.link_count > 1) {
+    add(",\"links\":[%d", ev.links[0].value);
+    for (int i = 1; i < ev.link_count; ++i) add(",%d", ev.links[i].value);
+    n += std::snprintf(buf + n, sizeof(buf) - n, "]");
+  }
   if (ev.value != 0.0) add(",\"value\":%.17g", ev.value);
   if (ev.value2 != 0.0) add(",\"value2\":%.17g", ev.value2);
   if (ev.detail != nullptr) add(",\"detail\":\"%s\"", ev.detail);

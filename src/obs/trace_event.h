@@ -107,12 +107,28 @@ const char* to_string(TraceEventKind kind);
 /// the offline trace reader (src/obs/analytics/trace_reader.h).
 bool trace_event_kind_from_string(const char* name, TraceEventKind& out);
 
+/// Inline capacity for a flow event's contended-link set.  Leaf-spine routes
+/// here are at most 4 hops (host up, leaf up, spine down, host down); 6
+/// leaves headroom without growing the event past a cache line pair.  A
+/// fixed array (not a vector) keeps TraceEvent trivially copyable — the
+/// async SPSC ring copies events by value.
+inline constexpr int kTraceMaxContendedLinks = 6;
+
 struct TraceEvent {
   TimePoint time;
   TraceEventKind kind = TraceEventKind::kFlowStart;
   JobId job;
   FlowId flow;
+  /// Primary attribution: the route's limiting link (earliest tied link on
+  /// the route, Network::route_bottleneck).
   LinkId link;
+  /// Full contended-link set for flow lifecycle events: every route link
+  /// tied at the minimum nominal capacity, in route order (truncated at the
+  /// inline capacity).  links[0] == link whenever count > 0; count stays 0
+  /// for non-flow events and for traces that predate multi-bottleneck
+  /// attribution.
+  std::uint8_t link_count = 0;
+  LinkId links[kTraceMaxContendedLinks];
   double value = 0.0;
   double value2 = 0.0;
   /// Kind-specific tag; must point at a string with static storage duration.

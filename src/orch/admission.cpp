@@ -71,29 +71,84 @@ void AdmissionController::score(Candidate& cand, const CommProfile& profile,
   }
   const auto links = job_links(hosts, salt);
 
-  // Which incumbents would the newcomer share each link with?
-  std::map<LinkId, std::vector<const CommProfile*>> groups;
+  // Build the (job, link) interference graph over incumbents plus the
+  // newcomer and solve only the newcomer's connected component: ONE verdict
+  // per candidate with rotations consistent across every contended link,
+  // instead of per-shared-link independent solves that could each pick a
+  // different rotation for the same job.
+  std::vector<GraphJob> jobs;
+  jobs.reserve(incumbents.size() + 1);
   for (const Incumbent& inc : incumbents) {
-    for (const LinkId lid : inc.links) {
-      if (std::binary_search(links.begin(), links.end(), lid)) {
-        groups[lid].push_back(inc.profile);
-      }
-    }
+    GraphJob gj;
+    gj.profile = *inc.profile;
+    gj.links.reserve(inc.links.size());
+    for (const LinkId lid : inc.links) gj.links.push_back(lid.value);
+    jobs.push_back(std::move(gj));
   }
+  GraphJob mine;
+  mine.profile = profile;
+  mine.links.reserve(links.size());
+  for (const LinkId lid : links) mine.links.push_back(lid.value);
+  const std::size_t me = jobs.size();
+  jobs.push_back(std::move(mine));
 
   cand.incompatible_links = 0;
   cand.worst_violation = 0.0;
-  for (const auto& [lid, members] : groups) {
+  // Only links that can actually be contended create interference edges: a
+  // link whose goodput capacity covers the aggregate demand of every job
+  // crossing it is never a bottleneck, so sharing it is free (on a 1:1
+  // fabric nothing ever defers).
+  prune_uncontended_links(jobs, [&](std::int32_t key) {
+    return topo_.link(LinkId{key}).capacity * config_.goodput_factor;
+  });
+  const std::vector<std::size_t> labels = InterferenceGraph::components(jobs);
+  std::vector<GraphJob> component;
+  std::vector<std::size_t> member_of;  // component position -> jobs[] index
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (labels[j] != labels[me]) continue;
+    member_of.push_back(j);
+    component.push_back(jobs[j]);
+  }
+  if (component.size() < 2) return;  // newcomer shares no link: always safe
+
+  if (config_.joint_circle) {
+    // Legacy single-bottleneck model: every component member on ONE
+    // unified circle, including phantom constraints between jobs that
+    // share no link.  When the joint circle cannot be certified, every
+    // link the newcomer shares with the component counts as violated —
+    // the legacy model has no per-link verdict to be finer with.
     std::vector<CommProfile> profiles;
-    profiles.reserve(members.size() + 1);
-    for (const CommProfile* p : members) profiles.push_back(*p);
-    profiles.push_back(profile);
-    const auto answer = resolver_.solve_group(profiles);
-    const bool ok = answer.result->compatible ||
-                    answer.result->violation_fraction <= config_.max_violation;
-    if (!ok) ++cand.incompatible_links;
-    cand.worst_violation =
-        std::max(cand.worst_violation, answer.result->violation_fraction);
+    profiles.reserve(component.size());
+    for (const GraphJob& gj : component) profiles.push_back(gj.profile);
+    const auto joint = resolver_.solve_group(profiles);
+    cand.worst_violation = joint.result->violation_fraction;
+    if (joint.result->violation_fraction > config_.max_violation) {
+      std::set<std::uint64_t> shared;
+      for (std::size_t j = 0; j < jobs.size(); ++j) {
+        if (j == me || labels[j] != labels[me]) continue;
+        shared.insert(jobs[j].links.begin(), jobs[j].links.end());
+      }
+      for (const std::uint64_t key : jobs[me].links) {
+        if (shared.contains(key)) ++cand.incompatible_links;
+      }
+    }
+    return;
+  }
+
+  const auto answer = resolver_.solve_component(component);
+  const GraphResult& r = *answer.result;
+  cand.worst_violation = r.worst_violation;
+  // Marginal interference: links the NEWCOMER crosses that stay violated
+  // under the consistent rotations.  (Violated links elsewhere in the
+  // component are the incumbents' own business — deferring the newcomer
+  // would not heal them.)
+  const std::size_t my_pos = static_cast<std::size_t>(
+      std::find(member_of.begin(), member_of.end(), me) - member_of.begin());
+  for (const LinkVerdict& v : r.links) {
+    if (v.violation_fraction <= config_.max_violation) continue;
+    if (std::find(v.jobs.begin(), v.jobs.end(), my_pos) != v.jobs.end()) {
+      ++cand.incompatible_links;
+    }
   }
 }
 
@@ -156,7 +211,12 @@ AdmissionOffer AdmissionController::offer(
     const Candidate* best = nullptr;
     for (Candidate& cand : candidates) {
       score(cand, request.comm_profile, salt, incumbents);
-      if (!best || cand.incompatible_links < best->incompatible_links) {
+      // Fewest violated links first; ties broken by the component's worst
+      // residual violation (strict < keeps the earliest candidate on exact
+      // ties — deterministic rack order).
+      if (!best || cand.incompatible_links < best->incompatible_links ||
+          (cand.incompatible_links == best->incompatible_links &&
+           cand.worst_violation < best->worst_violation)) {
         best = &cand;
       }
       if (best->incompatible_links == 0) break;

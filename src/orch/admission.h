@@ -46,6 +46,21 @@ struct AdmissionConfig {
   /// group is compatible, or its residual violation fraction is at most
   /// this (0 = strict).
   double max_violation = 0.0;
+
+  /// Legacy single-bottleneck scoring: judge the newcomer's sharing
+  /// component on ONE unified circle over every member, instead of per-link
+  /// circles with consistent rotations.  The joint circle invents
+  /// constraints between jobs that share no link, so chain components
+  /// (A-link1-B-link2-C) it cannot certify are deferred even though a
+  /// per-link schedule exists — the capacity the interference graph
+  /// recovers.  Wired from OrchestratorConfig::CircleMode::kSingleCircle;
+  /// kept for A/B comparison (bench/s6_multi_bottleneck).
+  bool joint_circle = false;
+
+  /// Fraction of a link's nominal capacity available to goodput, used when
+  /// deciding whether a shared link can actually be contended (mirrors
+  /// NetworkConfig::goodput_factor; wired by the orchestrator).
+  double goodput_factor = 0.85;
 };
 
 /// A running job, as admission scoring sees it.

@@ -106,11 +106,14 @@ std::string ClusterRunReport::summary() const {
   out.append(line, p);
   p = append(line, end,
              "  resolver: %llu solves, %llu cache hits (%.1f%%), %llu "
-             "warm-start hits | faults: %zu\n",
+             "warm-start hits, %llu/%llu component solves/hits | faults: "
+             "%zu\n",
              static_cast<unsigned long long>(resolve.solves),
              static_cast<unsigned long long>(resolve.cache_hits),
              100.0 * resolve.hit_rate(),
              static_cast<unsigned long long>(resolve.warm_start_hits),
+             static_cast<unsigned long long>(resolve.component_solves),
+             static_cast<unsigned long long>(resolve.component_cache_hits),
              faults_applied);
   out.append(line, p);
   for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -160,7 +163,15 @@ ClusterRunReport Orchestrator::run() {
   }
   const Router router(topo_);
   IncrementalResolver resolver(config_.solver);
-  AdmissionController admission(topo_, router, config_.admission, resolver);
+  AdmissionConfig admission_cfg = config_.admission;
+  // CircleMode is the whole-stack switch: in the legacy single-circle mode
+  // admission scores components on one joint circle too, so the A/B in
+  // bench/s6_multi_bottleneck compares the single-bottleneck model
+  // end-to-end, not just at gate derivation.
+  admission_cfg.joint_circle =
+      config_.circle == OrchestratorConfig::CircleMode::kSingleCircle;
+  admission_cfg.goodput_factor = config_.net.goodput_factor;
+  AdmissionController admission(topo_, router, admission_cfg, resolver);
 
   Rate nic_goodput = Rate::zero();
   for (const NodeId host : topo_.hosts()) {
@@ -222,11 +233,30 @@ ClusterRunReport Orchestrator::run() {
         running.push_back(j);
       }
     }
-    UnionFind uf(running.size());
-    std::map<LinkId, std::size_t> first_user;  // link -> running[] position
+    // Interference edges come only from links that can actually be
+    // contended: capacity below the aggregate demand of the running jobs
+    // crossing them (core/interference_graph.h).  On a 1:1 fabric the set
+    // is empty and every job runs ungated — the paper's regime falls out
+    // as the special case.
+    std::vector<GraphJob> contended(running.size());
+    std::vector<std::size_t> pos(n, 0);  // job index -> running[] position
     for (std::size_t k = 0; k < running.size(); ++k) {
-      for (const LinkId lid : state[running[k]].links) {
-        auto [it, fresh] = first_user.emplace(lid, k);
+      const std::size_t j = running[k];
+      pos[j] = k;
+      contended[k].profile = schedule_.jobs[j].request.comm_profile;
+      contended[k].links.reserve(state[j].links.size());
+      for (const LinkId lid : state[j].links) {
+        contended[k].links.push_back(lid.value);
+      }
+    }
+    prune_uncontended_links(contended, [&](std::int32_t key) {
+      return topo_.link(LinkId{key}).capacity * config_.net.goodput_factor;
+    });
+    UnionFind uf(running.size());
+    std::map<std::int32_t, std::size_t> first_user;  // link -> running[] pos
+    for (std::size_t k = 0; k < running.size(); ++k) {
+      for (const std::int32_t key : contended[k].links) {
+        auto [it, fresh] = first_user.emplace(key, k);
         if (!fresh) uf.unite(it->second, k);
       }
     }
@@ -252,41 +282,72 @@ ClusterRunReport Orchestrator::run() {
           warm_ok = false;
         }
       }
-      const auto answer =
-          resolver.solve_group(profiles, warm_ok ? std::move(warm)
-                                                 : std::vector<Duration>{});
-      const SolverResult& sr = *answer.result;
-      if (trace != nullptr) {
+      if (!warm_ok) warm.clear();
+
+      const auto emit_solve = [&](bool compatible, double violation,
+                                  bool cache_hit) {
+        if (trace == nullptr) return;
         TraceEvent ev;
         ev.time = sim.now();
         ev.kind = TraceEventKind::kSolve;
-        ev.value = sr.compatible ? 1.0 : 0.0;
-        ev.value2 = sr.violation_fraction;
-        if (answer.cache_hit) ev.detail = "cached";
+        ev.value = compatible ? 1.0 : 0.0;
+        ev.value2 = violation;
+        if (cache_hit) ev.detail = "cached";
         trace->emit(ev);
-        trace->counter(answer.cache_hit ? "orch.resolve.cache-hits"
-                                        : "orch.resolve.solves")
+        trace->counter(cache_hit ? "orch.resolve.cache-hits"
+                                 : "orch.resolve.solves")
             .add();
-      }
-      if (!sr.compatible) {
+      };
+      const auto ungate = [&] {
         // Gating an incompatible group is actively harmful (see
         // cluster/experiment.cpp): fall back to ungated transport.
         for (const std::size_t j : members) {
           state[j].job->set_gate(std::nullopt);
           state[j].rotation.reset();
         }
+      };
+      const auto apply_schedule = [&](const FlowSchedule& fs,
+                                      std::span<const Duration> rotations) {
+        for (std::size_t k = 0; k < members.size(); ++k) {
+          const std::size_t j = members[k];
+          state[j].job->set_gate(CommGate{fs.epoch, fs.slots[k].start_offset,
+                                          fs.slots[k].period,
+                                          fs.slots[k].phase_offsets,
+                                          fs.slots[k].window});
+          state[j].rotation = rotations[k];
+        }
+      };
+
+      if (config_.circle == OrchestratorConfig::CircleMode::kSingleCircle) {
+        const auto answer = resolver.solve_group(profiles, std::move(warm));
+        const SolverResult& sr = *answer.result;
+        emit_solve(sr.compatible, sr.violation_fraction, answer.cache_hit);
+        if (!sr.compatible) {
+          ungate();
+          continue;
+        }
+        apply_schedule(make_flow_schedule(profiles, sr.rotations, sim.now()),
+                       sr.rotations);
         continue;
       }
-      const FlowSchedule fs =
-          make_flow_schedule(profiles, sr.rotations, sim.now());
-      for (std::size_t k = 0; k < members.size(); ++k) {
-        const std::size_t j = members[k];
-        state[j].job->set_gate(CommGate{fs.epoch, fs.slots[k].start_offset,
-                                        fs.slots[k].period,
-                                        fs.slots[k].phase_offsets,
-                                        fs.slots[k].window});
-        state[j].rotation = sr.rotations[k];
+
+      // Graph mode: per-link circles with one rotation per job, consistent
+      // across every link it crosses.  A chain A-L1-B-L2-C that is
+      // unsatisfiable on one shared circle can still be gated here.
+      std::vector<GraphJob> gjobs;
+      gjobs.reserve(members.size());
+      for (const std::size_t j : members) {
+        gjobs.push_back(contended[pos[j]]);
       }
+      const auto answer = resolver.solve_component(gjobs, std::move(warm));
+      const GraphResult& gr = *answer.result;
+      emit_solve(gr.compatible, gr.worst_violation, answer.cache_hit);
+      if (!gr.compatible) {
+        ungate();
+        continue;
+      }
+      apply_schedule(make_graph_flow_schedule(gjobs, gr, sim.now()),
+                     gr.rotations);
     }
   };
 
@@ -340,6 +401,10 @@ ClusterRunReport Orchestrator::run() {
     spec.paths = ring_paths(topo_, router, s.placement.hosts, j);
     spec.split_bytes = false;  // ring: full wire bytes per worker path
     spec.start = sim.now();
+    spec.compute_jitter = config_.compute_jitter;
+    // Same derivation as the scenario runner: decorrelated across jobs,
+    // reproducible across runs (and across policies replaying one trace).
+    spec.jitter_seed = 0x9E37u * (j + 1);
     if (spec.paths.empty()) {
       // Single-worker job: no network phase.
       spec.profile.comm_bytes = Bytes::zero();
@@ -476,6 +541,21 @@ ClusterRunReport Orchestrator::run() {
       b.put_u64(keys.size());
       for (const std::string& k : keys) b.put_bytes(k);
       b.put_i64(admission.free_host_count());
+      return b.take();
+    });
+    // Interference-graph state: the component-level verdict cache and its
+    // counters.  A resumed run must rebuild the same component cache so the
+    // graph-mode solve/cached stream (and thus the trace) stays
+    // byte-identical; divergence here names this section.
+    ck.add_provider("igraph", [&] {
+      StateBuf b;
+      b.put_u8(static_cast<std::uint8_t>(config_.circle));
+      const ResolveStats& rs = resolver.stats();
+      b.put_u64(rs.component_solves);
+      b.put_u64(rs.component_cache_hits);
+      const std::vector<std::string> keys = resolver.component_cache_keys();
+      b.put_u64(keys.size());
+      for (const std::string& k : keys) b.put_bytes(k);
       return b.take();
     });
     ck.add_provider("faults", [&injector] {

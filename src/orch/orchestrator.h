@@ -60,6 +60,31 @@ struct OrchestratorConfig {
   /// direction (iii)); incompatible groups run ungated.
   bool flow_schedule = true;
 
+  /// Gate-derivation granularity for link-sharing components.
+  enum class CircleMode {
+    /// Legacy single-bottleneck model, end to end: admission scores a
+    /// sharing component on ONE unified circle, and gates are derived from
+    /// that same joint circle — over-constraining chain components that
+    /// are satisfiable per link (the joint circle invents constraints
+    /// between jobs that share no link), so chains get deferred at
+    /// admission or run ungated.  Kept for A/B comparison
+    /// (bench/s6_multi_bottleneck).
+    kSingleCircle,
+    /// Multi-bottleneck (CASSINI §4): each contended link gets its own
+    /// circle; a job gets ONE rotation consistent across every link it
+    /// crosses (core/interference_graph.h).
+    kGraph,
+  };
+  CircleMode circle = CircleMode::kGraph;
+
+  /// Per-iteration Gaussian noise on every job's compute phase (forwarded
+  /// to JobSpec::compute_jitter with a per-job seed).  Real step times vary
+  /// with data loading and stragglers; jitter is also what makes ungated
+  /// sharing expensive — drifting phases re-collide instead of settling
+  /// into a stable interleaving — so cluster benches enable it to compare
+  /// gating policies under realistic conditions.  Zero disables it.
+  Duration compute_jitter = Duration::zero();
+
   /// The run ends at this horizon; jobs still queued or training are
   /// reported in their end-of-run state.
   Duration horizon = Duration::seconds(60);

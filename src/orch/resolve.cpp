@@ -62,8 +62,39 @@ IncrementalResolver::Answer IncrementalResolver::solve_group(
   return Answer{&it->second, false};
 }
 
+IncrementalResolver::ComponentAnswer IncrementalResolver::solve_component(
+    std::span<const GraphJob> jobs, std::vector<Duration> warm_start) {
+  std::string sig = InterferenceGraph::component_signature(jobs);
+  if (auto it = component_cache_.find(sig); it != component_cache_.end()) {
+    ++stats_.component_cache_hits;
+    return ComponentAnswer{&it->second, true};
+  }
+
+  InterferenceGraphOptions options;
+  options.solver = options_;
+  InterferenceGraph graph(options);
+  // Per-link circle solves hit the same signature cache as solve_group():
+  // an identical sharing group on another link (or inside another component)
+  // is answered without searching, and its stats land in solves/cache_hits.
+  graph.set_link_solver([this](std::span<const CommProfile> profiles,
+                               std::vector<Duration> warm) {
+    return *solve_group(profiles, std::move(warm)).result;
+  });
+  GraphResult result =
+      graph.solve(jobs, warm_start.size() == jobs.size()
+                            ? std::span<const Duration>(warm_start)
+                            : std::span<const Duration>{});
+  ++stats_.component_solves;
+
+  auto [it, inserted] = component_cache_.emplace(std::move(sig),
+                                                 std::move(result));
+  (void)inserted;
+  return ComponentAnswer{&it->second, false};
+}
+
 void IncrementalResolver::clear() {
   cache_.clear();
+  component_cache_.clear();
   stats_ = ResolveStats{};
 }
 

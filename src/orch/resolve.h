@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/interference_graph.h"
 #include "core/profile.h"
 #include "core/solver.h"
 
@@ -31,6 +32,10 @@ struct ResolveStats {
   std::uint64_t cache_hits = 0;       ///< groups answered from the cache
   std::uint64_t warm_start_hits = 0;  ///< solves certified by the warm start
   std::uint64_t nodes_explored = 0;   ///< total DFS nodes across all solves
+  /// Interference-graph components (multi-bottleneck sharing groups) sent to
+  /// the graph solver / answered from the component cache.
+  std::uint64_t component_solves = 0;
+  std::uint64_t component_cache_hits = 0;
   /// Wall-clock spent inside the solver.  Nondeterministic — kept for
   /// programmatic consumers (benchmarks); never part of a deterministic
   /// report.
@@ -61,6 +66,24 @@ class IncrementalResolver {
   Answer solve_group(std::span<const CommProfile> profiles,
                      std::vector<Duration> warm_start = {});
 
+  struct ComponentAnswer {
+    /// Stable pointer into the component cache; valid until clear().
+    const GraphResult* result = nullptr;
+    bool cache_hit = false;
+  };
+
+  /// Solves (or recalls) one interference-graph component: jobs that
+  /// transitively share fabric links, each carrying the opaque link keys its
+  /// traffic crosses (core/interference_graph.h).  Keyed on
+  /// InterferenceGraph::component_signature, so a structurally identical
+  /// component — at another fabric location or another time — is answered
+  /// without solving.  On a miss the per-link circle solves route through
+  /// solve_group(), sharing the group signature cache.  `warm_start`, when
+  /// sized like `jobs`, carries the incumbent global rotations; a
+  /// violation-free incumbent certifies the component with zero link solves.
+  ComponentAnswer solve_component(std::span<const GraphJob> jobs,
+                                  std::vector<Duration> warm_start = {});
+
   /// Canonical signature of a group: per job, the period / demand / arc
   /// geometry (names excluded — two jobs with identical profiles are
   /// interchangeable to the solver).  Order-sensitive by design: callers
@@ -82,10 +105,20 @@ class IncrementalResolver {
     return keys;
   }
 
+  /// Component-cache keys in map order, for the "igraph" checkpoint section.
+  std::vector<std::string> component_cache_keys() const {
+    std::vector<std::string> keys;
+    keys.reserve(component_cache_.size());
+    for (const auto& [sig, result] : component_cache_) keys.push_back(sig);
+    return keys;
+  }
+  std::size_t component_cache_size() const { return component_cache_.size(); }
+
  private:
   SolverOptions options_;
   // std::map: pointers into values stay valid across inserts.
   std::map<std::string, SolverResult> cache_;
+  std::map<std::string, GraphResult> component_cache_;
   ResolveStats stats_;
 };
 

@@ -6,8 +6,11 @@
 // under an armed watchdog must all round-trip cleanly.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -15,6 +18,7 @@
 #include "ckpt/snapshot.h"
 #include "cluster/scenario.h"
 #include "faults/fault_plan.h"
+#include "orch/orchestrator.h"
 
 namespace ccml {
 namespace {
@@ -212,6 +216,123 @@ TEST(Resume, WatchdogArmedRunRoundTrips) {
   const Snapshot snap = Snapshot::load(dir + "/ckpt_2.ccml");  // mid-brownout
   EXPECT_TRUE(replay_verify(jobs, cfg, fresh_dir("watchdog_replay"),
                             Duration::millis(400), snap));
+}
+
+// --- Cluster (orchestrator) snapshots: the "igraph" section -----------------
+
+/// A multi-bottleneck cluster: 4 ToRs x 3 hosts on a 4:1 fabric, every job
+/// 4 workers so it spans two racks — the regime where graph-mode gating and
+/// the component-level resolver cache (the "igraph" section) carry state.
+Topology multi_bottleneck_topo() {
+  return Topology::leaf_spine(4, 3, 1, Rate::gbps(50), Rate::gbps(37.5));
+}
+
+ArrivalSchedule multi_bottleneck_arrivals() {
+  ArrivalConfig acfg;
+  acfg.seed = 21;
+  acfg.rate_per_min = 18.0;
+  acfg.horizon = Duration::seconds(20);
+  acfg.min_workers = 4;
+  acfg.max_workers = 4;
+  acfg.profile_rate = Rate::gbps(31.875);
+  acfg.catalog = {{"VGG19", 1200}, {"VGG19", 1200}, {"BERT", 16}};
+  return generate_arrivals(acfg);
+}
+
+OrchestratorConfig multi_bottleneck_config(CheckpointCoordinator* ck) {
+  OrchestratorConfig cfg;
+  cfg.horizon = Duration::seconds(20);
+  cfg.circle = OrchestratorConfig::CircleMode::kGraph;
+  cfg.checkpoint = ck;
+  return cfg;
+}
+
+TEST(Resume, ClusterIgraphSectionRoundTrips) {
+  const std::string dir = fresh_dir("igraph");
+  CheckpointCoordinator ck(CheckpointCoordinator::Options{
+      Duration::seconds(5), dir, "mb-spec",
+      CheckpointCoordinator::Mode::kRecord, {}, 0});
+  const ClusterRunReport ref =
+      Orchestrator(multi_bottleneck_topo(), multi_bottleneck_arrivals(),
+                   multi_bottleneck_config(&ck))
+          .run();
+  ASSERT_GE(ck.snapshots_taken(), 1u);
+  EXPECT_GT(ref.admitted, 0u);
+
+  const Snapshot snap = Snapshot::load(dir + "/latest.ccml");
+  const std::vector<std::string> names = snap.names();
+  ASSERT_NE(std::find(names.begin(), names.end(), "igraph"), names.end())
+      << "cluster snapshots must carry the interference-graph section";
+  EXPECT_FALSE(snap.get("igraph").empty());
+
+  const auto cursor = CheckpointCoordinator::read_cursor(snap);
+  CheckpointCoordinator rk(CheckpointCoordinator::Options{
+      Duration::seconds(5), fresh_dir("igraph_replay"), "mb-spec",
+      CheckpointCoordinator::Mode::kReplayVerify, snap, cursor.seq});
+  const ClusterRunReport resumed =
+      Orchestrator(multi_bottleneck_topo(), multi_bottleneck_arrivals(),
+                   multi_bottleneck_config(&rk))
+          .run();
+  EXPECT_TRUE(rk.verified());
+  EXPECT_EQ(resumed.summary(), ref.summary());
+}
+
+TEST(Resume, TamperedIgraphSectionDiverges) {
+  const std::string dir = fresh_dir("igraph_tamper");
+  CheckpointCoordinator ck(CheckpointCoordinator::Options{
+      Duration::seconds(5), dir, "mb-spec",
+      CheckpointCoordinator::Mode::kRecord, {}, 0});
+  Orchestrator(multi_bottleneck_topo(), multi_bottleneck_arrivals(),
+               multi_bottleneck_config(&ck))
+      .run();
+  ASSERT_GE(ck.snapshots_taken(), 1u);
+
+  Snapshot snap = Snapshot::load(dir + "/latest.ccml");
+  std::string ig = snap.get("igraph");
+  ASSERT_FALSE(ig.empty());
+  ig[ig.size() / 2] = static_cast<char>(ig[ig.size() / 2] ^ 0x01);
+  snap.set("igraph", ig);  // valid container, lying payload
+
+  const auto cursor = CheckpointCoordinator::read_cursor(snap);
+  CheckpointCoordinator rk(CheckpointCoordinator::Options{
+      Duration::seconds(5), fresh_dir("igraph_tamper_replay"), "mb-spec",
+      CheckpointCoordinator::Mode::kReplayVerify, std::move(snap),
+      cursor.seq});
+  try {
+    Orchestrator(multi_bottleneck_topo(), multi_bottleneck_arrivals(),
+                 multi_bottleneck_config(&rk))
+        .run();
+    FAIL() << "expected ResumeDivergence";
+  } catch (const ResumeDivergence& e) {
+    EXPECT_NE(std::string(e.what()).find("'igraph'"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Resume, ClusterSnapshotRefusesFlippedByte) {
+  const std::string dir = fresh_dir("igraph_crc");
+  CheckpointCoordinator ck(CheckpointCoordinator::Options{
+      Duration::seconds(5), dir, "mb-spec",
+      CheckpointCoordinator::Mode::kRecord, {}, 0});
+  Orchestrator(multi_bottleneck_topo(), multi_bottleneck_arrivals(),
+               multi_bottleneck_config(&ck))
+      .run();
+  ASSERT_GE(ck.snapshots_taken(), 1u);
+
+  const std::string path = dir + "/latest.ccml";
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_FALSE(bytes.empty());
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0xFF);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW(Snapshot::load(path), SnapshotError);
 }
 
 TEST(Resume, SnapshotSectionsCoverEverySubsystem) {

@@ -143,6 +143,76 @@ TEST(UnifiedCircle, QuantizationSnapsNoisyPeriods) {
   EXPECT_EQ(circle.perimeter().to_millis(), 120.0);
 }
 
+TEST(UnifiedCircle, ManyCoprimePeriodsSaturateToCap) {
+  // Nine pairwise-coprime (prime) periods: the true LCM (their product,
+  // ~3.7e10 ms) would overflow the int64 nanosecond accumulator if chased
+  // to the end, so the perimeter must land exactly on the cap — never
+  // overflow, never exceed it — and the circle must admit approximation.
+  const std::int64_t primes[] = {11, 13, 17, 19, 23, 29, 31, 37, 41};
+  std::vector<CommProfile> jobs;
+  for (const std::int64_t p : primes) {
+    jobs.push_back(job(("p" + std::to_string(p)).c_str(), p, p / 2));
+  }
+  UnifiedCircleOptions opts;
+  opts.perimeter_cap = Duration::seconds(30);
+  const UnifiedCircle circle(jobs, opts);
+  EXPECT_EQ(circle.perimeter(), opts.perimeter_cap);
+  EXPECT_FALSE(circle.exact());
+  // Every job still gets well-formed arcs covering <= its comm share.
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const auto arcs = circle.job_arcs(j, Duration::zero());
+    EXPECT_GT(arcs.covered_length(), Duration::zero());
+    EXPECT_LE(arcs.covered_length(), circle.perimeter());
+  }
+}
+
+TEST(UnifiedCircle, ComputeOnlyJobHasNoArcs) {
+  // compute == period means no communication: single_phase emits NO arc
+  // (an explicit zero-length arc would be invalid), and on the circle the
+  // job occupies nothing — it can never overlap anyone.
+  const std::vector<CommProfile> jobs = {job("busy", 100, 60),
+                                         job("silent", 100, 100)};
+  ASSERT_TRUE(jobs[1].arcs.empty());
+  ASSERT_TRUE(jobs[1].valid());
+  const UnifiedCircle circle(jobs);
+  const std::vector<Duration> aligned = {Duration::zero(), Duration::zero()};
+  EXPECT_EQ(circle.job_arcs(1, Duration::zero()).covered_length(),
+            Duration::zero());
+  EXPECT_NEAR(circle.overlap_fraction(aligned), 0.0, 1e-9);
+  EXPECT_EQ(circle.max_concurrency(aligned), 1);
+
+  // An explicitly zero-length arc is rejected by validity, not silently
+  // folded into the circle.
+  CommProfile degenerate = jobs[0];
+  degenerate.arcs.push_back(Arc{Duration::millis(10), Duration::zero()});
+  EXPECT_FALSE(degenerate.valid());
+}
+
+TEST(UnifiedCircle, RepetitionsCountPartialLapsWhenInexact) {
+  // On a clamped circle a job's period no longer divides the perimeter:
+  // repetitions() must count the final PARTIAL appearance (ceil, not
+  // floor), so job_arcs covers the whole circle rather than leaving an
+  // untiled gap at the seam.
+  UnifiedCircleOptions opts;
+  opts.perimeter_cap = Duration::millis(100);
+  const std::vector<CommProfile> jobs = {job("a", 11, 5), job("b", 13, 6)};
+  const UnifiedCircle circle(jobs, opts);
+  ASSERT_FALSE(circle.exact());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const std::int64_t reps = circle.repetitions(j);
+    const std::int64_t p_ns = jobs[j].period.ns();
+    EXPECT_GE(reps * p_ns, circle.perimeter().ns())
+        << "repetitions must tile the full perimeter";
+    EXPECT_LT((reps - 1) * p_ns, circle.perimeter().ns())
+        << "repetitions must not over-tile by a whole lap";
+  }
+  // The exact case is the degenerate ceil: reps * period == perimeter.
+  const std::vector<CommProfile> even = {job("a", 10, 5), job("b", 20, 10)};
+  const UnifiedCircle round(even);
+  ASSERT_TRUE(round.exact());
+  EXPECT_EQ(round.repetitions(0) * even[0].period.ns(), round.perimeter().ns());
+}
+
 TEST(UnifiedCircle, ThreeJobsConcurrency) {
   const std::vector<CommProfile> jobs = {job("a", 90, 60), job("b", 90, 60),
                                          job("c", 90, 60)};

@@ -4,6 +4,7 @@
 // (byte-identical reports and traces across runs and sweep thread counts).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "obs/sinks.h"
@@ -217,6 +218,111 @@ TEST(Admission, LocalityOnlyIgnoresCompatibility) {
   const auto clash = h.ctl.offer(h.request("clash", 3, 100, 60), 1,
                                  incumbents);
   EXPECT_EQ(clash.verdict, AdmissionOffer::Verdict::kAdmit);
+}
+
+// A chain harness: 3 ToRs x 2 hosts with an oversubscribed fabric, three
+// 1-worker fillers packing rack 0 and half of rack 1, so a 3-worker
+// newcomer has exactly one placement shape (rack1:1 + rack2:2) and its
+// ring crosses both remaining racks' uplinks.  Incumbents A and B are
+// pinned to one uplink each, giving the chain component A-link1-C-link2-B.
+struct ChainHarness {
+  Topology topo;
+  Router router{topo};
+  IncrementalResolver resolver;
+  AdmissionController ctl;
+  CommProfile profile_a = phase_profile("A", 100, 40);
+  CommProfile profile_b = phase_profile("B", 100, 40);
+  std::vector<Incumbent> incumbents;
+
+  explicit ChainHarness(double fabric_gbps, AdmissionConfig cfg = {})
+      : topo(Topology::leaf_spine(3, 2, 1, Rate::gbps(50),
+                                  Rate::gbps(fabric_gbps))),
+        ctl(topo, router, cfg, resolver) {
+    // Three 1-worker fillers: two pack rack 0, the third takes half of
+    // rack 1 (rack-local admission fills tors in order).
+    std::vector<NodeId> tors;  // tor of each filler, admission order
+    for (int f = 0; f < 3; ++f) {
+      JobRequest filler;
+      filler.name = "filler";
+      filler.workers = 1;
+      filler.comm_profile = phase_profile("filler", 100, 0);  // no comm
+      const auto got = ctl.offer(filler, 0, {});
+      EXPECT_EQ(got.verdict, AdmissionOffer::Verdict::kAdmit);
+      tors.push_back(tor_of(got.placement.hosts.front()));
+    }
+    EXPECT_EQ(tors[0], tors[1]) << "first two fillers must pack one rack";
+    EXPECT_NE(tors[1], tors[2]);
+    // A contends on the half-filled rack's uplink, B on the empty rack's.
+    NodeId rack2{};
+    for (const NodeId h : topo.hosts()) {
+      const NodeId t = tor_of(h);
+      if (t != tors[0] && t != tors[2]) rack2 = t;
+    }
+    incumbents.push_back(Incumbent{0, &profile_a, {uplink(tors[2])}});
+    incumbents.push_back(Incumbent{0, &profile_b, {uplink(rack2)}});
+  }
+
+  NodeId tor_of(NodeId host) const {
+    return topo.link(topo.links_from(host).front()).dst;
+  }
+
+  /// The tor -> spine fabric link (the only link from a tor that does not
+  /// lead back down to a host).
+  LinkId uplink(NodeId tor) const {
+    for (const LinkId lid : topo.links_from(tor)) {
+      const NodeId dst = topo.link(lid).dst;
+      const auto hosts = topo.hosts();
+      if (std::find(hosts.begin(), hosts.end(), dst) == hosts.end()) {
+        return lid;
+      }
+    }
+    ADD_FAILURE() << "tor without uplink";
+    return LinkId{-1};
+  }
+
+  AdmissionOffer offer_newcomer() {
+    JobRequest c;
+    c.name = "C";
+    c.workers = 3;
+    c.comm_profile = phase_profile("C", 100, 40);
+    return ctl.offer(c, 0, incumbents);
+  }
+};
+
+TEST(Admission, GraphAdmitsChainJointCircleDefers) {
+  // Per-link circles certify the chain (each shared link carries two 0.4
+  // density jobs), so graph-mode admission admits immediately...
+  ChainHarness graph(37.5);
+  const auto admitted = graph.offer_newcomer();
+  EXPECT_EQ(admitted.verdict, AdmissionOffer::Verdict::kAdmit);
+  EXPECT_TRUE(admitted.placement.spans_fabric);
+  EXPECT_EQ(admitted.incompatible_links, 0);
+
+  // ...while the legacy joint circle packs all three jobs onto ONE circle
+  // (density 1.2), cannot certify it, and defers the newcomer even though
+  // A and B share no link.
+  AdmissionConfig joint;
+  joint.joint_circle = true;
+  ChainHarness legacy(37.5, joint);
+  const auto deferred = legacy.offer_newcomer();
+  EXPECT_EQ(deferred.verdict, AdmissionOffer::Verdict::kDefer);
+  EXPECT_FALSE(deferred.capacity_blocked);
+  EXPECT_EQ(deferred.incompatible_links, 2)
+      << "both links C shares with the chain count as violated";
+  EXPECT_GT(deferred.worst_violation, 0.0);
+}
+
+TEST(Admission, UncontendedFabricDissolvesTheChain) {
+  // On a 1:1 fabric the uplinks cover the aggregate offered load, so
+  // prune_uncontended_links removes every interference edge and even the
+  // legacy joint-circle mode admits the same chain it deferred at 4:1.
+  AdmissionConfig joint;
+  joint.joint_circle = true;
+  ChainHarness roomy(150.0, joint);
+  const auto offer = roomy.offer_newcomer();
+  EXPECT_EQ(offer.verdict, AdmissionOffer::Verdict::kAdmit);
+  EXPECT_EQ(offer.incompatible_links, 0);
+  EXPECT_DOUBLE_EQ(offer.worst_violation, 0.0);
 }
 
 // --- End-to-end orchestrator ------------------------------------------------

@@ -101,6 +101,7 @@ commands:
           [--admission locality|compat] [--queue-cap N] [--queue-timeout-s S]
           [--workers-min N] [--workers-max N] [--tors N] [--hosts N]
           [--spines N] [--policy P] [--flow-schedule 0|1]
+          [--fabric-gbps G] [--circle single|graph]
           [--flap K=V,...] [--brownout K=V,...]
                               online orchestrator: Poisson job arrivals on a
                               leaf-spine fabric, admission control, and
@@ -1006,8 +1007,11 @@ ClusterSetup make_cluster_setup(
   const int tors = static_cast<int>(num_opt("tors", 4));
   const int hosts = static_cast<int>(num_opt("hosts", 4));
   const int spines = static_cast<int>(num_opt("spines", 2));
+  // --fabric-gbps sets the ToR->spine uplink rate; dropping it below the
+  // 50 Gb/s host rate oversubscribes the fabric and makes spanning jobs
+  // contend on MULTIPLE links of one route (the multi-bottleneck regime).
   Topology topo = Topology::leaf_spine(tors, hosts, spines, Rate::gbps(50),
-                                       Rate::gbps(50));
+                                       Rate::gbps(num_opt("fabric-gbps", 50)));
 
   OrchestratorConfig cfg;
   if (opts.contains("policy")) {
@@ -1015,6 +1019,16 @@ ClusterSetup make_cluster_setup(
   }
   cfg.horizon = acfg.horizon;
   cfg.flow_schedule = num_opt("flow-schedule", 1) != 0;
+  const std::string circle =
+      opts.contains("circle") ? opts.at("circle") : "graph";
+  if (circle == "single") {
+    cfg.circle = OrchestratorConfig::CircleMode::kSingleCircle;
+  } else if (circle == "graph") {
+    cfg.circle = OrchestratorConfig::CircleMode::kGraph;
+  } else {
+    usage(("unknown circle mode: " + circle +
+           " (expected single or graph)").c_str());
+  }
   const std::string adm = opts.contains("admission") ? opts.at("admission")
                                                      : "compat";
   if (adm == "locality") {

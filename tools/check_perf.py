@@ -1,23 +1,31 @@
 #!/usr/bin/env python3
-"""Perf smoke gate: compare a fresh perf_engine --json run to the
-checked-in floor in BENCH_engine.json.
+"""Perf smoke gate: compare a fresh bench --json run to the checked-in
+floor in BENCH_engine.json.
 
 CI hosts are shared and noisy, so this is deliberately a coarse tripwire,
-not a benchmark: the fresh run's engine.sim_s_per_wall_s may be up to
+not a benchmark: the fresh run's sim_s_per_wall_s may be up to
 --tolerance (default 30%) below the checked-in figure before the gate
 fails.  Catches order-of-magnitude regressions (an accidentally disabled
 fused path, a debug build, a hot-loop pessimization) while staying quiet
 under normal scheduling jitter.
 
-The gate also re-asserts the contract that makes speed claims meaningful:
-if either file's sweep block says bit_identical is false, the run fails
-regardless of throughput.
+Two sections are understood, chosen with --section:
+  engine (default)  — perf_engine --json output; also re-asserts the
+    contract that makes speed claims meaningful: if either file's sweep
+    block says bit_identical is false, the run fails regardless of
+    throughput.
+  multi_bottleneck  — s6_multi_bottleneck --json output; additionally
+    requires graph_wins (compat-graph strictly below both baselines on
+    mean completion slowdown) and deterministic to be true in the fresh
+    run — the bench's correctness claims are gated alongside its speed.
 
 Usage:
   python3 tools/check_perf.py fresh.json [--floor BENCH_engine.json]
                                          [--tolerance 0.30]
+                                         [--section engine|multi_bottleneck]
 
-Exits 0 when fresh throughput >= floor * (1 - tolerance), 1 otherwise.
+Exits 0 when fresh throughput >= floor * (1 - tolerance) and the
+section's correctness flags hold, 1 otherwise.
 """
 
 import argparse
@@ -39,13 +47,13 @@ def load(path):
         fail(f"{path}: {e}")
 
 
-def throughput(doc, path):
+def throughput(doc, path, section):
     try:
-        v = doc["engine"]["sim_s_per_wall_s"]
+        v = doc[section]["sim_s_per_wall_s"]
     except (KeyError, TypeError):
-        fail(f"{path}: missing engine.sim_s_per_wall_s")
+        fail(f"{path}: missing {section}.sim_s_per_wall_s")
     if not isinstance(v, (int, float)) or v <= 0:
-        fail(f"{path}: engine.sim_s_per_wall_s must be positive, got {v!r}")
+        fail(f"{path}: {section}.sim_s_per_wall_s must be positive, got {v!r}")
     return float(v)
 
 
@@ -58,20 +66,31 @@ def main():
                     help="checked-in reference (default: repo BENCH_engine.json)")
     ap.add_argument("--tolerance", type=float, default=0.30,
                     help="allowed fractional drop below the floor (default 0.30)")
+    ap.add_argument("--section", default="engine",
+                    choices=["engine", "multi_bottleneck"],
+                    help="which JSON block to gate (default: engine)")
     args = ap.parse_args()
     if not 0.0 <= args.tolerance < 1.0:
         fail(f"--tolerance must be in [0, 1), got {args.tolerance}")
 
     fresh = load(args.fresh)
     floor = load(args.floor)
-    for doc, path in ((fresh, args.fresh), (floor, args.floor)):
-        ident = doc.get("sweep", {}).get("bit_identical")
-        if ident is not True:
-            fail(f"{path}: sweep.bit_identical is {ident!r}, not true — "
-                 "determinism broken, throughput numbers are meaningless")
+    if args.section == "engine":
+        for doc, path in ((fresh, args.fresh), (floor, args.floor)):
+            ident = doc.get("sweep", {}).get("bit_identical")
+            if ident is not True:
+                fail(f"{path}: sweep.bit_identical is {ident!r}, not true — "
+                     "determinism broken, throughput numbers are meaningless")
+    else:
+        block = fresh.get("multi_bottleneck", {})
+        for flag in ("graph_wins", "deterministic"):
+            if block.get(flag) is not True:
+                fail(f"{args.fresh}: multi_bottleneck.{flag} is "
+                     f"{block.get(flag)!r}, not true — the oversubscription "
+                     "sweep's correctness claim does not hold")
 
-    have = throughput(fresh, args.fresh)
-    want = throughput(floor, args.floor)
+    have = throughput(fresh, args.fresh, args.section)
+    want = throughput(floor, args.floor, args.section)
     limit = want * (1.0 - args.tolerance)
     verdict = "OK" if have >= limit else "FAIL"
     print(f"check_perf: {verdict}: fresh {have:.1f} sim-s/wall-s vs floor "

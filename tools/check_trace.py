@@ -8,7 +8,10 @@ per (cat, id); at least one slice and one counter track must be present.
 
 JSONL mode (--jsonl): every line must be a standalone JSON object with a
 numeric "t_us" and a known "kind" — unknown kinds (including misspelled
-analytics events) fail the check.
+analytics events) fail the check.  Flow events may carry a "links" array
+(the full contended-link set on a multi-bottleneck route); when present it
+must hold at least two distinct integer link ids, lead with the event's
+primary "link", and appear only on flow lifecycle kinds.
 
 Both modes also validate the async trace path's self-reporting invariants:
 "trace-drops" records (emitted when the SPSC ring overflowed under the
@@ -52,6 +55,33 @@ DERIVED_KINDS = {
     "anomaly.phase_drift", "anomaly.queue_oscillation", "anomaly.starvation",
     "anomaly.congestion_collapse", "histogram-summary",
 }
+
+# Kinds allowed to carry the "links" contended-set array (JsonlSink emits it
+# only for flow lifecycle events, and only when the set says more than the
+# single primary "link").
+FLOW_KINDS = {
+    "flow-start", "flow-finish", "flow-abort", "flow-reroute", "flow-park",
+    "flow-unpark",
+}
+
+
+def check_links_field(where, ev):
+    """Validates the optional contended-link set on a JSONL event."""
+    links = ev.get("links")
+    if links is None:
+        return
+    if ev.get("kind") not in FLOW_KINDS:
+        fail(f"{where}: 'links' on non-flow kind {ev.get('kind')!r}")
+    if not isinstance(links, list) or len(links) < 2:
+        fail(f"{where}: 'links' must be an array of >= 2 entries (a "
+             "single-bottleneck route omits it)")
+    if not all(isinstance(l, int) for l in links):
+        fail(f"{where}: 'links' entries must be integers: {links!r}")
+    if len(set(links)) != len(links):
+        fail(f"{where}: duplicate ids in 'links': {links!r}")
+    if "link" not in ev or links[0] != ev["link"]:
+        fail(f"{where}: 'links' must lead with the primary 'link' "
+             f"(links={links!r}, link={ev.get('link')!r})")
 
 
 def fail(msg):
@@ -180,6 +210,7 @@ def check_jsonl(path, expect_drops=False, forbid_drops=False):
                 kind = ev.get("kind")
                 if kind not in KNOWN_KINDS:
                     fail(f"line {lineno}: unknown kind {kind!r}")
+                check_links_field(f"line {lineno}", ev)
                 if kind == "trace-drops":
                     drops.saw_drops(f"line {lineno}", ev.get("value"))
                 elif kind not in DERIVED_KINDS:
