@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   {
     ScenarioConfig cfg;
     cfg.policy = PolicyKind::kDcqcn;
-    cfg.dcqcn.deterministic_marking = true;
+    cfg.transports.dcqcn.deterministic_marking = true;
     cfg.duration = Duration::seconds(seconds);
     cfg.warmup_iterations = 10;
     const auto r = run_dumbbell_scenario({{"J1", dlrm}, {"J2", dlrm}}, cfg);
@@ -34,8 +34,8 @@ int main(int argc, char** argv) {
   for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
     ScenarioConfig cfg;
     cfg.policy = PolicyKind::kDcqcn;
-    cfg.dcqcn.deterministic_marking = false;
-    cfg.dcqcn.seed = seed;
+    cfg.transports.dcqcn.deterministic_marking = false;
+    cfg.transports.dcqcn.seed = seed;
     cfg.duration = Duration::seconds(seconds);
     cfg.warmup_iterations = 10;
     const auto r = run_dumbbell_scenario({{"J1", dlrm}, {"J2", dlrm}}, cfg);

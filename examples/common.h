@@ -16,7 +16,7 @@ inline ScenarioResult run_dumbbell_scenario(
   cfg.policy = policy;
   cfg.duration = duration;
   cfg.warmup_iterations = warmup;
-  cfg.dcqcn = dcqcn;
+  cfg.transports.dcqcn = dcqcn;
   cfg.goodput_factor = goodput_factor;
   return ::ccml::run_dumbbell_scenario(jobs, cfg);
 }

@@ -64,7 +64,7 @@ void DcqcnPolicy::resize_soa(std::size_t n) {
 
 void DcqcnPolicy::refresh_caps(const Network& net) {
   const std::size_t n = net.topology().link_count();
-  if (links_.size() < n) links_.resize(n);
+  links_.ensure_links(n);
   for (std::size_t l = 0; l < n; ++l) {
     links_[l].cap_bps =
         net.effective_capacity(LinkId{static_cast<std::int32_t>(l)})
@@ -98,10 +98,7 @@ void DcqcnPolicy::on_flow_started(Network& net, Flow& flow) {
   if (links_.size() < net.topology().link_count()) {
     refresh_caps(net);
   }
-  Rate line = Rate::gbps(1e9);  // effectively infinite until min'ed below
-  for (const LinkId lid : flow.spec.route.links) {
-    line = std::min(line, net.effective_capacity(lid));
-  }
+  const Rate line = route_line_rate(net, flow);
   const Duration timer = flow.spec.cc_timer.is_positive() ? flow.spec.cc_timer
                                                           : config_.timer;
   const Rate rai =
@@ -153,10 +150,7 @@ void DcqcnPolicy::on_link_capacity_changed(Network& net, LinkId /*link*/) {
   refresh_caps(net);
   for (const std::uint32_t slot : net.active_slots()) {
     const Flow& flow = net.flow_at(slot);
-    Rate line = Rate::gbps(1e9);
-    for (const LinkId lid : flow.spec.route.links) {
-      line = std::min(line, net.effective_capacity(lid));
-    }
+    const Rate line = route_line_rate(net, flow);
     if (config_.reference_kernel) {
       FlowState& s = state_[slot];
       s.line_rate = line;
@@ -270,14 +264,11 @@ double DcqcnPolicy::rate_bound_bps(const Network& /*net*/,
 void DcqcnPolicy::step_tick(Network& net, TimePoint now, Duration dt) {
   // --- CP: integrate egress queues and refresh marking probabilities. -----
   // Only links carrying flows or still draining backlog from departed flows
-  // are touched; idle links stay at queue == 0, mark_prob == 0.  All the
-  // arithmetic runs on raw doubles (queue bytes, cached capacity bps) — the
-  // unit wrappers cost measurable time at one call per link per tick.
-  ++step_stamp_;
-  bool queues_clear = true;
+  // are touched (the shared slab's hot + wet two-pass loop); idle links stay
+  // at queue == 0, mark_prob == 0.  All the arithmetic runs on raw doubles
+  // (queue bytes, cached capacity bps) — the unit wrappers cost measurable
+  // time at one call per link per tick.
   bool any_marked = false;
-  scratch_wet_.clear();
-  const std::span<const double> rates = net.rates_bps();
   const double dt_s = dt.to_seconds();
   const auto integrate = [&](std::size_t l, double arrival_bps)
       __attribute__((always_inline)) {
@@ -286,7 +277,7 @@ void DcqcnPolicy::step_tick(Network& net, TimePoint now, Duration dt) {
     // its marking state is already zero from the pass that drained it.
     // Most links on most ticks are dry (e.g. host links faster than the
     // route's bottleneck), so this skips the RED math and four stores.
-    if (ls.queue_b == 0.0 && arrival_bps <= ls.cap_bps) return;
+    if (ls.queue_b == 0.0 && arrival_bps <= ls.cap_bps) return false;
     double q = ls.queue_b + (arrival_bps - ls.cap_bps) * dt_s / 8.0;
     if (q < 0.0) q = 0.0;
     ls.queue_b = q;
@@ -297,36 +288,11 @@ void DcqcnPolicy::step_tick(Network& net, TimePoint now, Duration dt) {
     // logs and a single exp.  log1p(-1) = -inf gives p_any = 1 exactly.
     ls.log_keep = p > 0.0 ? std::log1p(-p) : 0.0;
     if (p > 0.0) any_marked = true;
-    if (q != 0.0) {
-      queues_clear = false;
-      scratch_wet_.push_back(static_cast<std::uint32_t>(l));
-    }
+    return q != 0.0;
   };
   // Only links that can congest under the current flow set (see cp_links_)
   // plus links still draining backlog need any CP work at all.
-  for (const std::int32_t l : cp_links_) {
-    links_[l].stamp = step_stamp_;
-    double arrival_bps = 0.0;
-    for (const std::uint32_t slot : net.flow_slots_on_link(LinkId{l})) {
-      arrival_bps += rates[slot];
-    }
-    integrate(static_cast<std::size_t>(l), arrival_bps);
-  }
-  // Wet links outside cp_links_: backlog left from an earlier flow set (or a
-  // capacity dip) drains against whatever its current flows still send —
-  // zero arrival once they all departed.
-  for (const std::uint32_t l : wet_links_) {
-    if (links_[l].stamp != step_stamp_) {
-      double arrival_bps = 0.0;
-      for (const std::uint32_t slot :
-           net.flow_slots_on_link(LinkId{static_cast<std::int32_t>(l)})) {
-        arrival_bps += rates[slot];
-      }
-      integrate(l, arrival_bps);
-    }
-  }
-  wet_links_.swap(scratch_wet_);
-  queues_clear_ = queues_clear;
+  links_.step(net, cp_links_, integrate);
 
   // --- NP + RP: per-flow CNP arrivals and rate machine updates. -----------
   if (config_.reference_kernel) {
@@ -574,10 +540,7 @@ DcqcnPolicy::RpState DcqcnPolicy::rp_state(FlowId id) const {
 std::string DcqcnPolicy::serialize_state() const {
   // Ascending flow id: `slots_` is a hash map, and the checkpoint contract
   // is that identical live state yields identical bytes.
-  std::vector<std::pair<std::int64_t, std::uint32_t>> flows;
-  flows.reserve(slots_.size());
-  for (const auto& [id, slot] : slots_) flows.emplace_back(id.value, slot);
-  std::sort(flows.begin(), flows.end());
+  const auto flows = sorted_flow_slots(slots_);
 
   StateBuf out;
   out.put_u8(config_.reference_kernel ? 1 : 0);
@@ -619,12 +582,12 @@ std::string DcqcnPolicy::serialize_state() const {
     }
   }
   out.put_u64(links_.size());
-  for (const LinkState& l : links_) {
+  for (const LinkState& l : links_.links()) {
     out.put_f64(l.queue_b);
     out.put_f64(l.cap_bps);
   }
   out.put_bytes(rng_.save_state());
-  out.put_u8(queues_clear_ ? 1 : 0);
+  out.put_u8(links_.queues_clear() ? 1 : 0);
   return out.take();
 }
 

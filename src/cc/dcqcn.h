@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cc/policy/slab.h"
 #include "net/policy.h"
 #include "util/rng.h"
 #include "util/time.h"
@@ -105,7 +106,7 @@ class DcqcnPolicy : public BandwidthPolicy {
   Bytes link_queue(LinkId link) const override;
   /// With all switch queues drained nothing evolves between steps while no
   /// flow is active, so the kernel may fast-forward across compute phases.
-  bool quiescent() const override { return queues_clear_; }
+  bool quiescent() const override { return links_.queues_clear(); }
   /// Rate-machine columns (whichever representation is live), link queues
   /// and the marking RNG stream, in ascending-flow-id order (see the
   /// BandwidthPolicy contract in net/policy.h).
@@ -211,14 +212,12 @@ class DcqcnPolicy : public BandwidthPolicy {
   // Dense per-pass scratch (index parallels the active-slot list).
   std::vector<double> scratch_sent_;
   std::vector<double> scratch_p_;
-  std::vector<LinkState> links_;
+  /// Per-link queue/marking state behind the shared two-pass step loop
+  /// (cc/policy/slab.h owns the wet-list bookkeeping and quiescence flag).
+  LinkQueueSlab<LinkState> links_;
   double kmin_bytes_ = 0.0;
   double kmax_bytes_ = 0.0;
   double mark_scale_ = 0.0;  // pmax / (kmax - kmin), per byte
-  bool queues_clear_ = true;  // refreshed by the CP pass each step
-  std::uint64_t step_stamp_ = 0;
-  std::vector<std::uint32_t> wet_links_;  // links with backlog after the
-  std::vector<std::uint32_t> scratch_wet_;  // previous pass (+ scratch)
   /// Links that can congest under the current flow set: the sum of the line
   /// rates of the flows crossing the link exceeds its effective capacity.
   /// Every other link provably never queues (per-flow rates are clamped to

@@ -1,0 +1,52 @@
+// The fixed decision cadence shared by every rate machine in src/cc.
+//
+// A transport observes the network every simulator tick but *decides* only
+// once per update interval.  The accumulator is integer nanoseconds so the
+// cadence is exact: ticks never alias against the interval, and a fused
+// burst (Network::step_burst) that spans several intervals fires exactly the
+// same decisions at exactly the same ticks as per-tick stepping — the
+// property tests/cc_policy_cadence_test.cpp holds every transport to.
+//
+// This is TIMELY's original since-last-update pattern, hoisted so DCQCN-era
+// transports and the new Swift/BBR-lite/table machines share one
+// implementation (and one serialization shape) instead of five copies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ccml {
+
+class DecisionCadence {
+ public:
+  /// Grows the accumulator column to `n` slots (slot-indexed like every
+  /// other SoA column; existing values are preserved).
+  void resize(std::size_t n) { since_ns_.resize(n); }
+  std::size_t size() const { return since_ns_.size(); }
+
+  /// Arms a (re)used slot: the first decision fires one full interval after
+  /// the flow starts.
+  void reset(std::uint32_t slot) { since_ns_[slot] = 0; }
+
+  /// Advances `slot` by `dt_ns` and reports whether a decision is due.
+  /// Firing snaps the accumulator to zero — a decision interval longer than
+  /// a burst window simply stays quiet across it; leftover phase is not
+  /// carried (matching the pre-subsystem TIMELY semantics exactly).
+  bool due(std::uint32_t slot, std::int64_t dt_ns, std::int64_t interval_ns) {
+    since_ns_[slot] += dt_ns;
+    if (since_ns_[slot] < interval_ns) return false;
+    since_ns_[slot] = 0;
+    return true;
+  }
+
+  /// Serialization access: the raw accumulator for `slot`.
+  std::int64_t since_ns(std::uint32_t slot) const { return since_ns_[slot]; }
+  std::int64_t& mutable_since_ns(std::uint32_t slot) {
+    return since_ns_[slot];
+  }
+
+ private:
+  std::vector<std::int64_t> since_ns_;
+};
+
+}  // namespace ccml

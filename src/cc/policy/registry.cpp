@@ -1,0 +1,119 @@
+#include "cc/policy/registry.h"
+
+#include <cassert>
+
+namespace ccml {
+
+namespace {
+
+constexpr TransportTunable kDcqcnTunables[] = {
+    {"kmin/kmax/pmax", "50KB/200KB/0.01", "RED/ECN marking profile"},
+    {"timer", "125us", "RP increase timer T (FlowSpec::cc_timer overrides)"},
+    {"byte_counter", "10MB", "RP increase byte counter B"},
+    {"rai", "40Mbps", "additive step R_AI (FlowSpec::cc_rai overrides)"},
+    {"rhai", "200Mbps", "hyper-increase step R_HAI"},
+    {"g", "1/256", "alpha EWMA gain"},
+    {"deterministic_marking", "true", "expected-marks CNPs vs Bernoulli"},
+};
+
+constexpr TransportTunable kTimelyTunables[] = {
+    {"t_low/t_high", "50us/500us", "RTT thresholds bracketing gradient mode"},
+    {"delta", "10Mbps", "additive step (FlowSpec::cc_rai overrides)"},
+    {"beta", "0.8", "multiplicative-decrease factor"},
+    {"hai_threshold", "5", "good rounds before hyper increase"},
+    {"update_interval", "25us", "decision cadence"},
+    {"ewma_alpha", "0.46", "RTT-gradient filter weight"},
+};
+
+constexpr TransportTunable kSwiftTunables[] = {
+    {"target_delay", "60us", "absolute end-to-end RTT target"},
+    {"ai", "20Mbps", "additive step (FlowSpec::cc_rai overrides)"},
+    {"beta", "0.8", "decrease aggressiveness"},
+    {"max_mdf", "0.5", "max multiplicative decrease per decision"},
+    {"update_interval", "25us", "decision cadence"},
+    {"target_jitter_us", "0", "random target jitter (seeded RNG stream)"},
+};
+
+constexpr TransportTunable kBbrTunables[] = {
+    {"update_interval", "50us", "decision cadence (FlowSpec::cc_timer overrides)"},
+    {"startup_gain/drain_gain", "2.0/0.5", "STARTUP / DRAIN pacing gains"},
+    {"probe_up_gain/probe_down_gain", "1.25/0.75", "PROBE_BW cycle gains"},
+    {"bw_window_rounds", "8", "bandwidth max-filter window, in decisions"},
+    {"min_rtt_window", "10ms", "min-RTT staleness before PROBE_RTT"},
+    {"seed", "1", "per-flow PROBE_BW cycle-offset stream"},
+};
+
+constexpr TransportTunable kTableTunables[] = {
+    {"table", "(required)", "--cc-policy-table FILE, ccml-cc-table v1 format"},
+    {"cadence_us", "50 (from table)", "decision cadence"},
+    {"kmin/kmax/pmax", "50KB/200KB/0.01", "RED profile for the ECN signal"},
+    {"explore", "0", "epsilon multiplier jitter (seeded RNG stream)"},
+};
+
+constexpr TransportTunable kNoTunables[] = {
+    {"(none)", "-", "ideal allocator; no queue dynamics"},
+};
+
+const TransportInfo kCatalogue[] = {
+    {PolicyKind::kMaxMinFair, "maxmin", "ideal",
+     "instantaneous max-min fair shares (progressive water-fill)", 1.0, false,
+     kNoTunables},
+    {PolicyKind::kWfq, "wfq", "ideal",
+     "weighted fair shares (FlowSpec::weight)", 1.0, false, kNoTunables},
+    {PolicyKind::kPriority, "priority", "ideal",
+     "strict priority classes, fair within a class", 1.0, false, kNoTunables},
+    {PolicyKind::kDcqcn, "dcqcn", "ecn",
+     "ECN-driven RP/CP rate machine (Zhu et al., SIGCOMM '15)", 1.0, true,
+     kDcqcnTunables},
+    {PolicyKind::kDcqcnAdaptive, "dcqcn-adaptive", "ecn",
+     "DCQCN with R_AI scaled by comm-phase progress (paper §4)", 1.0, true,
+     kDcqcnTunables},
+    {PolicyKind::kTimely, "timely", "delay",
+     "RTT-gradient rate control (Mittal et al., SIGCOMM '15)", 1.0, true,
+     kTimelyTunables},
+    {PolicyKind::kSwift, "swift", "delay",
+     "absolute delay-target control with gradient scaling (SIGCOMM '20)", 1.0,
+     true, kSwiftTunables},
+    {PolicyKind::kBbr, "bbr", "model",
+     "delivery-rate / min-RTT model with probing state machine", 0.97, false,
+     kBbrTunables},
+    {PolicyKind::kTable, "table", "table",
+     "externally-trained observation->action lookup (--cc-policy-table)", 1.0,
+     false, kTableTunables},
+    {PolicyKind::kMltcpDcqcn, "mltcp-dcqcn", "ecn",
+     "MLTCP wrap of dcqcn (alias of dcqcn-adaptive's R_AI scaling)", 1.0,
+     false, kDcqcnTunables},
+    {PolicyKind::kMltcpTimely, "mltcp-timely", "delay",
+     "MLTCP wrap of timely: delta scaled by phase progress", 1.0, false,
+     kTimelyTunables},
+    {PolicyKind::kMltcpSwift, "mltcp-swift", "delay",
+     "MLTCP wrap of swift: AI step scaled by phase progress", 1.0, false,
+     kSwiftTunables},
+};
+
+}  // namespace
+
+std::span<const TransportInfo> transport_catalogue() { return kCatalogue; }
+
+const TransportInfo& transport_info(PolicyKind kind) {
+  for (const TransportInfo& t : kCatalogue) {
+    if (t.kind == kind) return t;
+  }
+  assert(false && "PolicyKind missing from the transport catalogue");
+  return kCatalogue[0];
+}
+
+std::string registered_transport_names() {
+  std::string names;
+  for (const TransportInfo& t : kCatalogue) {
+    if (!names.empty()) names += ", ";
+    names += t.name;
+  }
+  return names;
+}
+
+double transport_goodput_derating(PolicyKind kind) {
+  return transport_info(kind).goodput_derating;
+}
+
+}  // namespace ccml

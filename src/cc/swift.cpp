@@ -1,4 +1,4 @@
-#include "cc/timely.h"
+#include "cc/swift.h"
 
 #include <algorithm>
 #include <cassert>
@@ -12,9 +12,8 @@ namespace ccml {
 
 namespace {
 
-// Out of line so the per-flow rate loop stays tight when tracing is off
-// (same split as DCQCN's emit_rate_event).  TIMELY has no alpha, so value2
-// carries the normalized RTT gradient that drove the decrease.
+// Out of line so the per-flow loop stays tight when tracing is off (same
+// split as TIMELY's emit_decrease_event); value2 carries the gradient.
 [[gnu::noinline]] void emit_decrease_event(TraceBus& bus, Counter& counter,
                                            TimePoint now, const Flow& flow,
                                            double rate_bps, double gradient) {
@@ -31,59 +30,88 @@ namespace {
 
 }  // namespace
 
-TimelyPolicy::TimelyPolicy(TimelyConfig config) : config_(config) {
-  assert(config_.t_high > config_.t_low);
+SwiftDecision swift_decide(const SwiftConfig& cfg, const CcObservation& obs,
+                           double target_us, double rate_bps, double ai_bps,
+                           double min_bps, double line_bps) {
+  SwiftDecision d;
+  const double g = obs.rtt_gradient;
+  if (obs.rtt_us <= target_us) {
+    // Under target: additive increase, damped linearly toward zero as a
+    // positive normalized gradient approaches 1 — the queue is filling even
+    // though the target still holds, so probe more gently.
+    const double damp = g > 0.0 ? (g < 1.0 ? 1.0 - g : 0.0) : 1.0;
+    d.rate_bps = rate_bps + ai_bps * damp;
+  } else {
+    // Over target: multiplicative decrease proportional to the overshoot
+    // fraction, amplified up to 2x by a positive gradient (overshooting
+    // *and* still growing), capped at max_mdf per decision.
+    double md = cfg.beta * (obs.rtt_us - target_us) / obs.rtt_us;
+    if (g > 0.0) md *= 1.0 + (g < 1.0 ? g : 1.0);
+    if (md > cfg.max_mdf) md = cfg.max_mdf;
+    d.rate_bps = rate_bps * (1.0 - md);
+    d.decreased = true;
+  }
+  if (d.rate_bps < min_bps) d.rate_bps = min_bps;
+  if (d.rate_bps > line_bps) d.rate_bps = line_bps;
+  return d;
+}
+
+SwiftPolicy::SwiftPolicy(SwiftConfig config)
+    : config_(config), rng_(config.seed) {
+  assert(config_.target_delay > config_.base_rtt);
   assert(config_.beta > 0.0 && config_.beta <= 1.0);
+  assert(config_.max_mdf > 0.0 && config_.max_mdf < 1.0);
   assert(config_.update_interval.is_positive());
 }
 
-void TimelyPolicy::resize_soa(std::size_t n) {
+double SwiftPolicy::decision_target_us() {
+  const double target_us = config_.target_delay.to_micros();
+  if (config_.target_jitter_us == 0.0) return target_us;
+  return target_us + config_.target_jitter_us * (2.0 * rng_.uniform() - 1.0);
+}
+
+void SwiftPolicy::resize_soa(std::size_t n) {
   rate_bps_.resize(n);
   line_bps_.resize(n);
-  delta_bps_.resize(n);
+  ai_bps_.resize(n);
   ewma_col_.resize(n);
   grad_col_.resize(n);
   prev_rtt_ns_.resize(n);
   cadence_.resize(n);
-  good_rounds_.resize(n);
 }
 
-void TimelyPolicy::on_flow_started(Network& net, Flow& flow) {
+void SwiftPolicy::on_flow_started(Network& net, Flow& flow) {
   links_.ensure_links(net.topology().link_count());
   const Rate line = route_line_rate(net, flow);
-  const Rate delta =
-      flow.spec.cc_rai.is_positive() ? flow.spec.cc_rai : config_.delta;
+  const Rate ai = flow.spec.cc_rai.is_positive() ? flow.spec.cc_rai : config_.ai;
   const std::uint32_t slot = net.slot_of(flow.id);
   if (config_.reference_kernel) {
     FlowState s;
     s.line_rate = line;
     s.rate = line;  // RDMA starts at line rate
-    s.delta = delta;
+    s.ai = ai;
     if (state_.size() <= slot) state_.resize(net.slab_size());
     state_[slot] = s;
   } else {
     if (rate_bps_.size() <= slot) resize_soa(net.slab_size());
     line_bps_[slot] = line.bits_per_sec();
     rate_bps_[slot] = line.bits_per_sec();
-    delta_bps_[slot] = delta.bits_per_sec();
+    ai_bps_[slot] = ai.bits_per_sec();
     ewma_col_[slot] = 0.0;
     grad_col_[slot] = 0.0;
     prev_rtt_ns_[slot] = 0;
     cadence_.reset(slot);
-    good_rounds_[slot] = 0;
   }
   slots_[flow.id] = slot;
   net.set_rate(slot, line);
 }
 
-void TimelyPolicy::on_flow_finished(Network& /*net*/, const Flow& flow) {
+void SwiftPolicy::on_flow_finished(Network& /*net*/, const Flow& flow) {
   // The slot's state is left stale; a reused slot is overwritten on start.
   slots_.erase(flow.id);
 }
 
-void TimelyPolicy::on_link_capacity_changed(Network& net, LinkId /*link*/) {
-  // Cached line rates go stale when capacity changes mid-run (brownout or
-  // restoration); refresh every active flow — faults are rare events.
+void SwiftPolicy::on_link_capacity_changed(Network& net, LinkId /*link*/) {
   for (const std::uint32_t slot : net.active_slots()) {
     const Flow& flow = net.flow_at(slot);
     const Rate line = route_line_rate(net, flow);
@@ -100,18 +128,16 @@ void TimelyPolicy::on_link_capacity_changed(Network& net, LinkId /*link*/) {
   }
 }
 
-void TimelyPolicy::update_rates(Network& net, TimePoint now, Duration dt) {
+void SwiftPolicy::update_rates(Network& net, TimePoint now, Duration dt) {
   links_.ensure_links(net.topology().link_count());
   TraceBus* bus = net.trace_bus();
   if (bus != bus_cache_) {
     bus_cache_ = bus;
-    c_decrease_ = bus ? &bus->counter("timely.decreases") : nullptr;
+    c_decrease_ = bus ? &bus->counter("swift.decreases") : nullptr;
   }
 
-  // Queue integration per link (same fluid model as the DCQCN CP); only
-  // links carrying flows or draining leftover backlog are touched (the
-  // shared slab's hot + wet two-pass loop — a drained wet link's true
-  // arrival sum is zero once its flows departed).
+  // Same fluid queue model as TIMELY: integrate each in-use link's backlog,
+  // with the shared slab draining leftover wet links.
   const auto integrate = [&](std::size_t l, double arrival_bps)
       __attribute__((always_inline)) {
     const Rate cap =
@@ -130,8 +156,9 @@ void TimelyPolicy::update_rates(Network& net, TimePoint now, Duration dt) {
   }
 }
 
-void TimelyPolicy::update_rates_reference(Network& net, TimePoint now,
-                                          Duration dt) {
+void SwiftPolicy::update_rates_reference(Network& net, TimePoint now,
+                                         Duration dt) {
+  const double min_bps = config_.min_rate.bits_per_sec();
   for (const std::uint32_t slot : net.active_slots()) {
     const Flow& flow = net.flow_at(slot);
     FlowState& s = state_[slot];
@@ -143,7 +170,6 @@ void TimelyPolicy::update_rates_reference(Network& net, TimePoint now,
     }
     s.since_update = Duration::zero();
 
-    // RTT = base + sum of queueing delays along the route.
     Duration rtt = config_.base_rtt;
     for (const LinkId lid : flow.spec.route.links) {
       const Rate cap = net.effective_capacity(lid);
@@ -152,55 +178,43 @@ void TimelyPolicy::update_rates_reference(Network& net, TimePoint now,
       }
     }
 
-    const double diff_us = rtt.to_micros() - s.prev_rtt.to_micros();
+    // First decision after flow start has no previous sample (prev_rtt is
+    // the zero sentinel); a raw difference against zero would spike the
+    // gradient by the whole base RTT, so treat it as zero change.
+    const bool first = s.prev_rtt.is_zero();
+    const double diff_us = first ? 0.0 : rtt.to_micros() - s.prev_rtt.to_micros();
     s.prev_rtt = rtt;
     s.rtt_diff_ewma = (1.0 - config_.ewma_alpha) * s.rtt_diff_ewma +
                       config_.ewma_alpha * diff_us;
-    const double gradient =
-        s.rtt_diff_ewma / config_.base_rtt.to_micros();  // normalized
+    const double gradient = s.rtt_diff_ewma / config_.base_rtt.to_micros();
     s.last_gradient = gradient;
 
-    // MLTCP wrap: the additive step scales with comm-phase progress; the
-    // gradient machine itself is untouched (delta == s.delta when off).
-    Rate delta = s.delta;
-    if (config_.phase_scaling) {
-      delta = delta * (1.0 + net.progress_at(slot));
-    }
-    bool decreased = false;
-    if (rtt < config_.t_low) {
-      s.rate += delta;
-      ++s.completed_good_rounds;
-    } else if (rtt > config_.t_high) {
-      const double shrink =
-          1.0 - config_.beta * (1.0 - config_.t_high / rtt);
-      s.rate = s.rate * shrink;
-      s.completed_good_rounds = 0;
-      decreased = true;
-    } else if (gradient <= 0.0) {
-      ++s.completed_good_rounds;
-      const int n =
-          s.completed_good_rounds >= config_.hai_threshold ? 5 : 1;
-      s.rate += delta * static_cast<double>(n);
-    } else {
-      s.rate = s.rate * (1.0 - config_.beta * std::min(gradient, 1.0));
-      s.completed_good_rounds = 0;
-      decreased = true;
-    }
-    s.rate = std::clamp(s.rate, config_.min_rate, s.line_rate);
+    // MLTCP wrap: additive step scales with comm-phase progress.
+    double ai_bps = s.ai.bits_per_sec();
+    const double progress = net.progress_at(slot);
+    if (config_.phase_scaling) ai_bps = ai_bps * (1.0 + progress);
+
+    CcObservation obs;
+    obs.rtt_us = rtt.to_micros();
+    obs.rtt_gradient = gradient;
+    obs.phase_progress = progress;
+    const SwiftDecision d =
+        swift_decide(config_, obs, decision_target_us(), s.rate.bits_per_sec(),
+                     ai_bps, min_bps, s.line_rate.bits_per_sec());
+    s.rate = Rate::bps(d.rate_bps);
     net.set_rate(slot, s.rate);
-    if (decreased && bus_cache_ != nullptr) [[unlikely]] {
-      emit_decrease_event(*bus_cache_, *c_decrease_, now, flow,
-                          s.rate.bits_per_sec(), gradient);
+    if (d.decreased && bus_cache_ != nullptr) [[unlikely]] {
+      emit_decrease_event(*bus_cache_, *c_decrease_, now, flow, d.rate_bps,
+                          gradient);
     }
   }
 }
 
-// SoA twin of update_rates_reference: identical arithmetic in identical
-// order over the slab columns (the RTT sum keeps the Duration int64-ns
-// wrappers so rounding matches to the bit), with the route walk taken from
-// the network's flat link array and rates scattered straight into the
-// network slab.
-void TimelyPolicy::update_rates_soa(Network& net, TimePoint now, Duration dt) {
+// SoA twin: identical arithmetic in identical order over the slab columns —
+// both kernels funnel through swift_decide, so parity reduces to the
+// observation assembly (the RTT sum keeps Duration int64-ns wrappers so
+// rounding matches to the bit).
+void SwiftPolicy::update_rates_soa(Network& net, TimePoint now, Duration dt) {
   const std::span<const std::uint32_t> slots = net.active_slots();
   const std::span<double> rates = net.mutable_rates_bps();
   const std::int64_t dt_ns = dt.ns();
@@ -223,64 +237,54 @@ void TimelyPolicy::update_rates_soa(Network& net, TimePoint now, Duration dt) {
       }
     }
 
-    const Duration prev = Duration::nanos(prev_rtt_ns_[slot]);
-    const double diff_us = rtt.to_micros() - prev.to_micros();
+    // Same zero-sentinel guard as the reference kernel (see comment there).
+    const std::int64_t prev_ns = prev_rtt_ns_[slot];
+    const double diff_us =
+        prev_ns == 0 ? 0.0
+                     : rtt.to_micros() - Duration::nanos(prev_ns).to_micros();
     prev_rtt_ns_[slot] = rtt.ns();
     ewma_col_[slot] = (1.0 - ewma_a) * ewma_col_[slot] + ewma_a * diff_us;
     const double gradient = ewma_col_[slot] / base_us;
     grad_col_[slot] = gradient;
 
-    double rate = rate_bps_[slot];
-    // Same MLTCP wrap as the reference kernel, in the same FP order.
-    double delta = delta_bps_[slot];
-    if (scaling) delta = delta * (1.0 + net.progress_at(slot));
-    bool decreased = false;
-    if (rtt < config_.t_low) {
-      rate += delta;
-      ++good_rounds_[slot];
-    } else if (rtt > config_.t_high) {
-      const double shrink =
-          1.0 - config_.beta * (1.0 - config_.t_high / rtt);
-      rate = rate * shrink;
-      good_rounds_[slot] = 0;
-      decreased = true;
-    } else if (gradient <= 0.0) {
-      ++good_rounds_[slot];
-      const int n = good_rounds_[slot] >= config_.hai_threshold ? 5 : 1;
-      rate += delta * static_cast<double>(n);
-    } else {
-      rate = rate * (1.0 - config_.beta * std::min(gradient, 1.0));
-      good_rounds_[slot] = 0;
-      decreased = true;
-    }
-    rate = std::clamp(rate, min_bps, line_bps_[slot]);
-    rate_bps_[slot] = rate;
-    rates[slot] = rate;
-    if (decreased && bus_cache_ != nullptr) [[unlikely]] {
+    double ai_bps = ai_bps_[slot];
+    const double progress = net.progress_at(slot);
+    if (scaling) ai_bps = ai_bps * (1.0 + progress);
+
+    CcObservation obs;
+    obs.rtt_us = rtt.to_micros();
+    obs.rtt_gradient = gradient;
+    obs.phase_progress = progress;
+    const SwiftDecision d =
+        swift_decide(config_, obs, decision_target_us(), rate_bps_[slot],
+                     ai_bps, min_bps, line_bps_[slot]);
+    rate_bps_[slot] = d.rate_bps;
+    rates[slot] = d.rate_bps;
+    if (d.decreased && bus_cache_ != nullptr) [[unlikely]] {
       emit_decrease_event(*bus_cache_, *c_decrease_, now, net.flow_at(slot),
-                          rate, gradient);
+                          d.rate_bps, gradient);
     }
   }
 }
 
-double TimelyPolicy::rate_bound_bps(const Network& /*net*/,
-                                    std::uint32_t slot) const {
+double SwiftPolicy::rate_bound_bps(const Network& /*net*/,
+                                   std::uint32_t slot) const {
   const double line = config_.reference_kernel
                           ? state_[slot].line_rate.bits_per_sec()
                           : line_bps_[slot];
-  // Every rate update clamps to [min_rate, line_rate]; min_rate can exceed
-  // the line rate of a browned-out route, so the bound covers both.
+  // swift_decide clamps to [min_rate, line_rate]; min_rate can exceed the
+  // line rate of a browned-out route, so the bound covers both.
   return std::max(line, config_.min_rate.bits_per_sec());
 }
 
-Bytes TimelyPolicy::link_queue(LinkId link) const {
+Bytes SwiftPolicy::link_queue(LinkId link) const {
   if (!link.valid() || static_cast<std::size_t>(link.value) >= links_.size()) {
     return Bytes::zero();
   }
   return links_[link.value].queue;
 }
 
-TimelyPolicy::FlowDiag TimelyPolicy::diag(FlowId id) const {
+SwiftPolicy::FlowDiag SwiftPolicy::diag(FlowId id) const {
   const auto it = slots_.find(id);
   assert(it != slots_.end());
   const std::uint32_t slot = it->second;
@@ -292,8 +296,8 @@ TimelyPolicy::FlowDiag TimelyPolicy::diag(FlowId id) const {
           grad_col_[slot]};
 }
 
-std::string TimelyPolicy::serialize_state() const {
-  // Ascending flow id, same contract as DcqcnPolicy::serialize_state.
+std::string SwiftPolicy::serialize_state() const {
+  // Ascending flow id, same contract as the other transports.
   const auto flows = sorted_flow_slots(slots_);
 
   StateBuf out;
@@ -306,19 +310,17 @@ std::string TimelyPolicy::serialize_state() const {
       const FlowState& s = state_[slot];
       out.put_f64(s.rate.bits_per_sec());
       out.put_f64(s.line_rate.bits_per_sec());
-      out.put_f64(s.delta.bits_per_sec());
+      out.put_f64(s.ai.bits_per_sec());
       out.put_i64(s.prev_rtt.ns());
       out.put_f64(s.rtt_diff_ewma);
-      out.put_u32(static_cast<std::uint32_t>(s.completed_good_rounds));
       out.put_i64(s.since_update.ns());
       out.put_f64(s.last_gradient);
     } else {
       out.put_f64(rate_bps_[slot]);
       out.put_f64(line_bps_[slot]);
-      out.put_f64(delta_bps_[slot]);
+      out.put_f64(ai_bps_[slot]);
       out.put_i64(prev_rtt_ns_[slot]);
       out.put_f64(ewma_col_[slot]);
-      out.put_u32(static_cast<std::uint32_t>(good_rounds_[slot]));
       out.put_i64(cadence_.since_ns(slot));
       out.put_f64(grad_col_[slot]);
     }
@@ -326,6 +328,7 @@ std::string TimelyPolicy::serialize_state() const {
   out.put_u64(links_.size());
   for (const LinkState& l : links_.links()) out.put_f64(l.queue.count());
   out.put_u8(links_.queues_clear() ? 1 : 0);
+  out.put_bytes(rng_.save_state());
   return out.take();
 }
 

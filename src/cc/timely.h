@@ -21,6 +21,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cc/policy/cadence.h"
+#include "cc/policy/slab.h"
 #include "net/policy.h"
 #include "util/time.h"
 #include "util/units.h"
@@ -42,6 +44,13 @@ struct TimelyConfig {
   double ewma_alpha = 0.46;
   Rate min_rate = Rate::mbps(10);
 
+  /// MLTCP-style window scaling (cc/factory.h, PolicyKind::kMltcpTimely):
+  /// every additive-increase step is multiplied by (1 + comm-phase
+  /// progress), so flows nearing the end of their phase out-compete flows
+  /// that just started — the bytes-sent interleaving mechanism, applied as
+  /// a wrapper over the unchanged TIMELY gradient machine.
+  bool phase_scaling = false;
+
   /// Run the original per-flow scalar path (AoS FlowState records) instead
   /// of the structure-of-arrays kernel.  Bit-identical by construction;
   /// held to that by tests/cc_kernel_parity_test.cpp.
@@ -52,7 +61,9 @@ class TimelyPolicy final : public BandwidthPolicy {
  public:
   explicit TimelyPolicy(TimelyConfig config = {});
 
-  const char* name() const override { return "timely"; }
+  const char* name() const override {
+    return config_.phase_scaling ? "mltcp-timely" : "timely";
+  }
 
   void on_flow_started(Network& net, Flow& flow) override;
   void on_flow_finished(Network& net, const Flow& flow) override;
@@ -64,7 +75,7 @@ class TimelyPolicy final : public BandwidthPolicy {
   Bytes link_queue(LinkId link) const override;
   /// With all queues drained nothing evolves between steps while no flow is
   /// active, so the kernel may fast-forward across compute phases.
-  bool quiescent() const override { return queues_clear_; }
+  bool quiescent() const override { return links_.queues_clear(); }
   /// RTT-gradient state and link queues in ascending-flow-id order (see the
   /// BandwidthPolicy contract in net/policy.h).
   std::string serialize_state() const override;
@@ -114,16 +125,14 @@ class TimelyPolicy final : public BandwidthPolicy {
   std::vector<double> ewma_col_;
   std::vector<double> grad_col_;
   std::vector<std::int64_t> prev_rtt_ns_;
-  std::vector<std::int64_t> since_ns_;
+  DecisionCadence cadence_;  ///< shared fixed-cadence accumulator
   std::vector<std::int32_t> good_rounds_;
-  std::vector<LinkState> links_;
+  /// Per-link queue state behind the shared two-pass step loop
+  /// (cc/policy/slab.h owns the wet-list bookkeeping and quiescence flag).
+  LinkQueueSlab<LinkState> links_;
   // Re-resolved when the bound trace bus changes (same idiom as DCQCN).
   TraceBus* bus_cache_ = nullptr;
   Counter* c_decrease_ = nullptr;
-  bool queues_clear_ = true;  // refreshed by the queue pass each step
-  std::uint64_t step_stamp_ = 0;
-  std::vector<std::uint32_t> wet_links_;  // links with backlog after the
-  std::vector<std::uint32_t> scratch_wet_;  // previous pass (+ scratch)
 };
 
 }  // namespace ccml

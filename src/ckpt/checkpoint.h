@@ -19,6 +19,16 @@
 // continue — a fork of the original timeline cheap enough to fan out under
 // the SweepRunner.
 //
+// State providers register by section name; a scenario run captures
+// {"spec", "cursor", "sim", "net", "cc", "jobs", "faults"} (clusters add
+// "orch"/"igraph").  The "cc" section is BandwidthPolicy::serialize_state()
+// — the transport's complete rate machine in ascending-flow-id order,
+// including its RNG stream positions — so every transport in the zoo
+// (docs/transports.md) is SIGKILL+resume safe by construction: a transport
+// that serializes deterministically checkpoints correctly with no code
+// here, and one that does not is caught as ResumeDivergence, never as a
+// silently-wrong continuation.
+//
 // Checkpoint ticks are ordinary discrete events (they consume event-queue
 // sequence numbers and the watchdog's event budget), so the checkpoint
 // cadence is part of the run spec: comparing runs with different

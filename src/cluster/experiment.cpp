@@ -63,7 +63,7 @@ ExperimentResult run_cluster_experiment(const Topology& topo,
   result.placement = placement.place(topo, requests);
 
   Simulator sim;
-  Network net(topo, make_policy(config.policy, config.dcqcn), config.net);
+  Network net(topo, make_policy(config.policy, config.transports), config.net);
   net.attach(sim);
   std::unique_ptr<TraceThroughputSampler> sampler;
   if (config.trace != nullptr) {

@@ -20,7 +20,9 @@ namespace ccml {
 
 struct ExperimentConfig {
   PolicyKind policy = PolicyKind::kDcqcn;
-  DcqcnConfig dcqcn;
+  /// Tunables for every transport family (cc/factory.h); make_policy picks
+  /// the member matching `policy`.
+  TransportConfig transports;
   NetworkConfig net;
   Duration run_time = Duration::seconds(20);
   /// Assign each job a unique strict priority (paper §4, direction (ii)).

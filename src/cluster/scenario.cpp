@@ -101,7 +101,7 @@ ScenarioResult run_dumbbell_scenario(const std::vector<ScenarioJob>& setups,
                                            config.nic, config.bottleneck);
   NetworkConfig ncfg;
   ncfg.goodput_factor = config.goodput_factor;
-  Network net(topo, make_policy(config.policy, config.dcqcn), ncfg);
+  Network net(topo, make_policy(config.policy, config.transports), ncfg);
   net.attach(sim);
   std::unique_ptr<TraceThroughputSampler> sampler;
   if (config.trace != nullptr) {

@@ -30,8 +30,11 @@ class CheckpointCoordinator;
 struct ScenarioJob {
   std::string name;
   JobProfile profile;
-  Duration cc_timer = Duration::zero();  ///< DCQCN T override (unfairness)
-  Rate cc_rai = Rate::zero();            ///< DCQCN R_AI override
+  /// Per-flow aggressiveness overrides (unfairness knobs); zero = policy
+  /// default.  cc_timer: DCQCN timer T / BBR decision interval; cc_rai:
+  /// additive step of DCQCN, TIMELY and Swift (see net/flow.h).
+  Duration cc_timer = Duration::zero();
+  Rate cc_rai = Rate::zero();
   int priority = 0;
   double weight = 1.0;                   ///< WFQ weight
   Duration compute_jitter = Duration::zero();  ///< per-iteration compute noise
@@ -41,7 +44,10 @@ struct ScenarioJob {
 
 struct ScenarioConfig {
   PolicyKind policy = PolicyKind::kDcqcn;
-  DcqcnConfig dcqcn;
+  /// Tunables for every transport family; make_policy picks the member
+  /// matching `policy` (transports.dcqcn for the DCQCN variants, .timely,
+  /// .swift, .bbr, .table — see cc/factory.h).
+  TransportConfig transports;
   Duration duration = Duration::seconds(20);
   std::size_t warmup_iterations = 5;
   Rate nic = Rate::gbps(50);

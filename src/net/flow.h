@@ -22,9 +22,13 @@ struct FlowSpec {
   int priority = 0;     ///< smaller value = higher priority (PriorityPolicy)
   double weight = 1.0;  ///< WFQ weight
   std::string label;
-  /// For congestion-control schemes whose aggressiveness is tunable per flow:
-  /// DCQCN rate-increase timer and additive-increase step.  Zero means "use
-  /// the policy default".
+  /// For congestion-control schemes whose aggressiveness is tunable per
+  /// flow (the unfairness knobs).  Zero means "use the policy default".
+  /// How each transport family interprets them (docs/transports.md):
+  /// `cc_timer` overrides the DCQCN rate-increase timer T and the BBR-lite
+  /// decision interval; `cc_rai` overrides the additive-increase step of
+  /// DCQCN (R_AI), TIMELY (delta) and Swift (ai) — and thereby the base
+  /// step their MLTCP wraps scale by phase progress.
   Duration cc_timer = Duration::zero();
   Rate cc_rai = Rate::zero();
 };

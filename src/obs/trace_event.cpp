@@ -37,6 +37,8 @@ const char* to_string(TraceEventKind kind) {
     case TraceEventKind::kHistogramSummary: return "histogram-summary";
     case TraceEventKind::kCkptWrite: return "ckpt.write";
     case TraceEventKind::kCkptBranch: return "ckpt.branch";
+    case TraceEventKind::kCcDecision: return "cc.decision";
+    case TraceEventKind::kCcPhase: return "cc.phase";
   }
   return "unknown";
 }
@@ -74,6 +76,8 @@ bool trace_event_kind_from_string(const char* name, TraceEventKind& out) {
       TraceEventKind::kHistogramSummary,
       TraceEventKind::kCkptWrite,
       TraceEventKind::kCkptBranch,
+      TraceEventKind::kCcDecision,
+      TraceEventKind::kCcPhase,
   };
   for (const TraceEventKind k : kAll) {
     if (std::strcmp(name, to_string(k)) == 0) {

@@ -98,6 +98,14 @@ enum class TraceEventKind : std::uint8_t {
   kCkptBranch,  ///< what-if continuation forked here; value = branch index,
                 ///  detail = the varied dimension ("admission"|"transport"|
                 ///  "faults"|"baseline")
+
+  // CC-policy subsystem (src/cc/policy).  Transports that decide through an
+  // explicit observation -> action step report it here; the native DCQCN /
+  // TIMELY machines keep their dedicated kRateDecrease / kRateTimer kinds.
+  kCcDecision,  ///< table-driven action applied; value = new rate in bits/s,
+                ///  value2 = matched rule index (-1 = default action)
+  kCcPhase,     ///< rate-machine phase change (BBR-lite state machine);
+                ///  value = new phase index, detail = its static name
 };
 
 /// Stable lower-kebab-case name of the kind (serialized into JSONL traces).

@@ -8,6 +8,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "cc/policy/registry.h"
 #include "ckpt/checkpoint.h"
 #include "ckpt/snapshot.h"
 #include "core/schedule.h"
@@ -150,7 +151,7 @@ ClusterRunReport Orchestrator::run() {
   report.jobs.resize(n);
 
   Simulator sim;
-  Network net(topo_, make_policy(config_.policy, config_.dcqcn), config_.net);
+  Network net(topo_, make_policy(config_.policy, config_.transports), config_.net);
   net.attach(sim);
   std::unique_ptr<TraceThroughputSampler> sampler;
   TraceBus* trace = config_.trace;
@@ -170,7 +171,13 @@ ClusterRunReport Orchestrator::run() {
   // end-to-end, not just at gate derivation.
   admission_cfg.joint_circle =
       config_.circle == OrchestratorConfig::CircleMode::kSingleCircle;
-  admission_cfg.goodput_factor = config_.net.goodput_factor;
+  // Profile compatibility is transport-dependent: the admission model's
+  // goodput assumption is derated by the registered transport's steady-state
+  // efficiency (cc/policy/registry.h).  Every AIMD transport derates by
+  // exactly 1.0, so pre-zoo behavior is bit-identical; BBR's probing cycle
+  // costs a few percent and shifts the compatibility verdicts accordingly.
+  admission_cfg.goodput_factor =
+      config_.net.goodput_factor * transport_goodput_derating(config_.policy);
   AdmissionController admission(topo_, router, admission_cfg, resolver);
 
   Rate nic_goodput = Rate::zero();

@@ -51,7 +51,9 @@ struct OrchestratorCursorContext {
 
 struct OrchestratorConfig {
   PolicyKind policy = PolicyKind::kDcqcn;
-  DcqcnConfig dcqcn;
+  /// Tunables for every transport family (cc/factory.h); make_policy picks
+  /// the member matching `policy`.
+  TransportConfig transports;
   NetworkConfig net;
   AdmissionConfig admission;
   SolverOptions solver;

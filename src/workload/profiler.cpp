@@ -31,11 +31,14 @@ MeasuredProfile measure_profile(const JobProfile& job,
   assert(opts.iterations > opts.warmup);
   Simulator sim;
   Topology topo = Topology::dumbbell(1, opts.nic, opts.nic);
-  DcqcnConfig dcqcn;
-  dcqcn.seed = opts.seed;
+  TransportConfig transports;
+  transports.dcqcn.seed = opts.seed;
+  transports.swift.seed = opts.seed;
+  transports.bbr.seed = opts.seed;
+  transports.table.seed = opts.seed;
   NetworkConfig ncfg;
   ncfg.goodput_factor = opts.goodput_factor;
-  Network net(topo, make_policy(opts.policy, dcqcn), ncfg);
+  Network net(topo, make_policy(opts.policy, transports), ncfg);
   net.attach(sim);
 
   const auto hosts = topo.hosts();

@@ -55,7 +55,7 @@ TEST(FaultPlan, NormalizeIsStableForEqualTimes) {
 TEST(FaultNetwork, LinkDownParksFlowRestorationRequeues) {
   Simulator sim;
   const Topology topo = Topology::dumbbell(1, Rate::gbps(10), Rate::gbps(10));
-  Network net(topo, make_policy(PolicyKind::kMaxMinFair, {}), {});
+  Network net(topo, make_policy(PolicyKind::kMaxMinFair), {});
   net.attach(sim);
   const Router router(topo);
   const auto hosts = topo.hosts();
@@ -93,7 +93,7 @@ TEST(FaultNetwork, BrownoutShrinksEffectiveCapacity) {
   const Topology topo = Topology::dumbbell(1, Rate::gbps(10), Rate::gbps(10));
   NetworkConfig ncfg;
   ncfg.goodput_factor = 1.0;
-  Network net(topo, make_policy(PolicyKind::kMaxMinFair, {}), ncfg);
+  Network net(topo, make_policy(PolicyKind::kMaxMinFair), ncfg);
   net.attach(sim);
   const LinkId bottleneck = topo.find_link(NodeId{0}, NodeId{1});
   EXPECT_DOUBLE_EQ(net.effective_capacity(bottleneck).to_gbps(), 10.0);
@@ -110,7 +110,7 @@ TEST(FaultInjector, ReroutesAroundFailedSpineLink) {
   // Two ToRs, one host each, two spines: two equal-cost paths between hosts.
   const Topology topo =
       Topology::leaf_spine(2, 1, 2, Rate::gbps(10), Rate::gbps(10));
-  Network net(topo, make_policy(PolicyKind::kMaxMinFair, {}), {});
+  Network net(topo, make_policy(PolicyKind::kMaxMinFair), {});
   net.attach(sim);
   const Router router(topo);
   const auto hosts = topo.hosts();
@@ -329,7 +329,7 @@ TEST(FaultScenario, DeterministicAcrossSweepThreadCounts) {
 TEST(FaultValidation, InjectorRejectsMalformedPlans) {
   Simulator sim;
   const Topology topo = Topology::dumbbell(1, Rate::gbps(10), Rate::gbps(10));
-  Network net(topo, make_policy(PolicyKind::kMaxMinFair, {}), {});
+  Network net(topo, make_policy(PolicyKind::kMaxMinFair), {});
   net.attach(sim);
   {
     FaultPlan plan;
@@ -398,7 +398,7 @@ TEST(FaultValidation, ScenarioConfigRejectsBadInput) {
 TEST(FaultValidation, JobSpecRejectsBadGateAndPaths) {
   Simulator sim;
   const Topology topo = Topology::dumbbell(1, Rate::gbps(10), Rate::gbps(10));
-  Network net(topo, make_policy(PolicyKind::kMaxMinFair, {}), {});
+  Network net(topo, make_policy(PolicyKind::kMaxMinFair), {});
   net.attach(sim);
   const Router router(topo);
   const auto hosts = topo.hosts();

@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "cc/policy/registry.h"
 #include "ckpt/checkpoint.h"
 #include "ckpt/snapshot.h"
 #include "cluster/scenario.h"
@@ -60,6 +61,9 @@ namespace {
 
 commands:
   zoo                         list models and calibrated (model,batch) entries
+  transports                  list registered transports with family,
+                              admission goodput derating, MLTCP variants and
+                              per-transport tunables
   profile --model M --batch B [--policy P] [--iterations N]
                               profile one job in isolation
   solve --job K=V[,K=V...] [--job ...] [--sectors N] [--capacity-gbps G]
@@ -126,7 +130,10 @@ commands:
                               extra post-cursor link faults), runs to the
                               original horizon in memory, and is diffed
                               against the unmodified baseline continuation
-  policies: maxmin | wfq | priority | dcqcn | dcqcn-adaptive | timely
+  policies: maxmin | wfq | priority | dcqcn | dcqcn-adaptive | timely |
+            swift | bbr | table | mltcp-dcqcn | mltcp-timely | mltcp-swift
+            (run `ccml_sim transports` for the catalogue; `table` needs
+            --cc-policy-table FILE in the ccml-cc-table v1 format)
 
 tracing (scenario and faults):
   --trace FILE              write a structured trace of the run (flow
@@ -392,6 +399,30 @@ int cmd_zoo() {
                      p->solo_iteration(Rate::gbps(42.5)).to_millis(), 0)});
   }
   std::printf("%s", cal.render().c_str());
+  return 0;
+}
+
+int cmd_transports() {
+  std::printf("registered transports:\n");
+  TextTable table({"name", "family", "mltcp", "derating", "summary"});
+  for (const TransportInfo& t : transport_catalogue()) {
+    table.add_row({t.name, t.family, t.mltcp_wrappable ? "yes" : "-",
+                   TextTable::num(t.goodput_derating, 2), t.summary});
+  }
+  std::printf("%s\n", table.render().c_str());
+  for (const TransportInfo& t : transport_catalogue()) {
+    if (t.tunables.empty()) continue;
+    std::printf("%s tunables:\n", t.name);
+    TextTable tt({"tunable", "preset", "meaning"});
+    for (const TransportTunable& k : t.tunables) {
+      tt.add_row({k.name, k.preset, k.meaning});
+    }
+    std::printf("%s\n", tt.render().c_str());
+  }
+  std::printf(
+      "MLTCP variants scale the base transport's additive-increase step by\n"
+      "(1 + bytes_sent/phase_bytes); `derating` is the goodput factor the\n"
+      "orchestrator's admission model multiplies in for that transport.\n");
   return 0;
 }
 
@@ -767,6 +798,10 @@ void apply_scenario_opts(ScenarioConfig& cfg,
   if (opts.contains("policy")) {
     cfg.policy = parse_policy_kind(opts.at("policy"));
   }
+  if (opts.contains("cc-policy-table")) {
+    cfg.transports.table.table =
+        CcPolicyTable::load(opts.at("cc-policy-table"));
+  }
   cfg.duration =
       Duration::seconds(opts.contains("seconds")
                             ? std::atoi(opts.at("seconds").c_str())
@@ -1017,6 +1052,10 @@ ClusterSetup make_cluster_setup(
   if (opts.contains("policy")) {
     cfg.policy = parse_policy_kind(opts.at("policy"));
   }
+  if (opts.contains("cc-policy-table")) {
+    cfg.transports.table.table =
+        CcPolicyTable::load(opts.at("cc-policy-table"));
+  }
   cfg.horizon = acfg.horizon;
   cfg.flow_schedule = num_opt("flow-schedule", 1) != 0;
   const std::string circle =
@@ -1192,7 +1231,7 @@ BranchOutcome run_scenario_branch(const RunSpec& rs, const Snapshot& target,
   cfg.on_cursor = [&](Simulator& sim, Network& net) {
     emit_branch_marker(trace.bus, sim.now(), index, b);
     if (b.dimension == "transport") {
-      net.replace_policy(make_policy(parse_policy_kind(b.value), cfg.dcqcn));
+      net.replace_policy(make_policy(parse_policy_kind(b.value), cfg.transports));
     } else if (b.dimension == "faults") {
       extra = std::make_unique<FaultInjector>(sim, net, b.extra);
       extra->arm();
@@ -1239,7 +1278,7 @@ BranchOutcome run_cluster_branch(const RunSpec& rs, const Snapshot& target,
       ctx.drain_queue();
     } else if (b.dimension == "transport") {
       ctx.net.replace_policy(
-          make_policy(parse_policy_kind(b.value), cs.cfg.dcqcn));
+          make_policy(parse_policy_kind(b.value), cs.cfg.transports));
     } else if (b.dimension == "faults") {
       extra = std::make_unique<FaultInjector>(ctx.sim, ctx.net, b.extra);
       extra->arm();
@@ -1488,6 +1527,7 @@ int main(int argc, char** argv) {
   }
   try {
     if (cmd == "zoo") return cmd_zoo();
+    if (cmd == "transports") return cmd_transports();
     if (cmd == "profile") return cmd_profile(opts);
     if (cmd == "solve") return cmd_solve(job_args, opts);
     if (cmd == "scenario") return cmd_scenario(job_args, opts);

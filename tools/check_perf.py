@@ -9,7 +9,7 @@ fails.  Catches order-of-magnitude regressions (an accidentally disabled
 fused path, a debug build, a hot-loop pessimization) while staying quiet
 under normal scheduling jitter.
 
-Two sections are understood, chosen with --section:
+Three sections are understood, chosen with --section:
   engine (default)  — perf_engine --json output; also re-asserts the
     contract that makes speed claims meaningful: if either file's sweep
     block says bit_identical is false, the run fails regardless of
@@ -18,11 +18,16 @@ Two sections are understood, chosen with --section:
     requires graph_wins (compat-graph strictly below both baselines on
     mean completion slowdown) and deterministic to be true in the fresh
     run — the bench's correctness claims are gated alongside its speed.
+  transport_zoo     — s7_transport_zoo --json output; additionally
+    requires deterministic (repeated run fingerprints byte-identically)
+    and catalogue_complete (every registered transport name round-trips
+    through the factory) to be true, and a non-empty families block.
 
 Usage:
   python3 tools/check_perf.py fresh.json [--floor BENCH_engine.json]
                                          [--tolerance 0.30]
-                                         [--section engine|multi_bottleneck]
+                                         [--section engine|multi_bottleneck|
+                                                    transport_zoo]
 
 Exits 0 when fresh throughput >= floor * (1 - tolerance) and the
 section's correctness flags hold, 1 otherwise.
@@ -67,7 +72,7 @@ def main():
     ap.add_argument("--tolerance", type=float, default=0.30,
                     help="allowed fractional drop below the floor (default 0.30)")
     ap.add_argument("--section", default="engine",
-                    choices=["engine", "multi_bottleneck"],
+                    choices=["engine", "multi_bottleneck", "transport_zoo"],
                     help="which JSON block to gate (default: engine)")
     args = ap.parse_args()
     if not 0.0 <= args.tolerance < 1.0:
@@ -81,13 +86,24 @@ def main():
             if ident is not True:
                 fail(f"{path}: sweep.bit_identical is {ident!r}, not true — "
                      "determinism broken, throughput numbers are meaningless")
-    else:
+    elif args.section == "multi_bottleneck":
         block = fresh.get("multi_bottleneck", {})
         for flag in ("graph_wins", "deterministic"):
             if block.get(flag) is not True:
                 fail(f"{args.fresh}: multi_bottleneck.{flag} is "
                      f"{block.get(flag)!r}, not true — the oversubscription "
                      "sweep's correctness claim does not hold")
+    else:
+        block = fresh.get("transport_zoo", {})
+        for flag in ("deterministic", "catalogue_complete"):
+            if block.get(flag) is not True:
+                fail(f"{args.fresh}: transport_zoo.{flag} is "
+                     f"{block.get(flag)!r}, not true — the transport "
+                     "catalogue's reproducibility claim does not hold")
+        families = block.get("families")
+        if not isinstance(families, dict) or not families:
+            fail(f"{args.fresh}: transport_zoo.families must be a non-empty "
+                 "object (one entry per transport family)")
 
     have = throughput(fresh, args.fresh, args.section)
     want = throughput(floor, args.floor, args.section)

@@ -44,6 +44,7 @@ KNOWN_KINDS = {
     "trace-drops", "solo-baseline", "ckpt.write", "ckpt.branch",
     "anomaly.phase_drift", "anomaly.queue_oscillation", "anomaly.starvation",
     "anomaly.congestion_collapse", "histogram-summary",
+    "cc.decision", "cc.phase",
 }
 
 # Kinds synthesized by the AnalyticsEngine (src/obs/analytics) rather than
